@@ -1,0 +1,47 @@
+//! Sequential comparators.
+//!
+//! * [`transpose_in_place_seq`] — single-threaded whole-matrix cycle
+//!   following: the role `mkl_simatcopy` plays in Table 3 (< 0.1 GB/s in
+//!   the paper; in-place MKL is sequential).
+//! * [`transpose_oop_seq`] — naive single-threaded out-of-place copy.
+
+use ipt_core::{Matrix, TransposePerm};
+
+/// Single-threaded in-place transposition by cycle following with
+/// Windley-style leader recomputation (zero workspace, superlinear leader
+/// walks) — faithfully slow, like `mkl_simatcopy`.
+#[must_use]
+pub fn transpose_in_place_seq<T: Copy>(matrix: Matrix<T>) -> Matrix<T> {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let mut matrix = matrix;
+    let perm = TransposePerm::new(rows, cols);
+    ipt_core::elementary::cycle_shift_seq_minimal(matrix.as_mut_slice(), &perm, 1);
+    matrix.assume_transposed_shape()
+}
+
+/// Naive sequential out-of-place transposition (row-major walk of the
+/// destination).
+#[must_use]
+pub fn transpose_oop_seq<T: Copy>(matrix: &Matrix<T>) -> Matrix<T> {
+    matrix.transposed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_in_place_correct() {
+        for &(r, c) in &[(5, 3), (64, 48), (37, 113), (1, 7), (100, 100)] {
+            let m = Matrix::iota(r, c);
+            let want = m.transposed();
+            assert_eq!(transpose_in_place_seq(m), want, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn oop_matches() {
+        let m = Matrix::pattern_f32(41, 29);
+        assert_eq!(transpose_oop_seq(&m), m.transposed());
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the host-side core: cycle mathematics and the
+//! elementary / staged in-place transposition engines (real wall-clock, not
+//! simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipt_core::full::{plan_auto, Algorithm};
+use ipt_core::{Matrix, TileHeuristic, TransposePerm};
+use std::hint::black_box;
+
+fn bench_cycle_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle-math");
+    for &(r, cl) in &[(720usize, 180usize), (1440, 360)] {
+        let perm = TransposePerm::new(r, cl);
+        g.bench_with_input(BenchmarkId::new("cycle_count", format!("{r}x{cl}")), &perm, |b, p| {
+            b.iter(|| black_box(p.cycle_count()));
+        });
+        g.bench_with_input(BenchmarkId::new("leaders", format!("{r}x{cl}")), &perm, |b, p| {
+            b.iter(|| {
+                black_box(ipt_core::elementary::parallel::find_cycle_leaders(p).len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("staged-transpose-cpu");
+    g.sample_size(10);
+    let (r, cl) = (1440usize, 360usize);
+    let bytes = (r * cl * 4) as u64;
+    g.throughput(Throughput::Bytes(2 * bytes));
+    let m = Matrix::pattern_f32(r, cl);
+    for algo in [Algorithm::ThreeStage, Algorithm::FourStage, Algorithm::FourStageFused] {
+        let plan = plan_auto(r, cl, algo, &TileHeuristic::default());
+        g.bench_function(BenchmarkId::new("seq", algo.name()), |b| {
+            b.iter_batched(
+                || m.as_slice().to_vec(),
+                |mut data| {
+                    plan.execute_seq(&mut data);
+                    black_box(data.len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(BenchmarkId::new("par", algo.name()), |b| {
+            b.iter_batched(
+                || m.as_slice().to_vec(),
+                |mut data| {
+                    plan.execute_par(&mut data);
+                    black_box(data.len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_math, bench_plans);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--full] [--device NAME] [--json DIR] [--single-stage]
+//!
+//! experiments:
+//!   fig6          Figure 6  (spreading & padding, 010!)
+//!   sweep010      §7.1      (optimised vs original PTTWAC, 3 GPUs)
+//!   sweep100      §7.2      (warp-based vs Sung 100!, 3 GPUs)
+//!   fig7          Figure 7  (100! throughput heat map)
+//!   table2        Table 2   (3-stage vs 4-stage ± fusion)
+//!   dominance     §7.3      (throughput vs tile size)
+//!   fig8          Figure 8  (tile scatter + pruning heuristic)
+//!   table3        Table 3 / Figure 9 (CPU vs GPU assessment)
+//!   async         §7.6      (Q command queues)
+//!   phi           §7.7      (Xeon Phi)
+//!   primes        extension (coprime decomposition vs prime-dim fallback)
+//!   multigpu      extension (multi-GPU scaling, paper §8 future work)
+//!   ablation      cost-model ablations (which mechanism drives which result)
+//!   all           everything above
+//! ```
+//!
+//! Default scale is 1/5-reduced matrices (minutes); `--full` uses the
+//! paper's exact sizes (tens of minutes). `--json DIR` archives rows as
+//! JSON next to the text output.
+
+use ipt_bench::experiments as ex;
+use ipt_bench::workloads::{device_by_name, Scale};
+use serde::Serialize;
+use std::io::Write;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    device: gpu_sim::DeviceSpec,
+    json_dir: Option<String>,
+    single_stage: bool,
+    include_slow: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut full = false;
+    let mut device = gpu_sim::DeviceSpec::tesla_k20();
+    let mut json_dir = None;
+    let mut single_stage = false;
+    let mut include_slow = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro <experiment> [--full] [--device k20|gtx580|amd|phi] \
+                     [--json DIR] [--single-stage] [--slow]\n\
+                     experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
+                     table3 async phi primes multigpu ablation all"
+                );
+                std::process::exit(0);
+            }
+            "--full" => full = true,
+            "--single-stage" => single_stage = true,
+            "--slow" => include_slow = true,
+            "--device" => {
+                i += 1;
+                device = device_by_name(&argv[i]).unwrap_or_else(|| {
+                    eprintln!("unknown device {:?} (k20|gtx580|amd|phi)", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(argv[i].clone());
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            name => experiment = name.to_string(),
+        }
+        i += 1;
+    }
+    Args {
+        experiment,
+        scale: Scale::from_flag(full),
+        device,
+        json_dir,
+        single_stage,
+        include_slow,
+    }
+}
+
+fn archive<T: Serialize>(dir: &Option<String>, name: &str, rows: &T) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/{name}.json");
+    let mut f = std::fs::File::create(&path).expect("create json file");
+    let body = serde_json::to_string_pretty(rows).expect("serialise");
+    f.write_all(body.as_bytes()).expect("write json");
+    eprintln!("[archived {path}]");
+}
+
+fn main() {
+    let args = parse_args();
+    let known = [
+        "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
+        "async", "phi", "primes", "multigpu", "ablation", "all",
+    ];
+    if !known.contains(&args.experiment.as_str()) {
+        eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
+        std::process::exit(2);
+    }
+    let run = |name: &str| args.experiment == name || args.experiment == "all";
+    let t0 = std::time::Instant::now();
+
+    if run("fig6") {
+        let (rows, summary) = ex::fig6::run(&args.device, args.scale);
+        println!("{}", ex::fig6::render(&rows, &summary));
+        archive(&args.json_dir, "fig6", &(&rows, &summary));
+    }
+    if run("sweep010") {
+        let rows = ex::sweep010::run(args.scale);
+        println!("{}", ex::sweep010::render(&rows));
+        archive(&args.json_dir, "sweep010", &rows);
+    }
+    if run("sweep100") {
+        let rows = ex::sweep100::run(args.scale);
+        println!("{}", ex::sweep100::render(&rows));
+        archive(&args.json_dir, "sweep100", &rows);
+    }
+    if run("fig7") {
+        let cells = ex::fig7::run(args.scale);
+        println!("{}", ex::fig7::render(&cells));
+        archive(&args.json_dir, "fig7", &cells);
+    }
+    if run("table2") {
+        let rows = ex::table2::run(&args.device, args.scale, args.single_stage);
+        println!("{}", ex::table2::render(&rows));
+        archive(&args.json_dir, "table2", &rows);
+    }
+    if run("dominance") {
+        let rows = ex::dominance::run(&args.device, args.scale);
+        println!("{}", ex::dominance::render_for(&rows, args.device.name));
+        archive(&args.json_dir, "dominance", &rows);
+    }
+    if run("fig8") {
+        let report = ex::fig8::run(args.scale);
+        println!("{}", ex::fig8::render(&report));
+        archive(&args.json_dir, "fig8", &report);
+    }
+    if run("table3") {
+        let (rows, details) = ex::table3::run(&args.device, args.scale, args.include_slow);
+        println!("{}", ex::table3::render(&rows, &details));
+        archive(&args.json_dir, "table3", &(&rows, &details));
+    }
+    if run("async") {
+        let (rows, summary) = ex::asyncq::run(&args.device, args.scale);
+        println!("{}", ex::asyncq::render(&rows, &summary));
+        archive(&args.json_dir, "async", &(&rows, &summary));
+    }
+    if run("primes") {
+        let rows = ex::primes::run(&args.device);
+        println!("{}", ex::primes::render(&rows));
+        archive(&args.json_dir, "primes", &rows);
+    }
+    if run("ablation") {
+        let rows = ex::ablation::run();
+        println!("{}", ex::ablation::render(&rows));
+        archive(&args.json_dir, "ablation", &rows);
+    }
+    if run("multigpu") {
+        let (r, c) = ipt_bench::workloads::async_sizes(args.scale)[0];
+        let rows = ex::multigpu::run(&args.device, r, c);
+        println!("{}", ex::multigpu::render(&rows));
+        archive(&args.json_dir, "multigpu", &rows);
+    }
+    if run("phi") {
+        let report = ex::phi::run(args.scale);
+        println!("{}", ex::phi::render(&report));
+        archive(&args.json_dir, "phi", &report);
+    }
+
+    eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,171 @@
+//! **Figure 6** — effect of flag spreading and padding on the `010!`
+//! (PTTWAC) kernel, Tesla K20.
+//!
+//! Paper result: spreading raises throughput ×1.77 on average, padding a
+//! further ≈12 %; occupancy losses at spreading 32 cause visible drops.
+
+use crate::common::run_010;
+use crate::workloads::{fig6_inputs, fill_instances, Scale};
+use gpu_sim::DeviceSpec;
+use ipt_gpu::opts::FlagLayout;
+use serde::Serialize;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Input name (tile width in parentheses in the figure).
+    pub input: String,
+    /// Tile width n.
+    pub n: usize,
+    /// Tile height m ∈ {16, 32, 64}.
+    pub m: usize,
+    /// Spreading factor (1 = packed, Eq. 2).
+    pub spreading: usize,
+    /// Padding applied?
+    pub padded: bool,
+    /// Simulated throughput, GB/s (paper convention).
+    pub gbps: f64,
+    /// Occupancy of the launch.
+    pub occupancy: f64,
+    /// Intra-warp same-word atomic collisions.
+    pub position_conflicts: u64,
+    /// Bank conflicts.
+    pub bank_conflicts: u64,
+    /// Lock conflicts.
+    pub lock_conflicts: u64,
+}
+
+/// Aggregate findings matching the numbers the paper quotes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Mean speedup of the best spreading factor over packed flags
+    /// (paper: ×1.77).
+    pub avg_spreading_speedup: f64,
+    /// Mean additional gain of padding at the best spreading factor
+    /// (paper: ≈ +12 %).
+    pub avg_padding_gain: f64,
+    /// Number of configurations where spreading 32 drops below 50 %
+    /// occupancy (the paper's noted performance drops).
+    pub occupancy_drops: usize,
+}
+
+/// Spreading factors exercised (the figure sweeps 1..32; powers of two
+/// capture the curve).
+pub const FACTORS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Tile heights exercised (the figure's three m values).
+pub const HEIGHTS: [usize; 3] = [16, 32, 64];
+
+/// Run the experiment.
+#[must_use]
+pub fn run(dev: &DeviceSpec, scale: Scale) -> (Vec<Row>, Summary) {
+    let mut rows = Vec::new();
+    for input in fig6_inputs() {
+        for m in HEIGHTS {
+            let instances = fill_instances(m, input.n, scale);
+            for factor in FACTORS {
+                for padded in [false, true] {
+                    if factor == 1 && padded {
+                        continue; // padding applies to spread layouts
+                    }
+                    let flags = FlagLayout::for_factor(factor, padded);
+                    // Skip layouts whose flag storage cannot fit one WG.
+                    if flags.words_needed(m * input.n) * 4 > dev.local_mem_per_wg {
+                        continue;
+                    }
+                    let (stats, bytes) = run_010(dev, instances, m, input.n, 256, flags);
+                    rows.push(Row {
+                        input: format!("{} ({})", input.name, input.n),
+                        n: input.n,
+                        m,
+                        spreading: factor,
+                        padded,
+                        gbps: stats.throughput_gbps(bytes),
+                        occupancy: stats.occupancy.occupancy,
+                        position_conflicts: stats.position_conflicts,
+                        bank_conflicts: stats.bank_conflicts,
+                        lock_conflicts: stats.lock_conflicts,
+                    });
+                }
+            }
+        }
+    }
+    let summary = summarise(&rows);
+    (rows, summary)
+}
+
+/// Compute the paper-style aggregates.
+#[must_use]
+pub fn summarise(rows: &[Row]) -> Summary {
+    let mut spread_speedups = Vec::new();
+    let mut padding_gains = Vec::new();
+    let mut drops = 0;
+    // Group by (input, m).
+    let mut keys: Vec<(String, usize)> =
+        rows.iter().map(|r| (r.input.clone(), r.m)).collect();
+    keys.sort();
+    keys.dedup();
+    for (input, m) in keys {
+        let group: Vec<&Row> = rows.iter().filter(|r| r.input == input && r.m == m).collect();
+        let packed = group.iter().find(|r| r.spreading == 1 && !r.padded);
+        let best_spread = group
+            .iter()
+            .filter(|r| !r.padded && r.spreading > 1)
+            .max_by(|a, b| a.gbps.total_cmp(&b.gbps));
+        if let (Some(p), Some(s)) = (packed, best_spread) {
+            spread_speedups.push(s.gbps / p.gbps);
+            if let Some(sp) = group
+                .iter()
+                .find(|r| r.padded && r.spreading == s.spreading)
+            {
+                padding_gains.push(sp.gbps / s.gbps - 1.0);
+            }
+        }
+        drops += group
+            .iter()
+            .filter(|r| r.spreading == 32 && r.occupancy < 0.5)
+            .count()
+            .min(1);
+    }
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    Summary {
+        avg_spreading_speedup: mean(&spread_speedups),
+        avg_padding_gain: mean(&padding_gains),
+        occupancy_drops: drops,
+    }
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[Row], summary: &Summary) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.input.clone(),
+                r.m.to_string(),
+                r.spreading.to_string(),
+                if r.padded { "yes" } else { "no" }.to_string(),
+                format!("{:.2}", r.gbps),
+                format!("{:.2}", r.occupancy),
+                r.position_conflicts.to_string(),
+                r.bank_conflicts.to_string(),
+                r.lock_conflicts.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        "Figure 6: spreading & padding on transposition 010! (PTTWAC)",
+        &["input", "m", "spread", "pad", "GB/s", "occ", "pos-conf", "bank-conf", "lock-conf"],
+        &table_rows,
+    );
+    out.push_str(&format!(
+        "\nspreading speedup (avg): x{:.2}   [paper: x1.77]\n\
+         padding gain (avg):      {:+.1}%  [paper: +12%]\n\
+         spreading-32 occupancy drops: {} inputs [paper: noted for several]\n",
+        summary.avg_spreading_speedup,
+        summary.avg_padding_gain * 100.0,
+        summary.occupancy_drops
+    ));
+    out
+}

@@ -1,0 +1,129 @@
+//! **Figure 7** — throughput heat map of the optimised `100!` kernel over
+//! `(m, M′)`, on the Tesla K20 and the Radeon HD 7750.
+//!
+//! Paper result: on the K20 the best band is `m ∈ 64..160`; on Cape Verde
+//! the best performance needs `m > 128` (the wavefront is twice as wide).
+
+use crate::common::run_100;
+use crate::workloads::Scale;
+use gpu_sim::DeviceSpec;
+use ipt_gpu::opts::{GpuOptions, Variant100};
+use serde::Serialize;
+
+/// One heat-map cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Device name.
+    pub device: String,
+    /// Super-element size m.
+    pub m: usize,
+    /// Grid columns M′.
+    pub mp: usize,
+    /// Simulated throughput (GB/s, paper convention).
+    pub gbps: f64,
+}
+
+/// Sweep grid (`m, M′ < 256`).
+#[must_use]
+pub fn grid(scale: Scale) -> (Vec<usize>, Vec<usize>) {
+    match scale {
+        Scale::Full => ((16..=255).step_by(16).collect(), (16..=255).step_by(16).collect()),
+        Scale::Reduced => ((16..=255).step_by(48).collect(), (16..=255).step_by(48).collect()),
+    }
+}
+
+/// Run the sweep on both Figure-7 devices.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Cell> {
+    let n_dim = 64usize;
+    let mut cells = Vec::new();
+    for dev in [DeviceSpec::tesla_k20(), DeviceSpec::hd7750()] {
+        let wg = GpuOptions::tuned_for(&dev).wg_size_100;
+        let (ms, mps) = grid(scale);
+        for &m in &ms {
+            for &mp in &mps {
+                let (stats, bytes) = run_100(&dev, n_dim, mp, m, Variant100::Auto, wg);
+                cells.push(Cell {
+                    device: dev.name.to_string(),
+                    m,
+                    mp,
+                    gbps: stats.throughput_gbps(bytes),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The m value with the best mean throughput per device (the paper's
+/// "best band" observation).
+#[must_use]
+pub fn best_m_per_device(cells: &[Cell]) -> Vec<(String, usize, f64)> {
+    let mut devices: Vec<String> = cells.iter().map(|c| c.device.clone()).collect();
+    devices.sort();
+    devices.dedup();
+    devices
+        .into_iter()
+        .map(|d| {
+            let mut ms: Vec<usize> = cells.iter().filter(|c| c.device == d).map(|c| c.m).collect();
+            ms.sort_unstable();
+            ms.dedup();
+            let (best_m, best) = ms
+                .into_iter()
+                .map(|m| {
+                    let v: Vec<f64> = cells
+                        .iter()
+                        .filter(|c| c.device == d && c.m == m)
+                        .map(|c| c.gbps)
+                        .collect();
+                    (m, v.iter().sum::<f64>() / v.len() as f64)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            (d, best_m, best)
+        })
+        .collect()
+}
+
+/// Render the text report (grid per device + best-band summary).
+#[must_use]
+pub fn render(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let mut devices: Vec<String> = cells.iter().map(|c| c.device.clone()).collect();
+    devices.sort();
+    devices.dedup();
+    for d in &devices {
+        let mut ms: Vec<usize> = cells.iter().filter(|c| &c.device == d).map(|c| c.m).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        let mut mps: Vec<usize> = cells.iter().filter(|c| &c.device == d).map(|c| c.mp).collect();
+        mps.sort_unstable();
+        mps.dedup();
+        let mut rows = Vec::new();
+        for &m in &ms {
+            let mut row = vec![m.to_string()];
+            for &mp in &mps {
+                let v = cells
+                    .iter()
+                    .find(|c| &c.device == d && c.m == m && c.mp == mp)
+                    .map_or(0.0, |c| c.gbps);
+                row.push(format!("{v:.1}"));
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["m\\M'".to_string()];
+        header.extend(mps.iter().map(ToString::to_string));
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        out.push_str(&super::text_table(
+            &format!("Figure 7: transpose 100! throughput (GB/s) on {d}"),
+            &hdr,
+            &rows,
+        ));
+        out.push('\n');
+    }
+    for (d, m, g) in best_m_per_device(cells) {
+        out.push_str(&format!("best m on {d}: {m} ({g:.1} GB/s avg)\n"));
+    }
+    out.push_str("paper: best band m in 64..160 on K20; m > 128 on Cape Verde\n");
+    out
+}

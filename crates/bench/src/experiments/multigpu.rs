@@ -1,0 +1,87 @@
+//! **Extension (paper §8 future work)** — the 3-stage algorithm as a
+//! building block for multi-GPU transposition.
+//!
+//! The matrix is row-blocked across D simulated K20s; each block is
+//! transposed in place with the 3-stage algorithm and shipped back as a
+//! column panel. With one shared host PCIe link, transfers stay the
+//! bottleneck (the end-to-end gain saturates); with private links the
+//! pipeline scales — quantifying what the paper's future-work sentence
+//! implies.
+
+use gpu_sim::DeviceSpec;
+use ipt_gpu::multi::{run_multi_gpu, LinkTopology};
+use ipt_gpu::opts::GpuOptions;
+use serde::Serialize;
+
+/// One (devices, topology) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Matrix shape.
+    pub rows: usize,
+    /// Matrix shape.
+    pub cols: usize,
+    /// Device count.
+    pub devices: usize,
+    /// Link topology.
+    pub link: LinkTopology,
+    /// End-to-end seconds.
+    pub total_s: f64,
+    /// Effective host-side throughput (GB/s).
+    pub effective_gbps: f64,
+}
+
+/// Run the scaling study on one matrix size.
+#[must_use]
+pub fn run(dev: &DeviceSpec, rows: usize, cols: usize) -> Vec<Row> {
+    let opts = GpuOptions::tuned_for(dev);
+    let mut out = Vec::new();
+    for link in [LinkTopology::Shared, LinkTopology::Private] {
+        for d in [1usize, 2, 4, 8] {
+            if rows % d != 0 {
+                continue;
+            }
+            let rep = run_multi_gpu(dev, d, rows, cols, &opts, link).expect("multi-gpu run");
+            out.push(Row {
+                rows,
+                cols,
+                devices: d,
+                link,
+                total_s: rep.total_s,
+                effective_gbps: rep.effective_gbps,
+            });
+        }
+    }
+    out
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let base = rows
+                .iter()
+                .find(|x| x.link == r.link && x.devices == 1)
+                .map_or(1.0, |x| x.total_s);
+            vec![
+                format!("{}x{}", r.rows, r.cols),
+                format!("{:?}", r.link),
+                r.devices.to_string(),
+                format!("{:.2}", r.total_s * 1e3),
+                format!("{:.2}", r.effective_gbps),
+                format!("x{:.2}", base / r.total_s),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        "Extension: multi-GPU 3-stage transposition (paper §8 future work)",
+        &["matrix", "link", "devices", "total ms", "eff GB/s", "scaling"],
+        &table,
+    );
+    out.push_str(
+        "\nshared host link: compute parallelises, PCIe does not — the gain saturates;\n\
+         private links: the full pipeline scales with the device count.\n",
+    );
+    out
+}

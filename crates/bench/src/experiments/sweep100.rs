@@ -1,0 +1,119 @@
+//! **§7.2 sweep** — warp-based `100!` vs Sung's work-group-per-super-element
+//! version; register-tiling bonus.
+//!
+//! Paper result: avg (min/max) speedup 2.95 (1.97/4.09) on GTX 580 and
+//! 2.58 (1.54/3.50) on K20 with local-memory tiling; register tiling adds
+//! +16 % (GTX 580) / +23 % (K20) where legal; no speedup on the AMD device
+//! (but added flexibility).
+
+use crate::common::run_100;
+use crate::workloads::Scale;
+use gpu_sim::DeviceSpec;
+use ipt_gpu::opts::{GpuOptions, Variant100};
+use serde::Serialize;
+
+/// One device's aggregated sweep result.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceSummary {
+    /// Device name.
+    pub device: String,
+    /// Mean speedup warp/local-tile vs Sung.
+    pub avg_speedup: f64,
+    /// Minimum speedup.
+    pub min_speedup: f64,
+    /// Maximum speedup.
+    pub max_speedup: f64,
+    /// Mean extra gain of register tiling where legal.
+    pub reg_tiling_gain: f64,
+    /// Points measured.
+    pub points: usize,
+}
+
+/// Sweep grid: m ∈ 16..64, M′ ∈ 16..256 (strided).
+#[must_use]
+pub fn grid(scale: Scale) -> (Vec<usize>, Vec<usize>) {
+    match scale {
+        Scale::Full => ((16..=64).step_by(4).collect(), (16..=256).step_by(16).collect()),
+        Scale::Reduced => ((16..=64).step_by(16).collect(), (16..=256).step_by(60).collect()),
+    }
+}
+
+/// Run the sweep on one device. The experiment resizes `N × M′ × m` →
+/// `M′ × N × m`; N is fixed at 64 rows of super-elements.
+#[must_use]
+pub fn run_device(dev: &DeviceSpec, scale: Scale) -> DeviceSummary {
+    let (ms, mps) = grid(scale);
+    let n_dim = 64usize;
+    let wg = GpuOptions::tuned_for(dev).wg_size_100;
+    let mut speedups = Vec::new();
+    let mut reg_gains = Vec::new();
+    for &m in &ms {
+        // Sung's variant launches work-groups of exactly m threads.
+        if m > dev.max_threads_per_wg {
+            continue;
+        }
+        for &mp in &mps {
+            let (sung, _) = run_100(dev, n_dim, mp, m, Variant100::SungWorkGroup, 0);
+            let (local, _) = run_100(dev, n_dim, mp, m, Variant100::WarpLocalTile, wg);
+            speedups.push(sung.time_s / local.time_s);
+            let reg_legal = m % dev.simd_width == 0 || dev.simd_width.is_multiple_of(m);
+            if reg_legal {
+                let (reg, _) = run_100(dev, n_dim, mp, m, Variant100::WarpRegTile, wg);
+                reg_gains.push(local.time_s / reg.time_s - 1.0);
+            }
+        }
+    }
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    DeviceSummary {
+        device: dev.name.to_string(),
+        avg_speedup: mean(&speedups),
+        min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+        max_speedup: speedups.iter().copied().fold(0.0, f64::max),
+        reg_tiling_gain: mean(&reg_gains),
+        points: speedups.len(),
+    }
+}
+
+/// Run on the paper's three GPUs.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<DeviceSummary> {
+    [DeviceSpec::gtx580(), DeviceSpec::tesla_k20(), DeviceSpec::hd7750()]
+        .iter()
+        .map(|d| run_device(d, scale))
+        .collect()
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[DeviceSummary]) -> String {
+    let paper: [(&str, &str, &str); 3] = [
+        ("GeForce GTX 580", "2.95 (1.97/4.09)", "+16%"),
+        ("Tesla K20", "2.58 (1.54/3.50)", "+23%"),
+        ("Radeon HD 7750", "~1.0 (no gain)", "-"),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (_, pspd, preg) = paper
+                .iter()
+                .find(|(n, _, _)| *n == r.device)
+                .copied()
+                .unwrap_or(("", "-", "-"));
+            vec![
+                r.device.clone(),
+                format!("{:.2}", r.avg_speedup),
+                format!("{:.2}", r.min_speedup),
+                format!("{:.2}", r.max_speedup),
+                pspd.to_string(),
+                format!("{:+.0}%", r.reg_tiling_gain * 100.0),
+                preg.to_string(),
+                r.points.to_string(),
+            ]
+        })
+        .collect();
+    super::text_table(
+        "S7.2: warp-based vs Sung 100! (speedup) and register-tiling gain",
+        &["device", "avg", "min", "max", "paper", "reg-gain", "paper-reg", "points"],
+        &table,
+    )
+}

@@ -1,0 +1,178 @@
+//! **Table 3 / Figure 9** — the CPU-vs-GPU assessment: every in-place and
+//! out-of-place implementation, throughput from the CPU's perspective, and
+//! memory overheads.
+//!
+//! Paper (6-core Xeon + Tesla K20): MKL OOP 12.07, MKL in-place < 0.1,
+//! GKK OOP 2.36, GKK in-place 2.85, GPU OOP + transfers 3.57, 3-stage GPU
+//! in-place + transfers 3.43 GB/s. CPU rows here are *real wall-clock
+//! measurements on the host machine* (so absolute values differ from the
+//! 2013 Xeon), GPU rows are simulated; the ordering and overhead columns
+//! are the reproduced shape.
+
+use crate::common::{gbps, host_matrix, measure_median};
+use crate::workloads::{matrix_bytes, table2_sizes, Scale};
+use gpu_sim::DeviceSpec;
+use ipt_baselines::{
+    transpose_in_place_gkk, transpose_in_place_seq, transpose_oop_par,
+};
+use ipt_core::stages::StagePlan;
+use ipt_gpu::host::{run_host_oop, run_host_sync};
+use ipt_gpu::opts::GpuOptions;
+use serde::Serialize;
+
+/// One implementation's aggregate.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Implementation name (paper's row labels).
+    pub implementation: String,
+    /// Where it runs.
+    pub executed_on: String,
+    /// Mean throughput over the six sizes (GB/s).
+    pub gbps: f64,
+    /// Paper's value (GB/s).
+    pub paper_gbps: f64,
+    /// Host memory overhead.
+    pub cpu_overhead: &'static str,
+    /// Device memory overhead.
+    pub gpu_overhead: &'static str,
+}
+
+/// Per-size detail (Figure 9's bars).
+#[derive(Debug, Clone, Serialize)]
+pub struct Detail {
+    /// Matrix shape.
+    pub rows: usize,
+    /// Matrix shape.
+    pub cols: usize,
+    /// (implementation, GB/s) pairs.
+    pub gbps: Vec<(String, f64)>,
+}
+
+fn cpu_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Run the assessment. `seq_in_place` is skipped at full scale unless
+/// `include_slow` (it is genuinely minutes-slow, like MKL's).
+#[must_use]
+pub fn run(dev: &DeviceSpec, scale: Scale, include_slow: bool) -> (Vec<Row>, Vec<Detail>) {
+    let sizes = table2_sizes(scale);
+    let opts = GpuOptions::tuned_for(dev);
+    let mut acc: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut details = Vec::new();
+    let push = |acc: &mut Vec<(String, Vec<f64>)>, name: &str, v: f64| {
+        if let Some((_, vs)) = acc.iter_mut().find(|(n, _)| n == name) {
+            vs.push(v);
+        } else {
+            acc.push((name.to_string(), vec![v]));
+        }
+    };
+
+    for &(r, c) in &sizes {
+        let bytes = matrix_bytes(r, c);
+        let m = host_matrix(r, c);
+        let mut detail = Vec::new();
+
+        // MKL-like parallel out-of-place (real time).
+        let (t, out) = measure_median(&m, 3, |x| transpose_oop_par(&x));
+        assert_eq!(out, m.transposed());
+        push(&mut acc, "MKL-like out-of-place", gbps(bytes, t));
+        detail.push(("MKL-like OOP".to_string(), gbps(bytes, t)));
+
+        // MKL-like in-place (sequential; slow).
+        if include_slow {
+            let (t, out) = measure_median(&m, 1, transpose_in_place_seq);
+            assert_eq!(out, m.transposed());
+            push(&mut acc, "MKL-like in-place (sequential)", gbps(bytes, t));
+            detail.push(("seq in-place".to_string(), gbps(bytes, t)));
+        }
+
+        // GKK out-of-place.
+        let (t, out) = measure_median(&m, 3, |x| ipt_baselines::transpose_oop_gkk(&x));
+        assert_eq!(out, m.transposed());
+        push(&mut acc, "GKK out-of-place", gbps(bytes, t));
+        detail.push(("GKK OOP".to_string(), gbps(bytes, t)));
+
+        // GKK in-place.
+        let threads = cpu_threads();
+        let (t, out) = measure_median(&m, 3, |x| transpose_in_place_gkk(x, threads));
+        assert_eq!(out, m.transposed());
+        push(&mut acc, "GKK in-place", gbps(bytes, t));
+        detail.push(("GKK in-place".to_string(), gbps(bytes, t)));
+
+        // GPU out-of-place + transfers (simulated).
+        let rep = run_host_oop(dev, r, c).expect("oop host run");
+        push(&mut acc, "GPU out-of-place + transfers", rep.effective_gbps);
+        detail.push(("GPU OOP+xfer".to_string(), rep.effective_gbps));
+
+        // 3-stage GPU in-place + transfers (simulated, synchronous).
+        let tile = super::table2::tile3_for(r, c, scale);
+        let plan = StagePlan::three_stage(r, c, tile).expect("tile divides");
+        let rep = run_host_sync(dev, r, c, &plan, &opts).expect("sync host run");
+        push(&mut acc, "3-stage GPU in-place + transfers", rep.effective_gbps);
+        detail.push(("3-stage+xfer".to_string(), rep.effective_gbps));
+
+        details.push(Detail { rows: r, cols: c, gbps: detail });
+    }
+
+    let meta: [(&str, &str, f64, &str, &str); 6] = [
+        ("MKL-like out-of-place", "CPU cores", 12.07, "100%", "-"),
+        ("MKL-like in-place (sequential)", "1 CPU core", 0.1, "0%", "-"),
+        ("GKK out-of-place", "CPU cores", 2.36, "100%", "-"),
+        ("GKK in-place", "CPU cores", 2.85, "0%", "-"),
+        ("GPU out-of-place + transfers", "GPU cores", 3.57, "0%", "100%"),
+        ("3-stage GPU in-place + transfers", "GPU cores", 3.43, "0%", "~0%"),
+    ];
+    let rows = acc
+        .into_iter()
+        .map(|(name, vs)| {
+            let (_, on, paper, co, go) = meta
+                .iter()
+                .find(|(n, ..)| *n == name)
+                .copied()
+                .unwrap_or(("", "?", 0.0, "?", "?"));
+            Row {
+                implementation: name,
+                executed_on: on.to_string(),
+                gbps: vs.iter().sum::<f64>() / vs.len() as f64,
+                paper_gbps: paper,
+                cpu_overhead: co,
+                gpu_overhead: go,
+            }
+        })
+        .collect();
+    (rows, details)
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[Row], details: &[Detail]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.implementation.clone(),
+                r.executed_on.clone(),
+                format!("{:.2}", r.gbps),
+                format!("{:.2}", r.paper_gbps),
+                r.cpu_overhead.to_string(),
+                r.gpu_overhead.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        &format!(
+            "Table 3: in-place / out-of-place assessment (CPU rows measured on this host, {} thread(s); GPU rows simulated)",
+            rayon::current_num_threads()
+        ),
+        &["implementation", "on", "GB/s", "paper GB/s", "CPU mem ovh", "GPU mem ovh"],
+        &table,
+    );
+    out.push_str("\nFigure 9 detail (GB/s per matrix size):\n");
+    for d in details {
+        let parts: Vec<String> =
+            d.gbps.iter().map(|(n, v)| format!("{n}={v:.2}")).collect();
+        out.push_str(&format!("  {}x{}: {}\n", d.rows, d.cols, parts.join("  ")));
+    }
+    out
+}

@@ -1,0 +1,232 @@
+//! End-to-end in-place transposition drivers: pick an algorithm and a tile,
+//! build the plan, execute.
+//!
+//! This is the host-side (pure CPU) entry point. The GPU-simulated execution
+//! of the same plans lives in the `ipt-gpu` crate.
+
+use crate::coprime;
+use crate::matrix::Matrix;
+use crate::numtheory::gcd;
+use crate::stages::{PlanError, StagePlan, TileConfig};
+use crate::tiles::TileHeuristic;
+
+/// Which staged algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// One whole-matrix cycle-following pass (locality-poor baseline).
+    SingleStage,
+    /// The paper's 3-stage algorithm: `100! → 0010! → 0100!`.
+    ThreeStage,
+    /// Gustavson/Karlsson 4-stage: `0100! → 0010! → 1000! → 0100!`.
+    FourStage,
+    /// 4-stage with stages 2–3 fused.
+    FourStageFused,
+}
+
+impl Algorithm {
+    /// All algorithm variants (for sweeps).
+    pub const ALL: [Algorithm; 4] =
+        [Self::SingleStage, Self::ThreeStage, Self::FourStage, Self::FourStageFused];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SingleStage => "single-stage",
+            Self::ThreeStage => "3-stage",
+            Self::FourStage => "4-stage",
+            Self::FourStageFused => "4-stage-fused",
+        }
+    }
+
+    /// Build the plan for this algorithm.
+    ///
+    /// # Errors
+    /// Propagates tile divisibility failures (never fails for
+    /// [`Algorithm::SingleStage`]).
+    pub fn plan(self, rows: usize, cols: usize, tile: TileConfig) -> Result<StagePlan, PlanError> {
+        match self {
+            Self::SingleStage => Ok(StagePlan::single_stage(rows, cols)),
+            Self::ThreeStage => StagePlan::three_stage(rows, cols, tile),
+            Self::FourStage => StagePlan::four_stage(rows, cols, tile),
+            Self::FourStageFused => StagePlan::four_stage_fused(rows, cols, tile),
+        }
+    }
+}
+
+/// Plan an in-place transposition with automatic tile selection: use the
+/// requested algorithm when a feasible tile exists, otherwise fall back to
+/// the single-stage pass (the paper's prime-dimension limitation, §7.4).
+#[must_use]
+pub fn plan_auto(rows: usize, cols: usize, algo: Algorithm, heuristic: &TileHeuristic) -> StagePlan {
+    if algo == Algorithm::SingleStage {
+        return StagePlan::single_stage(rows, cols);
+    }
+    match heuristic.select(rows, cols) {
+        Some(tile) => algo
+            .plan(rows, cols, tile)
+            .expect("heuristic-selected tile always divides the matrix"),
+        None => StagePlan::single_stage(rows, cols),
+    }
+}
+
+/// Transpose `matrix` in place (same backing storage) sequentially and
+/// return it with the flipped shape.
+#[must_use]
+pub fn transpose_in_place_seq<T: Copy>(matrix: Matrix<T>, algo: Algorithm) -> Matrix<T> {
+    let plan = plan_auto(matrix.rows(), matrix.cols(), algo, &TileHeuristic::default());
+    let mut matrix = matrix;
+    plan.execute_seq(matrix.as_mut_slice());
+    matrix.assume_transposed_shape()
+}
+
+/// Transpose `matrix` in place using rayon and return it with the flipped
+/// shape.
+#[must_use]
+pub fn transpose_in_place_par<T: Copy + Send + Sync>(matrix: Matrix<T>, algo: Algorithm) -> Matrix<T> {
+    let plan = plan_auto(matrix.rows(), matrix.cols(), algo, &TileHeuristic::default());
+    let mut matrix = matrix;
+    plan.execute_par(matrix.as_mut_slice());
+    matrix.assume_transposed_shape()
+}
+
+/// How [`transpose_in_place_any`] decided to transpose a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyRoute {
+    /// A staged plan with a heuristic tile.
+    Staged,
+    /// The coprime two-phase decomposition (`gcd(M, N) = 1`).
+    Coprime,
+    /// A staged plan with the always-available `(c, c)` gcd tile.
+    GcdTile,
+    /// Trivial shapes (`min(M, N) = 1`) or awkward leftovers: the
+    /// single-stage pass.
+    SingleStage,
+}
+
+/// Decide the route for a shape (exposed so callers and tests can see the
+/// dispatch without running it).
+#[must_use]
+pub fn route_for(rows: usize, cols: usize, heuristic: &TileHeuristic) -> AnyRoute {
+    if rows <= 1 || cols <= 1 {
+        return AnyRoute::SingleStage;
+    }
+    // A tile below ~16 elements degenerates the staged algorithm into
+    // near-scalar shifting; prefer the dedicated routes then.
+    if heuristic.select(rows, cols).is_some_and(|t| t.tile_len() >= 16) {
+        return AnyRoute::Staged;
+    }
+    let c = gcd(rows as u64, cols as u64) as usize;
+    if c == 1 {
+        return AnyRoute::Coprime;
+    }
+    // The (c, c) tile always divides both dimensions; PTTWAC-010 handles
+    // stage 2 even when c² exceeds the BS capacity, up to the local-memory
+    // flag limit (~393k bits). Beyond that, give up on tiling.
+    if c * c <= 262_144 {
+        AnyRoute::GcdTile
+    } else {
+        AnyRoute::SingleStage
+    }
+}
+
+/// Transpose **any** rectangular matrix in place — no divisibility
+/// requirements. Removes the §7.4 prime-dimension limitation:
+///
+/// * a heuristic tile exists → the 3-stage algorithm,
+/// * coprime dimensions → the two-phase decomposition
+///   ([`crate::coprime`], after Catanzaro et al. \[25\]),
+/// * otherwise `c = gcd(M, N) > 1` → the 3-stage algorithm with the
+///   always-legal `(c, c)` tile,
+/// * degenerate/awkward leftovers → the single-stage pass.
+#[must_use]
+pub fn transpose_in_place_any<T: Copy + Send + Sync>(matrix: Matrix<T>) -> Matrix<T> {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let heuristic = TileHeuristic::default();
+    match route_for(rows, cols, &heuristic) {
+        AnyRoute::Staged => transpose_in_place_par(matrix, Algorithm::ThreeStage),
+        AnyRoute::Coprime => coprime::transpose_matrix_coprime(matrix),
+        AnyRoute::GcdTile => {
+            let c = gcd(rows as u64, cols as u64) as usize;
+            let plan = StagePlan::three_stage(rows, cols, TileConfig::new(c, c))
+                .expect("gcd tile always divides");
+            let mut matrix = matrix;
+            plan.execute_par(matrix.as_mut_slice());
+            matrix.assume_transposed_shape()
+        }
+        AnyRoute::SingleStage => {
+            let mut matrix = matrix;
+            StagePlan::single_stage(rows, cols).execute_par(matrix.as_mut_slice());
+            matrix.assume_transposed_shape()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_transpose_all_algorithms() {
+        for &(r, c) in &[(6, 15), (15, 6), (64, 48), (60, 60), (100, 36)] {
+            let mat = Matrix::iota(r, c);
+            let want = mat.transposed();
+            for algo in Algorithm::ALL {
+                let got = transpose_in_place_seq(mat.clone(), algo);
+                assert_eq!(got, want, "{} {r}x{c} seq", algo.name());
+                let got = transpose_in_place_par(mat.clone(), algo);
+                assert_eq!(got, want, "{} {r}x{c} par", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prime_dims_fall_back_to_single_stage() {
+        let plan = plan_auto(7919, 13, Algorithm::ThreeStage, &TileHeuristic::default());
+        // 13 has no divisor in range and 7919 is prime → fallback.
+        // (13 divides itself, 7919 prime: select() may still find something
+        // feasible like (7919, 13)? 7919·13 tile too big → None → fallback.)
+        assert_eq!(plan.name, "single-stage");
+        // It still transposes correctly (small prime case to keep test fast):
+        let mat = Matrix::iota(31, 13);
+        let got = transpose_in_place_seq(mat.clone(), Algorithm::ThreeStage);
+        assert_eq!(got, mat.transposed());
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::ThreeStage.name(), "3-stage");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    fn any_route_dispatch() {
+        let h = TileHeuristic::default();
+        assert_eq!(route_for(720, 180, &h), AnyRoute::Staged);
+        assert_eq!(route_for(7919, 4099, &h), AnyRoute::Coprime); // both prime
+        assert_eq!(route_for(1, 999, &h), AnyRoute::SingleStage);
+        // 2·1009 × 2·997: no heuristic tile band, gcd 2 → GcdTile.
+        let narrow = TileHeuristic { shared_capacity_words: 3600, preferred_lo: 50, preferred_hi: 100 };
+        assert_eq!(route_for(2 * 1009, 2 * 997, &narrow), AnyRoute::GcdTile);
+    }
+
+    #[test]
+    fn any_transposes_every_shape_class() {
+        for &(r, c) in &[
+            (720, 180),   // staged
+            (127, 61),    // coprime (prime × prime)
+            (2 * 53, 2 * 59), // gcd tile
+            (1, 17),      // trivial
+            (97, 128),    // coprime (prime × power of two)
+        ] {
+            let m = Matrix::iota(r, c);
+            assert_eq!(transpose_in_place_any(m.clone()), m.transposed(), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn shapes_flip() {
+        let got = transpose_in_place_seq(Matrix::iota(6, 15), Algorithm::ThreeStage);
+        assert_eq!((got.rows(), got.cols()), (15, 6));
+    }
+}

@@ -1,0 +1,252 @@
+//! Row-major matrix container and reference transposition utilities.
+//!
+//! All algorithms in this workspace operate on linearised row-major storage;
+//! `Matrix<T>` is a thin owner of that storage with shape metadata plus the
+//! out-of-place reference transposition every in-place algorithm is tested
+//! against.
+
+use std::fmt;
+
+/// Dense row-major `rows × cols` matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(16) {
+                write!(f, "{:?} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f, "{}", if self.cols > 16 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Create from existing row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate matrix {rows}x{cols}");
+        assert_eq!(data.len(), rows * cols, "data length != rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Create by evaluating `f(i, j)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Fill with a constant.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, v: T) -> Self {
+        Self::from_vec(rows, cols, vec![v; rows * cols])
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True only for the (disallowed) empty matrix; kept for API hygiene.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Linearised storage (row-major).
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable linearised storage (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Out-of-place reference transposition (allocates a new matrix).
+    #[must_use]
+    pub fn transposed(&self) -> Matrix<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                out.push(self.data[i * self.cols + j]);
+            }
+        }
+        Matrix::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Reinterpret the same storage with swapped shape, asserting the caller
+    /// has already permuted the data (used after an in-place transposition).
+    #[must_use]
+    pub fn assume_transposed_shape(self) -> Matrix<T> {
+        Matrix { rows: self.cols, cols: self.rows, data: self.data }
+    }
+}
+
+impl Matrix<u32> {
+    /// The canonical test pattern: element at linear offset `k` holds `k`.
+    /// Transposing an iota matrix produces a unique, easily-checked result.
+    #[must_use]
+    pub fn iota(rows: usize, cols: usize) -> Self {
+        Self::from_vec(rows, cols, (0..(rows * cols) as u32).collect())
+    }
+}
+
+impl Matrix<f32> {
+    /// Deterministic pseudo-random-looking f32 pattern (no RNG dependency in
+    /// the library itself; tests that need real randomness use `rand`).
+    #[must_use]
+    pub fn pattern_f32(rows: usize, cols: usize) -> Self {
+        Self::from_fn(rows, cols, |i, j| {
+            let k = (i * cols + j) as u32;
+            // xorshift-style scramble for non-trivial values
+            let mut x = k.wrapping_mul(2_654_435_761).wrapping_add(1);
+            x ^= x >> 16;
+            (x as f32) / (u32::MAX as f32)
+        })
+    }
+}
+
+/// Check that `candidate`'s storage equals the transposition of `original`'s
+/// storage; returns the first mismatching linear offset if any.
+#[must_use]
+pub fn transposition_mismatch<T: Copy + PartialEq>(
+    original: &Matrix<T>,
+    candidate: &[T],
+) -> Option<usize> {
+    let (m, n) = (original.rows(), original.cols());
+    assert_eq!(candidate.len(), m * n);
+    for j in 0..n {
+        for i in 0..m {
+            let k = j * m + i;
+            if candidate[k] != original.get(i, j) {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as u32);
+        assert_eq!(m.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(m.get(1, 2), 12);
+    }
+
+    #[test]
+    fn transposed_reference() {
+        let m = Matrix::iota(2, 3);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.as_slice(), &[0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        for &(r, c) in &[(1, 1), (5, 3), (3, 5), (7, 7), (1, 9)] {
+            let m = Matrix::iota(r, c);
+            assert_eq!(m.transposed().transposed(), m);
+        }
+    }
+
+    #[test]
+    fn mismatch_detection() {
+        let m = Matrix::iota(5, 3);
+        let good = m.transposed();
+        assert_eq!(transposition_mismatch(&m, good.as_slice()), None);
+        let mut bad = good.into_vec();
+        bad[7] = 999;
+        assert_eq!(transposition_mismatch(&m, &bad), Some(7));
+    }
+
+    #[test]
+    fn set_get() {
+        let mut m = Matrix::filled(3, 3, 0u32);
+        m.set(2, 1, 42);
+        assert_eq!(m.get(2, 1), 42);
+        assert_eq!(m.as_slice()[7], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_len_panics() {
+        let _ = Matrix::from_vec(2, 3, vec![0u32; 5]);
+    }
+
+    #[test]
+    fn pattern_f32_is_deterministic_and_varied() {
+        let a = Matrix::pattern_f32(8, 9);
+        let b = Matrix::pattern_f32(8, 9);
+        assert_eq!(a, b);
+        // not all equal
+        let s = a.as_slice();
+        assert!(s.iter().any(|&x| (x - s[0]).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,5 @@
+//! Permutation machinery: the transposition permutation's cycle structure
+//! and factorial-number naming of staged dimension swaps.
+
+pub mod cycle;
+pub mod factorial;

@@ -1,0 +1,364 @@
+//! Device models: the architectural parameters that drive both functional
+//! limits (local-memory capacity, work-group sizes) and the cost model
+//! (bandwidth, latencies, banks, locks).
+//!
+//! Presets correspond to the three GPUs and the Xeon Phi evaluated in the
+//! paper. Microarchitectural constants (latencies) are calibrated, not
+//! measured: they are chosen so that the simulated kernels land in the same
+//! regime the paper reports (see EXPERIMENTS.md), while every *mechanism* —
+//! coalescing, bank/lock/position conflicts, occupancy — is modelled
+//! explicitly.
+
+use serde::Serialize;
+
+/// Vendor / architecture family, where behaviour differs qualitatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Arch {
+    /// NVIDIA Fermi (GTX 580): 32-wide warps, 48 KB shared/SM, register-file
+    /// pressure limits occupancy.
+    Fermi,
+    /// NVIDIA Kepler (Tesla K20): 32-wide warps, larger register file.
+    Kepler,
+    /// AMD GCN (Radeon HD 7750 "Cape Verde"): 64-wide wavefronts, 256-thread
+    /// work-group limit.
+    Gcn,
+    /// Intel Xeon Phi (Knights Corner) running OpenCL: no on-chip scratchpad
+    /// — local memory is emulated in DRAM.
+    Mic,
+}
+
+/// PCIe link model: effective (not theoretical) bandwidth plus fixed latency.
+/// Transfers above ~1 MB behave linearly (Boyer et al., cited in §7.6).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PcieSpec {
+    /// Effective bandwidth in GB/s (PCIe 2.0 x16 pinned ≈ 3–6 GB/s; the
+    /// paper's 51.8 MB matrices take ≈ 15 ms per direction → ≈ 3.5 GB/s).
+    pub bandwidth_gbps: f64,
+    /// Per-transfer fixed cost in seconds (driver + DMA setup).
+    pub latency_s: f64,
+}
+
+impl PcieSpec {
+    /// Time to move `bytes` across the link.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+/// Full device description. All memory quantities are in bytes unless the
+/// name says otherwise; "word" always means 4 bytes (the smallest atomic
+/// unit on all modelled devices, §4 of the paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Architecture family.
+    pub arch: Arch,
+    /// SIMD width (NVIDIA warp = 32, AMD wavefront = 64).
+    pub simd_width: usize,
+    /// Number of streaming multiprocessors / compute units.
+    pub num_sms: usize,
+    /// Maximum resident work-groups per SM.
+    pub max_wgs_per_sm: usize,
+    /// Maximum resident SIMD units (warps) per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum work-items per work-group.
+    pub max_threads_per_wg: usize,
+    /// Local (shared/LDS) memory per SM.
+    pub local_mem_per_sm: usize,
+    /// Maximum local memory one work-group may allocate.
+    pub local_mem_per_wg: usize,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Local-memory banks (32 on all modelled GPUs).
+    pub num_banks: usize,
+    /// Hardware locks backing local-memory atomics (1024 on Fermi per
+    /// Gómez-Luna et al.).
+    pub num_locks: usize,
+    /// Core clock in GHz (used to convert cycles to seconds).
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_gbps: f64,
+    /// Fraction of peak DRAM bandwidth actually attainable by a streaming
+    /// kernel (ECC, refresh, command overhead — the Tesla K20 ships with
+    /// ECC on, costing ≈ 20-25 %).
+    pub dram_efficiency: f64,
+    /// DRAM transaction granularity in bytes (coalescing segment).
+    pub transaction_bytes: usize,
+    /// Whether local memory is a true on-chip scratchpad. `false` for the
+    /// Xeon Phi preset: local traffic then costs DRAM bandwidth and latency
+    /// (§7.7).
+    pub local_mem_onchip: bool,
+
+    // ---- calibrated latency constants (cycles) ----
+    /// Latency of a global load (to first use).
+    pub lat_global: f64,
+    /// Latency of a global store (fire-and-forget, smaller).
+    pub lat_global_store: f64,
+    /// Latency of a local-memory access.
+    pub lat_local: f64,
+    /// Base latency of a local atomic (uncontended).
+    pub lat_local_atomic: f64,
+    /// Latency of a global atomic (L2 round-trip).
+    pub lat_global_atomic: f64,
+    /// Cost of a work-group barrier per participating warp.
+    pub lat_barrier: f64,
+    /// Local-memory pipeline occupancy of one atomic read-modify-write
+    /// (cycles the bank/lock stays busy per colliding access). This is the
+    /// *throughput* cost of atomic conflicts — the Gómez-Luna et al.
+    /// observation that latency grows with the position-conflict degree is
+    /// modelled on the dependent chain via `lat_local_atomic`.
+    pub lat_atomic_rmw: f64,
+    /// Issue cost per extra DRAM transaction beyond the first in one warp
+    /// instruction (serialization of replays).
+    pub lat_replay: f64,
+    /// Memory-level parallelism: DRAM transactions one warp can keep in
+    /// flight. Batched independent accesses (e.g. streaming a super-element)
+    /// pay `lat_global × ceil(transactions / mlp)` on the dependent chain
+    /// instead of one full latency per instruction.
+    pub mlp_transactions: f64,
+    /// Occupancy at which the memory system saturates: achieved bandwidth
+    /// scales as `min(1, occupancy / bw_saturation_occupancy)` (the paper's
+    /// "minimum recommended 50 %").
+    pub bw_saturation_occupancy: f64,
+
+    /// PCIe link.
+    pub pcie: PcieSpec,
+    /// Number of DMA copy engines (K20: 2 → H2D and D2H overlap; consumer
+    /// Fermi: 1).
+    pub copy_engines: usize,
+    /// Host-side cost of creating one command queue (§7.6: large Q hurts).
+    pub queue_create_overhead_s: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA GeForce GTX 580 (Fermi GF110), peak 192.4 GB/s.
+    #[must_use]
+    pub fn gtx580() -> Self {
+        Self {
+            name: "GeForce GTX 580",
+            arch: Arch::Fermi,
+            simd_width: 32,
+            num_sms: 16,
+            max_wgs_per_sm: 8,
+            max_warps_per_sm: 48,
+            max_threads_per_wg: 1024,
+            local_mem_per_sm: 48 * 1024,
+            local_mem_per_wg: 48 * 1024,
+            regs_per_sm: 32 * 1024,
+            num_banks: 32,
+            num_locks: 1024,
+            clock_ghz: 1.544,
+            peak_gbps: 192.4,
+            dram_efficiency: 0.85,
+            transaction_bytes: 32,
+            local_mem_onchip: true,
+            lat_global: 450.0,
+            lat_global_store: 120.0,
+            lat_local: 30.0,
+            lat_local_atomic: 36.0,
+            lat_global_atomic: 500.0,
+            lat_barrier: 30.0,
+            lat_atomic_rmw: 28.0,
+            lat_replay: 12.0,
+            mlp_transactions: 4.0,
+            bw_saturation_occupancy: 0.5,
+            pcie: PcieSpec { bandwidth_gbps: 3.45, latency_s: 15e-6 },
+            copy_engines: 1,
+            queue_create_overhead_s: 60e-6,
+        }
+    }
+
+    /// NVIDIA Tesla K20 (Kepler GK110), peak 208 GB/s — the paper's primary
+    /// evaluation device.
+    #[must_use]
+    pub fn tesla_k20() -> Self {
+        Self {
+            name: "Tesla K20",
+            arch: Arch::Kepler,
+            simd_width: 32,
+            num_sms: 13,
+            max_wgs_per_sm: 16,
+            max_warps_per_sm: 64,
+            max_threads_per_wg: 1024,
+            local_mem_per_sm: 48 * 1024,
+            local_mem_per_wg: 48 * 1024,
+            regs_per_sm: 64 * 1024,
+            num_banks: 32,
+            num_locks: 1024,
+            clock_ghz: 0.706,
+            peak_gbps: 208.0,
+            dram_efficiency: 0.78,
+            transaction_bytes: 32,
+            local_mem_onchip: true,
+            lat_global: 230.0,
+            lat_global_store: 60.0,
+            lat_local: 28.0,
+            lat_local_atomic: 32.0,
+            lat_global_atomic: 260.0,
+            lat_barrier: 25.0,
+            lat_atomic_rmw: 24.0,
+            lat_replay: 8.0,
+            mlp_transactions: 4.0,
+            bw_saturation_occupancy: 0.5,
+            pcie: PcieSpec { bandwidth_gbps: 3.45, latency_s: 15e-6 },
+            copy_engines: 2,
+            queue_create_overhead_s: 60e-6,
+        }
+    }
+
+    /// AMD Radeon HD 7750 "Cape Verde" (GCN), peak 72 GB/s.
+    #[must_use]
+    pub fn hd7750() -> Self {
+        Self {
+            name: "Radeon HD 7750",
+            arch: Arch::Gcn,
+            simd_width: 64,
+            num_sms: 8,
+            max_wgs_per_sm: 16,
+            // AMD counts 40 wavefronts per CU (§7.2 of the paper).
+            max_warps_per_sm: 40,
+            max_threads_per_wg: 256,
+            local_mem_per_sm: 64 * 1024,
+            local_mem_per_wg: 32 * 1024,
+            regs_per_sm: 64 * 1024,
+            num_banks: 32,
+            num_locks: 1024,
+            clock_ghz: 0.8,
+            peak_gbps: 72.0,
+            dram_efficiency: 0.85,
+            transaction_bytes: 64,
+            local_mem_onchip: true,
+            lat_global: 350.0,
+            lat_global_store: 100.0,
+            lat_local: 32.0,
+            lat_local_atomic: 40.0,
+            lat_global_atomic: 420.0,
+            lat_barrier: 30.0,
+            lat_atomic_rmw: 20.0,
+            lat_replay: 10.0,
+            mlp_transactions: 4.0,
+            bw_saturation_occupancy: 0.5,
+            pcie: PcieSpec { bandwidth_gbps: 3.0, latency_s: 18e-6 },
+            copy_engines: 1,
+            queue_create_overhead_s: 80e-6,
+        }
+    }
+
+    /// Intel Xeon Phi (KNC) through OpenCL: 60 cores × 4 threads modelled as
+    /// 60 "SMs" of 16-wide SIMD with **no on-chip local memory** — OpenCL
+    /// local memory lives in GDDR (§7.7), which is what makes the staged
+    /// kernels "not strictly in-place" there.
+    #[must_use]
+    pub fn xeon_phi() -> Self {
+        Self {
+            name: "Xeon Phi (KNC)",
+            arch: Arch::Mic,
+            simd_width: 16,
+            num_sms: 60,
+            max_wgs_per_sm: 4,
+            max_warps_per_sm: 32,
+            max_threads_per_wg: 1024,
+            local_mem_per_sm: 32 * 1024,
+            local_mem_per_wg: 32 * 1024,
+            regs_per_sm: usize::MAX / 2, // registers never the limiter
+            num_banks: 1,
+            num_locks: 64,
+            clock_ghz: 1.1,
+            peak_gbps: 159.0,
+            dram_efficiency: 0.70,
+            transaction_bytes: 64,
+            local_mem_onchip: false,
+            lat_global: 300.0,
+            lat_global_store: 150.0,
+            // With no scratchpad these model the cache/DRAM path used to
+            // emulate local memory.
+            lat_local: 200.0,
+            lat_local_atomic: 300.0,
+            lat_global_atomic: 500.0,
+            lat_barrier: 400.0,
+            lat_atomic_rmw: 6.0,
+            lat_replay: 10.0,
+            mlp_transactions: 3.0,
+            bw_saturation_occupancy: 0.9,
+            pcie: PcieSpec { bandwidth_gbps: 3.2, latency_s: 20e-6 },
+            copy_engines: 1,
+            queue_create_overhead_s: 90e-6,
+        }
+    }
+
+    /// Local-memory words (u32) available to one work-group.
+    #[must_use]
+    pub fn local_words_per_wg(&self) -> usize {
+        self.local_mem_per_wg / 4
+    }
+
+    /// DRAM bytes per core-clock cycle at peak.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.peak_gbps / self.clock_ghz
+    }
+
+    /// Warps (SIMD units) needed for a work-group of `wg_size` threads.
+    #[must_use]
+    pub fn warps_per_wg(&self, wg_size: usize) -> usize {
+        wg_size.div_ceil(self.simd_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sane() {
+        for dev in [
+            DeviceSpec::gtx580(),
+            DeviceSpec::tesla_k20(),
+            DeviceSpec::hd7750(),
+            DeviceSpec::xeon_phi(),
+        ] {
+            assert!(dev.simd_width.is_power_of_two(), "{}", dev.name);
+            assert!(dev.num_sms > 0);
+            assert!(dev.peak_gbps > 0.0);
+            assert!(dev.clock_ghz > 0.0);
+            assert!(dev.local_words_per_wg() > 0);
+            assert!(dev.bytes_per_cycle() > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_bandwidths() {
+        assert!((DeviceSpec::gtx580().peak_gbps - 192.4).abs() < 1e-9);
+        assert!((DeviceSpec::tesla_k20().peak_gbps - 208.0).abs() < 1e-9);
+        assert!((DeviceSpec::hd7750().peak_gbps - 72.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavefront_widths() {
+        assert_eq!(DeviceSpec::gtx580().simd_width, 32);
+        assert_eq!(DeviceSpec::hd7750().simd_width, 64);
+        assert_eq!(DeviceSpec::hd7750().max_threads_per_wg, 256);
+    }
+
+    #[test]
+    fn pcie_matches_paper_transfer_times() {
+        // §7.5: a 7200×1800 single-precision matrix (51.84 MB) takes ≈ 15 ms
+        // per direction.
+        let dev = DeviceSpec::tesla_k20();
+        let bytes = 7200.0 * 1800.0 * 4.0;
+        let t = dev.pcie.transfer_time(bytes);
+        assert!((0.012..0.018).contains(&t), "transfer time {t}");
+    }
+
+    #[test]
+    fn warps_per_wg_rounds_up() {
+        let dev = DeviceSpec::tesla_k20();
+        assert_eq!(dev.warps_per_wg(32), 1);
+        assert_eq!(dev.warps_per_wg(33), 2);
+        assert_eq!(dev.warps_per_wg(192), 6);
+        let amd = DeviceSpec::hd7750();
+        assert_eq!(amd.warps_per_wg(65), 2);
+    }
+}

@@ -1,0 +1,698 @@
+//! The SIMT execution engine.
+//!
+//! Kernels are authored as **per-warp state machines** operated in
+//! warp-vector style: [`Kernel::step`] advances one warp by one scheduling
+//! slice, issuing whole-warp memory operations through [`WarpCtx`]. The
+//! engine:
+//!
+//! 1. computes occupancy and admits as many work-groups as the device can
+//!    hold resident (`wgs_per_sm × num_sms`),
+//! 2. round-robins over all resident warps, one `step` each per round —
+//!    this is what makes cross-work-group coordination (the global atomic
+//!    claims of `100!`) behave like real concurrent hardware rather than
+//!    like a serial loop,
+//! 3. retires finished work-groups and admits pending ones,
+//! 4. aggregates functional counters and dependent-chain cycles into a
+//!    [`KernelStats`] with the four-bound time model (bandwidth, latency,
+//!    serial, local-port).
+//!
+//! Execution is deterministic: a fixed round-robin order, no host threads
+//! inside one launch.
+
+use crate::device::DeviceSpec;
+use crate::lanes::{LaneAddrs, LaneVals, LaneWrites, MAX_LANES};
+use crate::mem::{Buffer, GlobalMem, LocalMem};
+use crate::occupancy::{occupancy, KernelResources};
+use crate::report::{KernelStats, TimeBounds};
+
+/// Launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    /// Number of work-groups.
+    pub num_wgs: usize,
+    /// Work-items per work-group.
+    pub wg_size: usize,
+}
+
+/// What a warp reports after one scheduling slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// More work; schedule me again.
+    Continue,
+    /// Reached a work-group barrier; resume when all live warps of the
+    /// work-group have reached it.
+    Barrier,
+    /// This warp has finished the kernel.
+    Done,
+}
+
+/// A simulated kernel.
+pub trait Kernel: Sync {
+    /// Per-warp persistent state.
+    type State;
+
+    /// Display name (shows up in stats and harness output).
+    fn name(&self) -> String;
+    /// Launch geometry.
+    fn grid(&self) -> Grid;
+    /// Registers per thread (occupancy input); default typical.
+    fn regs_per_thread(&self) -> usize {
+        16
+    }
+    /// Local-memory words each work-group allocates (may depend on the
+    /// device, e.g. staging buffers sized per resident SIMD unit).
+    fn local_mem_words(&self, dev: &DeviceSpec) -> usize {
+        let _ = dev;
+        0
+    }
+    /// Build the initial state of warp `warp_id` of work-group `wg_id`.
+    fn init(&self, wg_id: usize, warp_id: usize) -> Self::State;
+    /// Advance the warp one scheduling slice.
+    fn step(&self, state: &mut Self::State, ctx: &mut WarpCtx<'_>) -> Step;
+}
+
+/// Why a launch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Occupancy calculator found the kernel cannot run on this device.
+    Infeasible {
+        /// Offending resource description.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Infeasible { why } => write!(f, "kernel launch infeasible: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+#[derive(Default)]
+struct Counters {
+    dram_bytes: f64,
+    useful_bytes: f64,
+    gld_transactions: u64,
+    gst_transactions: u64,
+    local_accesses: u64,
+    local_atomics: u64,
+    global_atomics: u64,
+    position_conflicts: u64,
+    lock_conflicts: u64,
+    bank_conflicts: u64,
+    barriers: u64,
+    warp_steps: u64,
+    local_port_cycles: f64,
+}
+
+/// Per-warp-instruction context handed to [`Kernel::step`]: functional
+/// memory access plus cost accounting for one warp.
+pub struct WarpCtx<'a> {
+    /// Work-group id.
+    pub wg_id: usize,
+    /// Warp index within the work-group.
+    pub warp_id: usize,
+    /// Active lanes in this warp (= SIMD width except a ragged tail warp).
+    pub lanes: usize,
+    /// Work-items per work-group (for grid-stride loops).
+    pub wg_size: usize,
+    /// Number of work-groups in the launch.
+    pub num_wgs: usize,
+    dev: &'a DeviceSpec,
+    global: &'a GlobalMem,
+    local: &'a mut LocalMem,
+    counters: &'a mut Counters,
+    chain_cycles: &'a mut f64,
+}
+
+/// Scratch for distinct-count computations (≤ 64 entries, stack only).
+#[inline]
+fn distinct_sorted(buf: &mut [usize; MAX_LANES], n: usize) -> usize {
+    let s = &mut buf[..n];
+    s.sort_unstable();
+    let mut distinct = 0usize;
+    let mut prev = usize::MAX;
+    for &a in s.iter() {
+        if a != prev {
+            distinct += 1;
+            prev = a;
+        }
+    }
+    distinct
+}
+
+impl WarpCtx<'_> {
+    /// Global thread (work-item) id of `lane`.
+    #[inline]
+    #[must_use]
+    pub fn thread_id(&self, lane: usize) -> usize {
+        self.wg_id * self.wg_size + self.warp_id * self.dev.simd_width + lane
+    }
+
+    /// Local (within work-group) thread id of `lane`.
+    #[inline]
+    #[must_use]
+    pub fn local_thread_id(&self, lane: usize) -> usize {
+        self.warp_id * self.dev.simd_width + lane
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.num_wgs * self.wg_size
+    }
+
+    /// Account pure-ALU work on the warp's dependent chain.
+    pub fn alu(&mut self, cycles: f64) {
+        *self.chain_cycles += cycles;
+    }
+
+    /// Account the cost of an *intra-step* work-group barrier without
+    /// yielding to the scheduler. Used by kernels that model a cooperative
+    /// multi-warp operation inside one scheduling slice (e.g. the Sung
+    /// work-group-per-super-element `100!` kernel, whose warps synchronise
+    /// around every super-element move, §5.2 item 3).
+    pub fn barrier_hint(&mut self) {
+        self.counters.barriers += 1;
+        *self.chain_cycles += self.dev.lat_barrier;
+    }
+
+    /// The device being simulated (kernels adapt to SIMD width, bank count…).
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        self.dev
+    }
+
+    /// Words of local memory this work-group allocated.
+    #[must_use]
+    pub fn local_capacity(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Batched vector loads with independent addresses (streaming a
+    /// super-element): the warp keeps `mlp_transactions` in flight, so the
+    /// dependent chain pays `lat_global × ceil(t / mlp)` rather than one
+    /// full latency per instruction. Traffic accounting is identical to
+    /// issuing each [`WarpCtx::global_read`] separately.
+    pub fn global_read_batch(&mut self, buf: Buffer, batches: &[LaneAddrs]) -> Vec<LaneVals> {
+        let mut total_t = 0usize;
+        let mut out = Vec::with_capacity(batches.len());
+        for addrs in batches {
+            let abs = addrs.map(|a| a.map(|off| buf.addr(off)));
+            let t = self.global_segments(&abs);
+            if t > 0 {
+                self.counters.gld_transactions += t as u64;
+                self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
+                self.counters.useful_bytes += (abs.active() * 4) as f64;
+                total_t += t;
+            }
+            out.push(abs.map(|a| a.map_or(0, |addr| self.global.read(addr))));
+        }
+        if total_t > 0 {
+            let rounds = (total_t as f64 / self.dev.mlp_transactions).ceil();
+            *self.chain_cycles +=
+                self.dev.lat_global * rounds + (total_t as f64 - 1.0) * self.dev.lat_replay;
+        }
+        out
+    }
+
+    /// Batched vector stores (see [`WarpCtx::global_read_batch`]); stores
+    /// are fire-and-forget, so the chain pays one store latency plus
+    /// replays.
+    pub fn global_write_batch(&mut self, buf: Buffer, batches: &[LaneWrites]) {
+        let mut total_t = 0usize;
+        for writes in batches {
+            let abs: LaneAddrs = writes.map(|w| w.map(|(off, _)| buf.addr(off)));
+            let t = self.global_segments(&abs);
+            if t > 0 {
+                self.counters.gst_transactions += t as u64;
+                self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
+                self.counters.useful_bytes += (abs.active() * 4) as f64;
+                total_t += t;
+            }
+            for (_, w) in writes.iter() {
+                if let Some((off, v)) = w {
+                    self.global.write(buf.addr(off), v);
+                }
+            }
+        }
+        if total_t > 0 {
+            *self.chain_cycles +=
+                self.dev.lat_global_store + (total_t as f64 - 1.0) * self.dev.lat_replay;
+        }
+    }
+
+    // ---- global memory ----
+
+    fn global_segments(&mut self, addrs: &LaneAddrs) -> usize {
+        let mut segs = [0usize; MAX_LANES];
+        let mut n = 0;
+        for (_, a) in addrs.iter() {
+            if let Some(off) = a {
+                segs[n] = off * 4 / self.dev.transaction_bytes;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0;
+        }
+        distinct_sorted(&mut segs, n)
+    }
+
+    /// Coalescing-aware vector load: one value per active lane, `0` for
+    /// inactive lanes. Addresses are word offsets into `buf`.
+    pub fn global_read(&mut self, buf: Buffer, addrs: &LaneAddrs) -> LaneVals {
+        let abs = addrs.map(|a| a.map(|off| buf.addr(off)));
+        let t = self.global_segments(&abs);
+        if t > 0 {
+            self.counters.gld_transactions += t as u64;
+            self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
+            self.counters.useful_bytes += (abs.active() * 4) as f64;
+            *self.chain_cycles += self.dev.lat_global + (t as f64 - 1.0) * self.dev.lat_replay;
+        }
+        abs.map(|a| a.map_or(0, |addr| self.global.read(addr)))
+    }
+
+    /// Coalescing-aware vector store.
+    pub fn global_write(&mut self, buf: Buffer, writes: &LaneWrites) {
+        let abs: LaneAddrs = writes.map(|w| w.map(|(off, _)| buf.addr(off)));
+        let t = self.global_segments(&abs);
+        if t > 0 {
+            self.counters.gst_transactions += t as u64;
+            self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
+            self.counters.useful_bytes += (abs.active() * 4) as f64;
+            *self.chain_cycles += self.dev.lat_global_store + (t as f64 - 1.0) * self.dev.lat_replay;
+        }
+        for (_, w) in writes.iter() {
+            if let Some((off, v)) = w {
+                self.global.write(buf.addr(off), v);
+            }
+        }
+    }
+
+    /// Vector global `atom_or`; returns previous values (0 on inactive
+    /// lanes). Collisions on the same word serialise (position-conflict
+    /// model applied to global atomics).
+    pub fn global_atomic_or(&mut self, buf: Buffer, ops: &LaneWrites) -> LaneVals {
+        let mut words = [0usize; MAX_LANES];
+        let mut n = 0;
+        for (_, w) in ops.iter() {
+            if let Some((off, _)) = w {
+                words[n] = buf.addr(off);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            // Max same-word collision degree and distinct-word count.
+            let s = &mut words[..n];
+            s.sort_unstable();
+            let mut max_deg = 1usize;
+            let mut run = 1usize;
+            let mut distinct = 1usize;
+            for i in 1..n {
+                if s[i] == s[i - 1] {
+                    run += 1;
+                    max_deg = max_deg.max(run);
+                } else {
+                    run = 1;
+                    distinct += 1;
+                }
+            }
+            self.counters.global_atomics += n as u64;
+            self.counters.position_conflicts += (n - distinct) as u64;
+            *self.chain_cycles += self.dev.lat_global_atomic * max_deg as f64;
+        }
+        // Functional execution in lane order (deterministic).
+        ops.map(|w| w.map_or(0, |(off, v)| self.global.atomic_or(buf.addr(off), v)))
+    }
+
+    // ---- local memory ----
+
+    fn local_conflict_degree(&self, addrs: &LaneAddrs) -> (usize, u64) {
+        // Per bank: count distinct word addresses (same word = broadcast).
+        // Returns (max degree over banks, total extra conflicts).
+        let mut pairs = [(0usize, 0usize); MAX_LANES]; // (bank, addr)
+        let mut n = 0;
+        for (_, a) in addrs.iter() {
+            if let Some(addr) = a {
+                pairs[n] = (addr % self.dev.num_banks, addr);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return (0, 0);
+        }
+        let s = &mut pairs[..n];
+        s.sort_unstable();
+        let mut max_deg = 1usize;
+        let mut extra = 0u64;
+        let mut bank_start = 0usize;
+        let mut i = 0;
+        while i <= n {
+            if i == n || s[i].0 != s[bank_start].0 {
+                // distinct addrs within bank run [bank_start, i)
+                let mut distinct = 0usize;
+                let mut prev = usize::MAX;
+                for &(_, a) in &s[bank_start..i] {
+                    if a != prev {
+                        distinct += 1;
+                        prev = a;
+                    }
+                }
+                max_deg = max_deg.max(distinct);
+                extra += distinct.saturating_sub(1) as u64;
+                bank_start = i;
+            }
+            i += 1;
+        }
+        (max_deg, extra)
+    }
+
+    fn account_local(&mut self, addrs: &LaneAddrs) {
+        let active = addrs.active();
+        if active == 0 {
+            return;
+        }
+        self.counters.local_accesses += active as u64;
+        if self.dev.local_mem_onchip {
+            let (deg, extra) = self.local_conflict_degree(addrs);
+            self.counters.bank_conflicts += extra;
+            self.counters.local_port_cycles += deg as f64;
+            *self.chain_cycles += self.dev.lat_local + (deg as f64 - 1.0) * 4.0;
+        } else {
+            // Xeon Phi: local memory is emulated in DRAM (§7.7) — the
+            // access costs a DRAM transaction stream like a global access.
+            let t = addrs.active().div_ceil(self.dev.transaction_bytes / 4);
+            self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
+            self.counters.useful_bytes += (active * 4) as f64;
+            *self.chain_cycles += self.dev.lat_local + (t as f64 - 1.0) * self.dev.lat_replay;
+        }
+    }
+
+    /// Vector local load.
+    pub fn local_read(&mut self, addrs: &LaneAddrs) -> LaneVals {
+        self.account_local(addrs);
+        addrs.map(|a| a.map_or(0, |addr| self.local.read(addr)))
+    }
+
+    /// Vector local store. Same-word collisions resolve in lane order
+    /// (lowest lane last — deterministic; kernels should not rely on it).
+    pub fn local_write(&mut self, writes: &LaneWrites) {
+        let addrs: LaneAddrs = writes.map(|w| w.map(|(a, _)| a));
+        self.account_local(&addrs);
+        for (_, w) in writes.iter() {
+            if let Some((addr, v)) = w {
+                self.local.write(addr, v);
+            }
+        }
+    }
+
+    /// Vector local `atom_or`; returns previous values. This is the §5.1
+    /// hot spot: the cost is `lat_local_atomic × conflict degree`, where the
+    /// degree is the worst collision on one **lock** (same word ⇒ same lock,
+    /// so position conflicts are included) or one **bank**.
+    pub fn local_atomic_or(&mut self, ops: &LaneWrites) -> LaneVals {
+        let mut n = 0usize;
+        let mut words = [0usize; MAX_LANES];
+        for (_, w) in ops.iter() {
+            if let Some((addr, _)) = w {
+                words[n] = addr;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.counters.local_atomics += n as u64;
+            let s = &mut words[..n];
+            s.sort_unstable();
+            // Position conflicts: lanes sharing the exact word.
+            let mut distinct_words = 0usize;
+            let mut prev = usize::MAX;
+            let mut word_run = 0usize;
+            let mut max_word_deg = 0usize;
+            for &a in s.iter() {
+                if a != prev {
+                    distinct_words += 1;
+                    prev = a;
+                    word_run = 1;
+                } else {
+                    word_run += 1;
+                }
+                max_word_deg = max_word_deg.max(word_run);
+            }
+            let position_extra = (n - distinct_words) as u64;
+
+            // Lock conflicts: distinct words mapping to the same lock.
+            let mut locks = [(0usize, 0usize); MAX_LANES]; // (lock, word)
+            let mut ln = 0;
+            prev = usize::MAX;
+            for &a in s.iter() {
+                if a != prev {
+                    locks[ln] = (a % self.dev.num_locks, a);
+                    ln += 1;
+                    prev = a;
+                }
+            }
+            let ls = &mut locks[..ln];
+            ls.sort_unstable();
+            let mut lock_extra = 0u64;
+            let mut run = 1usize;
+            let mut max_lock_words = 1usize;
+            for i in 1..ln {
+                if ls[i].0 == ls[i - 1].0 {
+                    run += 1;
+                    lock_extra += 1;
+                    max_lock_words = max_lock_words.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+
+            // Bank degree (atomics flow through the banks too).
+            let addrs: LaneAddrs = ops.map(|w| w.map(|(a, _)| a));
+            let (bank_deg, bank_extra) = if self.dev.local_mem_onchip {
+                self.local_conflict_degree(&addrs)
+            } else {
+                (1, 0)
+            };
+
+            self.counters.position_conflicts += position_extra;
+            self.counters.lock_conflicts += lock_extra;
+            self.counters.bank_conflicts += bank_extra;
+
+            // Total serialisation degree: worst lock queue (which includes
+            // every lane on the worst word plus other words on that lock)
+            // or worst bank queue.
+            let lock_deg = max_word_deg.max(max_lock_words + max_word_deg.saturating_sub(1));
+            let degree = lock_deg.max(bank_deg) as f64;
+            if self.dev.local_mem_onchip {
+                // Atomics hold the bank/lock for a full read-modify-write:
+                // conflicts cost pipeline *throughput*, not just latency.
+                self.counters.local_port_cycles += degree * self.dev.lat_atomic_rmw;
+                *self.chain_cycles += self.dev.lat_local_atomic * degree;
+            } else {
+                // Emulated local memory: atomic costs a DRAM round trip.
+                self.counters.dram_bytes += self.dev.transaction_bytes as f64;
+                *self.chain_cycles += self.dev.lat_local_atomic * degree;
+            }
+        }
+        ops.map(|w| w.map_or(0, |(addr, v)| self.local.or(addr, v)))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+struct WarpRt<S> {
+    state: S,
+    status: WarpStatus,
+    chain_cycles: f64,
+}
+
+struct WgRt<S> {
+    wg_id: usize,
+    warps: Vec<WarpRt<S>>,
+    local: LocalMem,
+}
+
+/// Execute `kernel` on `dev` over `global` memory and return its stats.
+///
+/// # Errors
+/// [`LaunchError::Infeasible`] when the kernel's resources cannot fit the
+/// device at all.
+pub fn launch<K: Kernel>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+) -> Result<KernelStats, LaunchError> {
+    let grid = kernel.grid();
+    assert!(grid.num_wgs > 0 && grid.wg_size > 0, "empty grid");
+    let res = KernelResources {
+        wg_size: grid.wg_size,
+        regs_per_thread: kernel.regs_per_thread(),
+        local_mem_per_wg: kernel.local_mem_words(dev) * 4,
+    };
+    let occ = occupancy(dev, &res);
+    if !occ.feasible() {
+        return Err(LaunchError::Infeasible {
+            why: format!(
+                "wg_size={} regs/thread={} local={}B on {}",
+                res.wg_size, res.regs_per_thread, res.local_mem_per_wg, dev.name
+            ),
+        });
+    }
+
+    let warps_per_wg = dev.warps_per_wg(grid.wg_size);
+    let resident_cap = (occ.wgs_per_sm * dev.num_sms).max(1);
+    let mut counters = Counters::default();
+    let mut max_chain: f64 = 0.0;
+    let mut total_chain: f64 = 0.0;
+
+    let make_wg = |wg_id: usize| -> WgRt<K::State> {
+        WgRt {
+            wg_id,
+            warps: (0..warps_per_wg)
+                .map(|w| WarpRt {
+                    state: kernel.init(wg_id, w),
+                    status: WarpStatus::Running,
+                    chain_cycles: 0.0,
+                })
+                .collect(),
+            local: LocalMem::new(kernel.local_mem_words(dev)),
+        }
+    };
+
+    let mut next_wg = 0usize;
+    let mut active: Vec<WgRt<K::State>> = Vec::with_capacity(resident_cap.min(grid.num_wgs));
+    while next_wg < grid.num_wgs && active.len() < resident_cap {
+        active.push(make_wg(next_wg));
+        next_wg += 1;
+    }
+
+    let mut rounds: u64 = 0;
+    while !active.is_empty() {
+        rounds += 1;
+        // One scheduling round: each live warp steps once.
+        for wg in active.iter_mut() {
+            for w in 0..wg.warps.len() {
+                if wg.warps[w].status != WarpStatus::Running {
+                    continue;
+                }
+                let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
+                counters.warp_steps += 1;
+                let warp = &mut wg.warps[w];
+                let mut ctx = WarpCtx {
+                    wg_id: wg.wg_id,
+                    warp_id: w,
+                    lanes,
+                    wg_size: grid.wg_size,
+                    num_wgs: grid.num_wgs,
+                    dev,
+                    global,
+                    local: &mut wg.local,
+                    counters: &mut counters,
+                    chain_cycles: &mut warp.chain_cycles,
+                };
+                match kernel.step(&mut warp.state, &mut ctx) {
+                    Step::Continue => {}
+                    Step::Barrier => warp.status = WarpStatus::AtBarrier,
+                    Step::Done => warp.status = WarpStatus::Done,
+                }
+            }
+            // Barrier release: no warp still running → all waiters resume.
+            if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
+                let waiting = wg.warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
+                if waiting > 0 {
+                    counters.barriers += 1;
+                    for w in wg.warps.iter_mut() {
+                        if w.status == WarpStatus::AtBarrier {
+                            w.status = WarpStatus::Running;
+                            w.chain_cycles += dev.lat_barrier;
+                        }
+                    }
+                }
+            }
+        }
+        // Retire finished WGs, admit pending ones.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].warps.iter().all(|w| w.status == WarpStatus::Done) {
+                let mut wg = active.swap_remove(i);
+                for w in &wg.warps {
+                    total_chain += w.chain_cycles;
+                    max_chain = max_chain.max(w.chain_cycles);
+                }
+                if next_wg < grid.num_wgs {
+                    // Reuse the retired WG's local memory allocation (grids
+                    // can have millions of small work-groups).
+                    wg.local.clear();
+                    active.push(WgRt {
+                        wg_id: next_wg,
+                        warps: (0..warps_per_wg)
+                            .map(|w| WarpRt {
+                                state: kernel.init(next_wg, w),
+                                status: WarpStatus::Running,
+                                chain_cycles: 0.0,
+                            })
+                            .collect(),
+                        local: wg.local,
+                    });
+                    next_wg += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ---- time model ----
+    let clock_hz = dev.clock_ghz * 1e9;
+    // Concurrency actually sustained: average live warps per scheduling
+    // round, never more than the device can hold resident. This discounts
+    // idle helper warps (they stop stepping immediately) and short grids.
+    let resident_warps = (occ.warps_per_sm * dev.num_sms) as f64;
+    let avg_live = (counters.warp_steps as f64 / rounds.max(1) as f64).max(1.0);
+    let overlap = avg_live.min(resident_warps).max(1.0);
+    // Bandwidth saturation follows the *achieved* warp concurrency: a
+    // launch that keeps only a sliver of the device busy cannot stream at
+    // peak (the paper's "minimum recommended 50 % occupancy").
+    let achieved_occ =
+        (overlap / (dev.num_sms * dev.max_warps_per_sm) as f64).min(occ.occupancy);
+    let bw_scale = (achieved_occ / dev.bw_saturation_occupancy).clamp(0.02, 1.0);
+    let bandwidth_s =
+        counters.dram_bytes / (dev.peak_gbps * 1e9 * dev.dram_efficiency * bw_scale);
+    let latency_s = total_chain / overlap / clock_hz;
+    let serial_s = max_chain / clock_hz;
+    let local_port_s = counters.local_port_cycles / dev.num_sms as f64 / clock_hz;
+    let bounds = TimeBounds { bandwidth_s, latency_s, serial_s, local_port_s };
+
+    Ok(KernelStats {
+        name: kernel.name(),
+        num_wgs: grid.num_wgs,
+        wg_size: grid.wg_size,
+        occupancy: occ,
+        time_s: bounds.max(),
+        bounds,
+        dram_bytes: counters.dram_bytes,
+        useful_bytes: counters.useful_bytes,
+        gld_transactions: counters.gld_transactions,
+        gst_transactions: counters.gst_transactions,
+        local_accesses: counters.local_accesses,
+        local_atomics: counters.local_atomics,
+        global_atomics: counters.global_atomics,
+        position_conflicts: counters.position_conflicts,
+        lock_conflicts: counters.lock_conflicts,
+        bank_conflicts: counters.bank_conflicts,
+        barriers: counters.barriers,
+        warp_steps: counters.warp_steps,
+        total_chain_cycles: total_chain,
+        max_chain_cycles: max_chain,
+    })
+}

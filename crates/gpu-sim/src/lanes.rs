@@ -1,0 +1,148 @@
+//! Fixed-capacity per-lane vectors.
+//!
+//! Kernels in this simulator are written in *warp-vector* style: one kernel
+//! "instruction" operates on all lanes of a SIMD unit at once, which is what
+//! lets the cost model see the full access pattern of each warp instruction
+//! (coalescing, bank conflicts, atomic collisions). `Lanes<T>` is the
+//! stack-allocated vector carrying one value per lane — capacity 64 covers
+//! AMD wavefronts; NVIDIA warps use the first 32 slots.
+
+/// Maximum SIMD width supported (AMD wavefront).
+pub const MAX_LANES: usize = 64;
+
+/// A per-lane value vector of up to [`MAX_LANES`] entries, stack-allocated.
+#[derive(Debug, Clone, Copy)]
+pub struct Lanes<T: Copy + Default> {
+    vals: [T; MAX_LANES],
+    len: usize,
+}
+
+impl<T: Copy + Default> Lanes<T> {
+    /// An empty vector sized for `len` lanes filled with `T::default()`.
+    #[must_use]
+    pub fn splat(len: usize, v: T) -> Self {
+        assert!(len <= MAX_LANES);
+        let mut vals = [T::default(); MAX_LANES];
+        vals[..len].fill(v);
+        Self { vals, len }
+    }
+
+    /// Build by evaluating `f(lane)` for each lane.
+    #[must_use]
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        assert!(len <= MAX_LANES);
+        let mut vals = [T::default(); MAX_LANES];
+        for (i, v) in vals[..len].iter_mut().enumerate() {
+            *v = f(i);
+        }
+        Self { vals, len }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when sized for zero lanes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow the active slice.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.vals[..self.len]
+    }
+
+    /// Mutably borrow the active slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.vals[..self.len]
+    }
+
+    /// Value at `lane`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, lane: usize) -> T {
+        debug_assert!(lane < self.len);
+        self.vals[lane]
+    }
+
+    /// Set value at `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, v: T) {
+        debug_assert!(lane < self.len);
+        self.vals[lane] = v;
+    }
+
+    /// Map each lane.
+    #[must_use]
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Lanes<U> {
+        Lanes::from_fn(self.len, |i| f(self.vals[i]))
+    }
+
+    /// Iterate `(lane, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.as_slice().iter().copied().enumerate()
+    }
+}
+
+/// Per-lane `Option<usize>` address vector: `None` = inactive lane.
+pub type LaneAddrs = Lanes<Option<usize>>;
+/// Per-lane optional (address, value) write vector.
+pub type LaneWrites = Lanes<Option<(usize, u32)>>;
+/// Per-lane 32-bit results.
+pub type LaneVals = Lanes<u32>;
+
+impl LaneAddrs {
+    /// Number of active lanes.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.as_slice().iter().filter(|a| a.is_some()).count()
+    }
+}
+
+impl LaneWrites {
+    /// Number of active lanes.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.as_slice().iter().filter(|a| a.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let l = Lanes::from_fn(8, |i| i * 2);
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.get(3), 6);
+        assert_eq!(l.as_slice(), &[0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn splat_map() {
+        let l = Lanes::splat(4, 7u32);
+        let m = l.map(|v| v + 1);
+        assert_eq!(m.as_slice(), &[8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn active_counts() {
+        let a = LaneAddrs::from_fn(6, |i| if i % 2 == 0 { Some(i) } else { None });
+        assert_eq!(a.active(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_panics() {
+        let _ = Lanes::splat(65, 0u32);
+    }
+}

@@ -1,0 +1,236 @@
+//! Device memories.
+//!
+//! * [`GlobalMem`] — the single global address space, word (u32) addressed,
+//!   backed by `AtomicU32` so concurrently simulated work-groups (and real
+//!   host threads, when the engine parallelises independent work-groups) are
+//!   race-free. `f32` payloads travel as bit patterns.
+//! * [`Buffer`] — a handle to an allocated region (base + length), the unit
+//!   kernels address relative to.
+//! * [`LocalMem`] — one work-group's scratchpad, plain words (the engine
+//!   serialises warps of a work-group, mirroring the hardware's private
+//!   scratchpad semantics).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Word-addressed global memory.
+pub struct GlobalMem {
+    words: Vec<AtomicU32>,
+}
+
+impl GlobalMem {
+    /// Allocate a memory of `words` zeroed 32-bit words.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU32::new(0));
+        Self { words: v }
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when zero-sized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read the word at `addr`.
+    #[inline]
+    #[must_use]
+    pub fn read(&self, addr: usize) -> u32 {
+        self.words[addr].load(Ordering::Acquire)
+    }
+
+    /// Write the word at `addr`.
+    #[inline]
+    pub fn write(&self, addr: usize, v: u32) {
+        self.words[addr].store(v, Ordering::Release);
+    }
+
+    /// Atomic OR; returns the previous value (the GPU `atom_or` primitive
+    /// used to simulate bit-addressable flags, §5.1).
+    #[inline]
+    pub fn atomic_or(&self, addr: usize, v: u32) -> u32 {
+        self.words[addr].fetch_or(v, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-exchange; returns the previous value.
+    #[inline]
+    pub fn atomic_cas(&self, addr: usize, expect: u32, new: u32) -> u32 {
+        match self.words[addr].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(old) | Err(old) => old,
+        }
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn atomic_add(&self, addr: usize, v: u32) -> u32 {
+        self.words[addr].fetch_add(v, Ordering::AcqRel)
+    }
+}
+
+/// Handle to an allocated global-memory region (word granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    /// First word of the region in the global address space.
+    pub base: usize,
+    /// Length in words.
+    pub len: usize,
+}
+
+impl Buffer {
+    /// Absolute word address of relative offset `off`.
+    ///
+    /// # Panics
+    /// Panics (debug) if out of bounds — simulated kernels must not stray.
+    #[inline]
+    #[must_use]
+    pub fn addr(&self, off: usize) -> usize {
+        debug_assert!(off < self.len, "buffer overflow: {off} >= {}", self.len);
+        self.base + off
+    }
+
+    /// Sub-buffer covering `offset .. offset + len`.
+    #[must_use]
+    pub fn slice(&self, offset: usize, len: usize) -> Buffer {
+        assert!(offset + len <= self.len, "sub-buffer out of range");
+        Buffer { base: self.base + offset, len }
+    }
+}
+
+/// One work-group's local (shared) memory, word addressed.
+pub struct LocalMem {
+    words: Vec<u32>,
+}
+
+impl LocalMem {
+    /// Allocate `words` zeroed words.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        Self { words: vec![0; words] }
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the scratchpad has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read word.
+    #[inline]
+    #[must_use]
+    pub fn read(&self, addr: usize) -> u32 {
+        self.words[addr]
+    }
+
+    /// Write word.
+    #[inline]
+    pub fn write(&mut self, addr: usize, v: u32) {
+        self.words[addr] = v;
+    }
+
+    /// OR returning previous value (warps of one WG are serialised by the
+    /// engine, so a plain read-modify-write is exactly the hardware's atomic
+    /// semantics).
+    #[inline]
+    pub fn or(&mut self, addr: usize, v: u32) -> u32 {
+        let old = self.words[addr];
+        self.words[addr] = old | v;
+        old
+    }
+
+    /// Zero the whole scratchpad (between retiring and admitting WGs).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Resize (when a newly admitted work-group needs a different amount).
+    pub fn resize(&mut self, words: usize) {
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+}
+
+/// Reinterpret an f32 as the u32 bit pattern words travel as.
+#[inline]
+#[must_use]
+pub fn f32_bits(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Reinterpret a u32 bit pattern as f32.
+#[inline]
+#[must_use]
+pub fn bits_f32(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_rw() {
+        let m = GlobalMem::new(16);
+        m.write(3, 42);
+        assert_eq!(m.read(3), 42);
+        assert_eq!(m.read(4), 0);
+    }
+
+    #[test]
+    fn global_atomics() {
+        let m = GlobalMem::new(4);
+        assert_eq!(m.atomic_or(0, 0b01), 0);
+        assert_eq!(m.atomic_or(0, 0b10), 0b01);
+        assert_eq!(m.read(0), 0b11);
+        assert_eq!(m.atomic_add(1, 5), 0);
+        assert_eq!(m.atomic_add(1, 5), 5);
+        assert_eq!(m.atomic_cas(2, 0, 9), 0);
+        assert_eq!(m.atomic_cas(2, 0, 7), 9, "failed CAS returns current");
+        assert_eq!(m.read(2), 9);
+    }
+
+    #[test]
+    fn buffer_addressing() {
+        let b = Buffer { base: 100, len: 10 };
+        assert_eq!(b.addr(0), 100);
+        assert_eq!(b.addr(9), 109);
+        let s = b.slice(4, 3);
+        assert_eq!(s.addr(0), 104);
+        assert_eq!(s.len, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-buffer out of range")]
+    fn bad_slice_panics() {
+        let b = Buffer { base: 0, len: 10 };
+        let _ = b.slice(8, 3);
+    }
+
+    #[test]
+    fn local_or_semantics() {
+        let mut l = LocalMem::new(8);
+        assert_eq!(l.or(1, 4), 0);
+        assert_eq!(l.or(1, 3), 4);
+        assert_eq!(l.read(1), 7);
+        l.clear();
+        assert_eq!(l.read(1), 0);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        for v in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE] {
+            assert_eq!(bits_f32(f32_bits(v)), v);
+        }
+    }
+}

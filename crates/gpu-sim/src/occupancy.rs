@@ -1,0 +1,178 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy — the ratio of resident SIMD units to the hardware maximum —
+//! controls how well memory latency is hidden and whether DRAM bandwidth can
+//! be saturated. The paper leans on it repeatedly: Fig. 6's performance
+//! drops at high spreading factors are occupancy losses from local-memory
+//! pressure; §5.2's critique of work-group-per-super-element 100! is an
+//! occupancy argument; §7.2 notes Fermi is register-limited at 22
+//! regs/thread (→ 192 threads/block optimal).
+
+use crate::device::DeviceSpec;
+use serde::Serialize;
+
+/// Static resources one kernel instance requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct KernelResources {
+    /// Work-items per work-group.
+    pub wg_size: usize,
+    /// Registers per work-item.
+    pub regs_per_thread: usize,
+    /// Local memory per work-group, bytes.
+    pub local_mem_per_wg: usize,
+}
+
+/// What limited the resident-work-group count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Limiter {
+    /// SIMD-unit (warp) slots per SM.
+    WarpSlots,
+    /// Work-group slots per SM.
+    WgSlots,
+    /// Register file capacity.
+    Registers,
+    /// Local (shared) memory capacity.
+    LocalMem,
+    /// The kernel cannot run at all (one work-group exceeds a hard limit).
+    Infeasible,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Occupancy {
+    /// Resident work-groups per SM.
+    pub wgs_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// `warps_per_sm / device.max_warps_per_sm`, in `[0, 1]`.
+    pub occupancy: f64,
+    /// The binding constraint.
+    pub limiter: Limiter,
+}
+
+impl Occupancy {
+    /// An infeasible launch.
+    #[must_use]
+    pub fn infeasible() -> Self {
+        Self { wgs_per_sm: 0, warps_per_sm: 0, occupancy: 0.0, limiter: Limiter::Infeasible }
+    }
+
+    /// Is the launch possible at all?
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.wgs_per_sm > 0
+    }
+}
+
+/// Compute occupancy of `res` on `dev`.
+#[must_use]
+pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> Occupancy {
+    if res.wg_size == 0
+        || res.wg_size > dev.max_threads_per_wg
+        || res.local_mem_per_wg > dev.local_mem_per_wg
+    {
+        return Occupancy::infeasible();
+    }
+    let warps_per_wg = dev.warps_per_wg(res.wg_size);
+
+    let by_warps = dev.max_warps_per_sm / warps_per_wg;
+    let by_wgs = dev.max_wgs_per_sm;
+    let regs_per_wg = res.regs_per_thread * res.wg_size;
+    let by_regs = dev.regs_per_sm.checked_div(regs_per_wg).unwrap_or(usize::MAX);
+    let by_smem =
+        dev.local_mem_per_sm.checked_div(res.local_mem_per_wg).unwrap_or(usize::MAX);
+
+    let (wgs, limiter) = [
+        (by_warps, Limiter::WarpSlots),
+        (by_wgs, Limiter::WgSlots),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::LocalMem),
+    ]
+    .into_iter()
+    .min_by_key(|&(w, _)| w)
+    .expect("non-empty");
+
+    if wgs == 0 {
+        return Occupancy::infeasible();
+    }
+    let warps = wgs * warps_per_wg;
+    Occupancy {
+        wgs_per_sm: wgs,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / dev.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn fermi_192_threads_is_best_at_22_regs() {
+        // §7.2: on Fermi the 100! kernel needs 22 registers/thread; the
+        // highest occupancy is obtained at 192 threads/block.
+        let dev = DeviceSpec::gtx580();
+        let occ = |wg: usize| {
+            occupancy(&dev, &KernelResources { wg_size: wg, regs_per_thread: 22, local_mem_per_wg: 0 })
+        };
+        let best = [64, 96, 128, 192, 256, 384, 512]
+            .into_iter()
+            .max_by(|&a, &b| occ(a).occupancy.total_cmp(&occ(b).occupancy))
+            .unwrap();
+        assert_eq!(best, 192, "paper: 192 threads/block maximises Fermi occupancy");
+        assert_eq!(occ(192).limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn kepler_not_register_limited_at_22_regs() {
+        // §7.2: "On Kepler, such a limitation does not appear" — any
+        // multiple of 128 reaches full occupancy.
+        let dev = DeviceSpec::tesla_k20();
+        for wg in [128, 256, 512] {
+            let o = occupancy(&dev, &KernelResources { wg_size: wg, regs_per_thread: 22, local_mem_per_wg: 0 });
+            assert!((o.occupancy - 1.0).abs() < 1e-9, "wg={wg} occ={}", o.occupancy);
+        }
+    }
+
+    #[test]
+    fn small_wg_limits_occupancy_via_wg_slots() {
+        // §5.2: Sung's 100! launches m-thread work-groups; m = 32 on Fermi
+        // gives 8 WGs × 1 warp = 8/48 ≈ 16 % occupancy.
+        let dev = DeviceSpec::gtx580();
+        let o = occupancy(&dev, &KernelResources { wg_size: 32, regs_per_thread: 16, local_mem_per_wg: 0 });
+        assert_eq!(o.limiter, Limiter::WgSlots);
+        assert!((o.occupancy - 8.0 / 48.0).abs() < 1e-9, "occ={}", o.occupancy);
+    }
+
+    #[test]
+    fn local_mem_pressure_reduces_occupancy() {
+        // Fig. 6: spreading factor 32 doubles the flag storage; occupancy
+        // sinks below 50 % once local memory per WG grows enough.
+        let dev = DeviceSpec::tesla_k20();
+        let small = occupancy(&dev, &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 4 * 1024 });
+        let large = occupancy(&dev, &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 24 * 1024 });
+        assert!(large.occupancy < small.occupancy);
+        assert_eq!(large.limiter, Limiter::LocalMem);
+        assert!(large.occupancy < 0.5);
+    }
+
+    #[test]
+    fn infeasible_cases() {
+        let dev = DeviceSpec::hd7750();
+        // AMD caps work-groups at 256 threads (§5.2 limitation 4).
+        assert!(!occupancy(&dev, &KernelResources { wg_size: 512, regs_per_thread: 8, local_mem_per_wg: 0 }).feasible());
+        assert!(!occupancy(&dev, &KernelResources { wg_size: 0, regs_per_thread: 8, local_mem_per_wg: 0 }).feasible());
+        // Local memory over the per-WG cap.
+        assert!(!occupancy(&dev, &KernelResources { wg_size: 64, regs_per_thread: 8, local_mem_per_wg: 33 * 1024 }).feasible());
+    }
+
+    #[test]
+    fn full_occupancy_path() {
+        let dev = DeviceSpec::tesla_k20();
+        let o = occupancy(&dev, &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 0 });
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+    }
+}

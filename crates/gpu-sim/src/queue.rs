@@ -1,0 +1,449 @@
+//! Command queues, copy/compute engines, and the discrete-event timeline
+//! (§6 of the paper).
+//!
+//! OpenCL command queues (CUDA streams) are in-order sequences of commands;
+//! commands from *different* queues may overlap when they use different
+//! hardware engines. The modelled engines:
+//!
+//! * one **compute** engine (kernels serialise among themselves),
+//! * one or two **copy** engines (`DeviceSpec::copy_engines`): with two,
+//!   H2D and D2H transfers ride separate engines and can overlap each other
+//!   as well as compute — the Tesla K20 configuration the paper exploits.
+//!
+//! Creating `Q` queues costs `Q × queue_create_overhead_s` up front, which
+//! is why throughput degrades for large `Q` (§7.6).
+
+use crate::device::DeviceSpec;
+use serde::Serialize;
+
+/// One queued command.
+#[derive(Debug, Clone)]
+pub enum Cmd {
+    /// Host-to-device copy of `bytes`.
+    H2D {
+        /// Transfer size in bytes.
+        bytes: f64,
+    },
+    /// Device-to-host copy of `bytes`.
+    D2H {
+        /// Transfer size in bytes.
+        bytes: f64,
+    },
+    /// Kernel execution of known simulated duration.
+    Kernel {
+        /// Simulated kernel time, seconds.
+        time_s: f64,
+        /// Label for the timeline.
+        name: String,
+    },
+}
+
+impl Cmd {
+    fn engine(&self, dev: &DeviceSpec) -> usize {
+        match self {
+            Cmd::H2D { .. } => 0,
+            Cmd::D2H { .. } => {
+                if dev.copy_engines >= 2 {
+                    1
+                } else {
+                    0
+                }
+            }
+            Cmd::Kernel { .. } => 2,
+        }
+    }
+
+    fn duration(&self, dev: &DeviceSpec) -> f64 {
+        match self {
+            Cmd::H2D { bytes } | Cmd::D2H { bytes } => dev.pcie.transfer_time(*bytes),
+            Cmd::Kernel { time_s, .. } => *time_s,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Cmd::H2D { bytes } => format!("H2D {:.1} MB", bytes / 1e6),
+            Cmd::D2H { bytes } => format!("D2H {:.1} MB", bytes / 1e6),
+            Cmd::Kernel { name, .. } => name.clone(),
+        }
+    }
+}
+
+/// One scheduled span on the timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Queue the command came from.
+    pub queue: usize,
+    /// Index within that queue.
+    pub index: usize,
+    /// Engine it ran on (0 = H2D copy, 1 = D2H copy, 2 = compute).
+    pub engine: usize,
+    /// Start time, seconds.
+    pub start_s: f64,
+    /// End time, seconds.
+    pub end_s: f64,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// The simulated execution timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct Timeline {
+    /// All spans in schedule order.
+    pub spans: Vec<Span>,
+    /// Makespan including queue-creation overhead.
+    pub total_s: f64,
+    /// The up-front queue-creation overhead included in `total_s`.
+    pub setup_s: f64,
+}
+
+impl Timeline {
+    /// Busy time of one engine (for overlap diagnostics).
+    #[must_use]
+    pub fn engine_busy(&self, engine: usize) -> f64 {
+        self.spans.iter().filter(|s| s.engine == engine).map(|s| s.end_s - s.start_s).sum()
+    }
+
+    /// Render the timeline as an ASCII Gantt chart, one lane per engine,
+    /// `width` character columns covering `[0, total_s]`. `engine_names`
+    /// label the lanes (missing names fall back to `e<N>`).
+    #[must_use]
+    pub fn gantt(&self, width: usize, engine_names: &[&str]) -> String {
+        let width = width.max(10);
+        if self.total_s <= 0.0 || self.spans.is_empty() {
+            return String::from("(empty timeline)\n");
+        }
+        let engines = self.spans.iter().map(|s| s.engine).max().unwrap_or(0) + 1;
+        let name_w = engine_names
+            .iter()
+            .map(|n| n.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let scale = width as f64 / self.total_s;
+        let mut out = String::new();
+        for e in 0..engines {
+            let name = engine_names.get(e).copied().unwrap_or("");
+            let label = if name.is_empty() { format!("e{e}") } else { name.to_string() };
+            let mut lane = vec![b'.'; width];
+            for (si, s) in self.spans.iter().enumerate().filter(|(_, s)| s.engine == e) {
+                let a = ((s.start_s * scale) as usize).min(width - 1);
+                let b = (((s.end_s * scale).ceil()) as usize).clamp(a + 1, width);
+                let ch = b"0123456789abcdefghijklmnopqrstuvwxyz"
+                    [self.spans[si].queue % 36];
+                lane[a..b].fill(ch);
+            }
+            out.push_str(&format!(
+                "{label:>name_w$} |{}|\n",
+                String::from_utf8_lossy(&lane)
+            ));
+        }
+        out.push_str(&format!(
+            "{:>name_w$}  0{:>w$.2} ms (digits = queue ids)\n",
+            "",
+            self.total_s * 1e3,
+            w = width - 1
+        ));
+        out
+    }
+}
+
+/// A command plus an optional OpenCL-event dependency: the command may not
+/// start before command `(queue, index)` has completed (in addition to the
+/// usual in-order constraint of its own queue).
+#[derive(Debug, Clone)]
+pub struct QCmd {
+    /// The command.
+    pub cmd: Cmd,
+    /// Cross-queue event wait: `(queue, index)` of the prerequisite.
+    pub wait: Option<(usize, usize)>,
+}
+
+impl QCmd {
+    /// A command with no cross-queue dependency.
+    #[must_use]
+    pub fn plain(cmd: Cmd) -> Self {
+        Self { cmd, wait: None }
+    }
+
+    /// A command waiting on event `(queue, index)`.
+    #[must_use]
+    pub fn after(cmd: Cmd, queue: usize, index: usize) -> Self {
+        Self { cmd, wait: Some((queue, index)) }
+    }
+}
+
+/// Greedy in-order list scheduling of `queues` on the device's engines.
+///
+/// Semantics: command `i` of queue `q` becomes *ready* when command `i−1` of
+/// the same queue finished; each engine runs one command at a time; among
+/// ready commands an engine picks the earliest-submitted (queue-major
+/// round-robin, matching driver FIFO behaviour).
+#[must_use]
+pub fn simulate_queues(dev: &DeviceSpec, queues: &[Vec<Cmd>]) -> Timeline {
+    let wrapped: Vec<Vec<QCmd>> = queues
+        .iter()
+        .map(|q| q.iter().cloned().map(QCmd::plain).collect())
+        .collect();
+    simulate_queues_dep(dev, &wrapped)
+}
+
+/// [`simulate_queues`] with cross-queue event dependencies.
+///
+/// # Panics
+/// Panics if a dependency points at a nonexistent command (a malformed
+/// schedule), or if dependencies deadlock (cycle).
+#[must_use]
+pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
+    let setup_s = dev.queue_create_overhead_s * queues.len() as f64;
+    let mut engine_free = [setup_s; 3];
+    let mut queue_ready: Vec<f64> = vec![setup_s; queues.len()];
+    let mut next_idx: Vec<usize> = vec![0; queues.len()];
+    let mut end_time: Vec<Vec<Option<f64>>> =
+        queues.iter().map(|q| vec![None; q.len()]).collect();
+    let mut spans = Vec::new();
+    let total_cmds: usize = queues.iter().map(Vec::len).sum();
+
+    for _ in 0..total_cmds {
+        // Candidate head commands whose event dependency is satisfied.
+        let mut best: Option<(f64, usize)> = None; // (start_time, queue)
+        for (q, cmds) in queues.iter().enumerate() {
+            let i = next_idx[q];
+            if i >= cmds.len() {
+                continue;
+            }
+            let dep_end = match cmds[i].wait {
+                None => setup_s,
+                Some((dq, di)) => {
+                    assert!(dq < queues.len() && di < queues[dq].len(), "bad dependency");
+                    match end_time[dq][di] {
+                        Some(t) => t,
+                        None => continue, // prerequisite not yet scheduled
+                    }
+                }
+            };
+            let engine = cmds[i].cmd.engine(dev);
+            let start = queue_ready[q].max(engine_free[engine]).max(dep_end);
+            // Earliest start wins; tie → lowest queue id (submission order).
+            if best.is_none_or(|(bs, bq)| start < bs || (start == bs && q < bq)) {
+                best = Some((start, q));
+            }
+        }
+        let (start, q) = best.expect("dependency deadlock in queue schedule");
+        let i = next_idx[q];
+        let cmd = &queues[q][i].cmd;
+        let engine = cmd.engine(dev);
+        let end = start + cmd.duration(dev);
+        spans.push(Span { queue: q, index: i, engine, start_s: start, end_s: end, label: cmd.label() });
+        engine_free[engine] = end;
+        queue_ready[q] = end;
+        end_time[q][i] = Some(end);
+        next_idx[q] += 1;
+    }
+
+    let total_s = spans.iter().map(|s| s.end_s).fold(setup_s, f64::max);
+    Timeline { spans, total_s, setup_s }
+}
+
+/// A fully generic scheduled command for [`simulate_engines`]: runs on an
+/// explicit engine id for a given duration, optionally waiting on another
+/// command (cross-queue event).
+#[derive(Debug, Clone)]
+pub struct ECmd {
+    /// Engine id in `0..num_engines`.
+    pub engine: usize,
+    /// Duration, seconds.
+    pub duration_s: f64,
+    /// Label for the timeline.
+    pub label: String,
+    /// Cross-queue event wait: `(queue, index)` of the prerequisite.
+    pub wait: Option<(usize, usize)>,
+}
+
+/// Generic in-order list scheduling over an arbitrary engine set — the
+/// multi-device generalisation of [`simulate_queues_dep`] (per-device
+/// compute engines plus shared or private PCIe links).
+///
+/// # Panics
+/// Panics on malformed dependencies (out of range or deadlocked) or an
+/// engine id out of range.
+#[must_use]
+pub fn simulate_engines(num_engines: usize, setup_s: f64, queues: &[Vec<ECmd>]) -> Timeline {
+    let mut engine_free = vec![setup_s; num_engines];
+    let mut queue_ready: Vec<f64> = vec![setup_s; queues.len()];
+    let mut next_idx: Vec<usize> = vec![0; queues.len()];
+    let mut end_time: Vec<Vec<Option<f64>>> =
+        queues.iter().map(|q| vec![None; q.len()]).collect();
+    let mut spans = Vec::new();
+    let total_cmds: usize = queues.iter().map(Vec::len).sum();
+
+    for _ in 0..total_cmds {
+        let mut best: Option<(f64, usize)> = None;
+        for (q, cmds) in queues.iter().enumerate() {
+            let i = next_idx[q];
+            if i >= cmds.len() {
+                continue;
+            }
+            assert!(cmds[i].engine < num_engines, "engine id out of range");
+            let dep_end = match cmds[i].wait {
+                None => setup_s,
+                Some((dq, di)) => {
+                    assert!(dq < queues.len() && di < queues[dq].len(), "bad dependency");
+                    match end_time[dq][di] {
+                        Some(t) => t,
+                        None => continue,
+                    }
+                }
+            };
+            let start = queue_ready[q].max(engine_free[cmds[i].engine]).max(dep_end);
+            if best.is_none_or(|(bs, bq)| start < bs || (start == bs && q < bq)) {
+                best = Some((start, q));
+            }
+        }
+        let (start, q) = best.expect("dependency deadlock in engine schedule");
+        let i = next_idx[q];
+        let cmd = &queues[q][i];
+        let end = start + cmd.duration_s;
+        spans.push(Span {
+            queue: q,
+            index: i,
+            engine: cmd.engine,
+            start_s: start,
+            end_s: end,
+            label: cmd.label.clone(),
+        });
+        engine_free[cmd.engine] = end;
+        queue_ready[q] = end;
+        end_time[q][i] = Some(end);
+        next_idx[q] += 1;
+    }
+
+    let total_s = spans.iter().map(|s| s.end_s).fold(setup_s, f64::max);
+    Timeline { spans, total_s, setup_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn kernel(t: f64) -> Cmd {
+        Cmd::Kernel { time_s: t, name: "k".into() }
+    }
+
+    #[test]
+    fn single_queue_serialises() {
+        let dev = DeviceSpec::tesla_k20();
+        let mb = 10.0 * 1e6;
+        let tl = simulate_queues(&dev, &[vec![Cmd::H2D { bytes: mb }, kernel(0.004), Cmd::D2H { bytes: mb }]]);
+        let t_copy = dev.pcie.transfer_time(mb);
+        let expect = dev.queue_create_overhead_s + t_copy + 0.004 + t_copy;
+        assert!((tl.total_s - expect).abs() < 1e-9, "{} vs {expect}", tl.total_s);
+    }
+
+    #[test]
+    fn two_queues_overlap_compute_and_copy() {
+        let dev = DeviceSpec::tesla_k20();
+        // Queue 0: long kernel; queue 1: D2H copy — different engines, so
+        // they overlap and the makespan is max, not sum.
+        let t_copy = dev.pcie.transfer_time(50e6);
+        let tl = simulate_queues(&dev, &[vec![kernel(0.02)], vec![Cmd::D2H { bytes: 50e6 }]]);
+        let expect = tl.setup_s + 0.02f64.max(t_copy);
+        assert!((tl.total_s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_engine_commands_serialise_across_queues() {
+        let dev = DeviceSpec::tesla_k20();
+        let tl = simulate_queues(&dev, &[vec![kernel(0.01)], vec![kernel(0.01)]]);
+        assert!((tl.total_s - (tl.setup_s + 0.02)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h2d_d2h_overlap_only_with_two_copy_engines() {
+        let k20 = DeviceSpec::tesla_k20(); // 2 copy engines
+        let gtx = DeviceSpec::gtx580(); // 1 copy engine
+        let queues = vec![vec![Cmd::H2D { bytes: 50e6 }], vec![Cmd::D2H { bytes: 50e6 }]];
+        let t = k20.pcie.transfer_time(50e6);
+        let tl_k20 = simulate_queues(&k20, &queues);
+        assert!((tl_k20.total_s - (tl_k20.setup_s + t)).abs() < 1e-9, "overlapped");
+        let t_gtx = gtx.pcie.transfer_time(50e6);
+        let tl_gtx = simulate_queues(&gtx, &queues);
+        assert!((tl_gtx.total_s - (tl_gtx.setup_s + 2.0 * t_gtx)).abs() < 1e-9, "serialised");
+    }
+
+    #[test]
+    fn queue_creation_overhead_scales() {
+        let dev = DeviceSpec::tesla_k20();
+        let one = simulate_queues(&dev, &[vec![kernel(0.001)]]);
+        let many = simulate_queues(&dev, &(0..16).map(|_| vec![kernel(0.001)]).collect::<Vec<_>>());
+        assert!(many.setup_s > one.setup_s * 10.0);
+    }
+
+    #[test]
+    fn in_order_within_queue() {
+        let dev = DeviceSpec::tesla_k20();
+        let tl = simulate_queues(&dev, &[vec![kernel(0.01), Cmd::D2H { bytes: 1e6 }]]);
+        // D2H must start after the kernel even though engines differ.
+        assert!(tl.spans[1].start_s >= tl.spans[0].end_s - 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_lanes() {
+        let dev = DeviceSpec::tesla_k20();
+        let tl = simulate_queues(
+            &dev,
+            &[vec![Cmd::H2D { bytes: 10e6 }, kernel(0.004), Cmd::D2H { bytes: 10e6 }]],
+        );
+        let g = tl.gantt(40, &["H2D", "D2H", "GPU"]);
+        assert_eq!(g.lines().count(), 4, "3 engine lanes + axis");
+        assert!(g.contains("H2D |"));
+        assert!(g.contains('0'), "queue id marks spans");
+    }
+
+    #[test]
+    fn generic_engines_overlap_and_serialise() {
+        // Two queues on distinct engines overlap; same engine serialises.
+        let q = |e: usize| {
+            vec![ECmd { engine: e, duration_s: 1.0, label: "x".into(), wait: None }]
+        };
+        let tl = simulate_engines(2, 0.0, &[q(0), q(1)]);
+        assert!((tl.total_s - 1.0).abs() < 1e-12, "distinct engines overlap");
+        let tl = simulate_engines(2, 0.0, &[q(0), q(0)]);
+        assert!((tl.total_s - 2.0).abs() < 1e-12, "same engine serialises");
+    }
+
+    #[test]
+    fn generic_engines_honour_dependencies() {
+        let queues = vec![
+            vec![ECmd { engine: 0, duration_s: 1.0, label: "a".into(), wait: None }],
+            vec![ECmd { engine: 1, duration_s: 1.0, label: "b".into(), wait: Some((0, 0)) }],
+        ];
+        let tl = simulate_engines(2, 0.0, &queues);
+        assert!((tl.total_s - 2.0).abs() < 1e-12, "b waits for a despite free engine");
+    }
+
+    #[test]
+    fn pipelined_chunks_beat_sync() {
+        // The §7.6 shape: splitting kernel+D2H into Q chunks over Q queues
+        // shortens the makespan vs one queue, until overhead wins.
+        let dev = DeviceSpec::tesla_k20();
+        let total_kernel = 0.004;
+        let total_bytes = 51.8e6;
+        let sync = simulate_queues(
+            &dev,
+            &[vec![kernel(total_kernel), Cmd::D2H { bytes: total_bytes }]],
+        );
+        let q = 4;
+        let chunks: Vec<Vec<Cmd>> = (0..q)
+            .map(|_| {
+                vec![
+                    kernel(total_kernel / q as f64),
+                    Cmd::D2H { bytes: total_bytes / q as f64 },
+                ]
+            })
+            .collect();
+        let asy = simulate_queues(&dev, &chunks);
+        assert!(asy.total_s < sync.total_s, "async {} < sync {}", asy.total_s, sync.total_s);
+    }
+}

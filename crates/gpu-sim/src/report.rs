@@ -1,0 +1,154 @@
+//! Kernel execution reports: what happened (functional counters) and the
+//! derived simulated time.
+
+use crate::occupancy::Occupancy;
+use serde::Serialize;
+
+/// The four candidate bounds of the time model; the simulated kernel time is
+/// their maximum. Keeping all four visible makes every experiment's
+/// mechanism inspectable ("this configuration is latency-bound").
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimeBounds {
+    /// DRAM-bandwidth bound: traffic / (peak × occupancy saturation).
+    pub bandwidth_s: f64,
+    /// Latency bound: total dependent-chain cycles divided by the warps
+    /// available to overlap them.
+    pub latency_s: f64,
+    /// Serial bound: the single longest warp chain (load imbalance shows up
+    /// here — e.g. the dominant cycle of P-IPT).
+    pub serial_s: f64,
+    /// Local-memory port bound: shared-memory cycles per SM.
+    pub local_port_s: f64,
+}
+
+impl TimeBounds {
+    /// The binding component.
+    #[must_use]
+    pub fn limiting(&self) -> &'static str {
+        let m = self.max();
+        if m == self.bandwidth_s {
+            "bandwidth"
+        } else if m == self.latency_s {
+            "latency"
+        } else if m == self.serial_s {
+            "serial"
+        } else {
+            "local-port"
+        }
+    }
+
+    /// Maximum of the four bounds (the simulated time).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.bandwidth_s.max(self.latency_s).max(self.serial_s).max(self.local_port_s)
+    }
+}
+
+/// Everything measured while simulating one kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Work-groups launched.
+    pub num_wgs: usize,
+    /// Work-items per work-group.
+    pub wg_size: usize,
+    /// Computed occupancy.
+    pub occupancy: Occupancy,
+    /// Simulated execution time in seconds.
+    pub time_s: f64,
+    /// Component bounds behind `time_s`.
+    pub bounds: TimeBounds,
+
+    /// DRAM bytes actually transferred (whole transactions).
+    pub dram_bytes: f64,
+    /// Bytes the kernel asked for (4 × active lanes); ratio to `dram_bytes`
+    /// is the coalescing efficiency.
+    pub useful_bytes: f64,
+    /// Global load transactions.
+    pub gld_transactions: u64,
+    /// Global store transactions.
+    pub gst_transactions: u64,
+    /// Local (shared) memory accesses, lane granularity.
+    pub local_accesses: u64,
+    /// Local atomic operations, lane granularity.
+    pub local_atomics: u64,
+    /// Global atomic operations, lane granularity.
+    pub global_atomics: u64,
+    /// Intra-warp same-word atomic collisions (position conflicts,
+    /// Gómez-Luna terminology, §5.1.1).
+    pub position_conflicts: u64,
+    /// Same-lock different-word collisions (§5.1.2).
+    pub lock_conflicts: u64,
+    /// Same-bank different-word collisions (§5.1.2).
+    pub bank_conflicts: u64,
+    /// Barriers executed (work-group granularity).
+    pub barriers: u64,
+    /// Total warp-steps executed (engine rounds × active warps).
+    pub warp_steps: u64,
+    /// Sum of all warps' dependent-chain cycles.
+    pub total_chain_cycles: f64,
+    /// Longest single warp chain, cycles.
+    pub max_chain_cycles: f64,
+}
+
+impl KernelStats {
+    /// Fraction of transferred bytes that were useful (1.0 = perfectly
+    /// coalesced).
+    #[must_use]
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.dram_bytes == 0.0 {
+            1.0
+        } else {
+            (self.useful_bytes / self.dram_bytes).min(1.0)
+        }
+    }
+
+    /// Paper-convention throughput for a kernel that moved `matrix_bytes`
+    /// of payload: `2 × matrix_bytes / time` (§1: read once + write once).
+    #[must_use]
+    pub fn throughput_gbps(&self, matrix_bytes: f64) -> f64 {
+        2.0 * matrix_bytes / self.time_s / 1e9
+    }
+}
+
+/// Aggregate of several sequentially executed kernels (a staged pipeline).
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct PipelineStats {
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<KernelStats>,
+    /// Non-kernel overhead included in the total (flag-buffer memsets…).
+    pub overhead_s: f64,
+}
+
+impl PipelineStats {
+    /// Total simulated time.
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        self.overhead_s + self.stages.iter().map(|s| s.time_s).sum::<f64>()
+    }
+
+    /// Paper-convention throughput over the whole pipeline.
+    #[must_use]
+    pub fn throughput_gbps(&self, matrix_bytes: f64) -> f64 {
+        2.0 * matrix_bytes / self.time_s() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_bounds(b: f64, l: f64, s: f64, p: f64) -> TimeBounds {
+        TimeBounds { bandwidth_s: b, latency_s: l, serial_s: s, local_port_s: p }
+    }
+
+    #[test]
+    fn limiting_component() {
+        assert_eq!(dummy_bounds(4.0, 1.0, 1.0, 1.0).limiting(), "bandwidth");
+        assert_eq!(dummy_bounds(1.0, 4.0, 1.0, 1.0).limiting(), "latency");
+        assert_eq!(dummy_bounds(1.0, 1.0, 4.0, 1.0).limiting(), "serial");
+        assert_eq!(dummy_bounds(1.0, 1.0, 1.0, 4.0).limiting(), "local-port");
+        assert_eq!(dummy_bounds(1.0, 2.0, 3.0, 4.0).max(), 4.0);
+    }
+}

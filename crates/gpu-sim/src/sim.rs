@@ -1,0 +1,225 @@
+//! The simulator facade: a device plus its global memory, with a bump
+//! allocator, typed upload/download, and kernel launch.
+
+use crate::device::DeviceSpec;
+use crate::exec::{launch, Kernel, LaunchError};
+use crate::mem::{Buffer, GlobalMem};
+use crate::report::KernelStats;
+
+/// One simulated accelerator: device model + on-board memory.
+pub struct Sim {
+    device: DeviceSpec,
+    mem: GlobalMem,
+    cursor: usize,
+}
+
+impl Sim {
+    /// Create a simulator with `capacity_words` of on-board memory.
+    #[must_use]
+    pub fn new(device: DeviceSpec, capacity_words: usize) -> Self {
+        Self { device, mem: GlobalMem::new(capacity_words), cursor: 0 }
+    }
+
+    /// Convenience: memory sized to hold `words` plus `slack_words`.
+    #[must_use]
+    pub fn with_room_for(device: DeviceSpec, words: usize, slack_words: usize) -> Self {
+        Self::new(device, words + slack_words)
+    }
+
+    /// The device model.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Raw global memory (kernels normally go through buffers).
+    #[must_use]
+    pub fn mem(&self) -> &GlobalMem {
+        &self.mem
+    }
+
+    /// Words still allocatable.
+    #[must_use]
+    pub fn free_words(&self) -> usize {
+        self.mem.len() - self.cursor
+    }
+
+    /// Allocate a buffer of `words` (bump allocator; no free).
+    ///
+    /// # Panics
+    /// Panics when on-board memory is exhausted — mirroring a real
+    /// out-of-memory, which is precisely the constraint that motivates
+    /// in-place transposition.
+    pub fn alloc(&mut self, words: usize) -> Buffer {
+        assert!(
+            self.cursor + words <= self.mem.len(),
+            "device OOM: want {words} words, {} free (capacity {})",
+            self.free_words(),
+            self.mem.len()
+        );
+        let b = Buffer { base: self.cursor, len: words };
+        self.cursor += words;
+        b
+    }
+
+    /// Upload u32 data into `buf`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() > buf.len`.
+    pub fn upload_u32(&self, buf: Buffer, data: &[u32]) {
+        assert!(data.len() <= buf.len);
+        for (i, &v) in data.iter().enumerate() {
+            self.mem.write(buf.base + i, v);
+        }
+    }
+
+    /// Upload f32 data (as bit patterns) into `buf`.
+    pub fn upload_f32(&self, buf: Buffer, data: &[f32]) {
+        assert!(data.len() <= buf.len);
+        for (i, &v) in data.iter().enumerate() {
+            self.mem.write(buf.base + i, v.to_bits());
+        }
+    }
+
+    /// Download `buf` as u32.
+    #[must_use]
+    pub fn download_u32(&self, buf: Buffer) -> Vec<u32> {
+        (0..buf.len).map(|i| self.mem.read(buf.base + i)).collect()
+    }
+
+    /// Download `buf` as f32.
+    #[must_use]
+    pub fn download_f32(&self, buf: Buffer) -> Vec<f32> {
+        (0..buf.len).map(|i| f32::from_bits(self.mem.read(buf.base + i))).collect()
+    }
+
+    /// Zero a buffer (host-side initialisation of flag arrays).
+    pub fn zero(&self, buf: Buffer) {
+        for i in 0..buf.len {
+            self.mem.write(buf.base + i, 0);
+        }
+    }
+
+    /// Launch a kernel.
+    ///
+    /// # Errors
+    /// Propagates [`LaunchError`] for infeasible launches.
+    pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<KernelStats, LaunchError> {
+        launch(&self.device, &self.mem, kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Grid, Step, WarpCtx};
+    use crate::lanes::{LaneAddrs, LaneWrites};
+
+    /// Toy kernel: each thread increments its element (grid-stride).
+    struct IncKernel {
+        buf: Buffer,
+        n: usize,
+        wgs: usize,
+        wg_size: usize,
+    }
+
+    struct IncState {
+        next: usize,
+    }
+
+    impl Kernel for IncKernel {
+        type State = IncState;
+
+        fn name(&self) -> String {
+            "inc".into()
+        }
+
+        fn grid(&self) -> Grid {
+            Grid { num_wgs: self.wgs, wg_size: self.wg_size }
+        }
+
+        fn init(&self, wg_id: usize, warp_id: usize) -> IncState {
+            let _ = warp_id;
+            IncState { next: wg_id }
+        }
+
+        fn step(&self, st: &mut IncState, ctx: &mut WarpCtx<'_>) -> Step {
+            // Each WG strides over chunks of wg_size; warps cover their slice.
+            let base = st.next * ctx.wg_size + ctx.warp_id * 32;
+            if base >= self.n && st.next >= ctx.num_wgs {
+                return Step::Done;
+            }
+            let addrs = LaneAddrs::from_fn(ctx.lanes, |l| {
+                let idx = base + l;
+                (idx < self.n).then_some(idx)
+            });
+            let vals = ctx.global_read(self.buf, &addrs);
+            let writes = LaneWrites::from_fn(ctx.lanes, |l| {
+                addrs.get(l).map(|a| (a, vals.get(l) + 1))
+            });
+            ctx.global_write(self.buf, &writes);
+            st.next += ctx.num_wgs;
+            if st.next * ctx.wg_size + ctx.warp_id * 32 >= self.n {
+                Step::Done
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 1024);
+        let b = sim.alloc(100);
+        let data: Vec<u32> = (0..100).collect();
+        sim.upload_u32(b, &data);
+        assert_eq!(sim.download_u32(b), data);
+        assert_eq!(sim.free_words(), 924);
+    }
+
+    #[test]
+    #[should_panic(expected = "device OOM")]
+    fn oom_panics() {
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 10);
+        let _ = sim.alloc(11);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 64);
+        let b = sim.alloc(4);
+        sim.upload_f32(b, &[1.5, -2.25, 0.0, 3.0e7]);
+        assert_eq!(sim.download_f32(b), vec![1.5, -2.25, 0.0, 3.0e7]);
+    }
+
+    #[test]
+    fn toy_kernel_increments_everything() {
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 4096);
+        let n = 3000;
+        let b = sim.alloc(n);
+        let data: Vec<u32> = (0..n as u32).collect();
+        sim.upload_u32(b, &data);
+        let k = IncKernel { buf: b, n, wgs: 8, wg_size: 64 };
+        let stats = sim.launch(&k).unwrap();
+        let got = sim.download_u32(b);
+        let want: Vec<u32> = data.iter().map(|v| v + 1).collect();
+        assert_eq!(got, want);
+        assert!(stats.time_s > 0.0);
+        assert!(stats.dram_bytes >= (n * 8) as f64, "read+write traffic");
+        // Contiguous access per warp → perfect-ish coalescing.
+        assert!(stats.coalescing_efficiency() > 0.9, "{}", stats.coalescing_efficiency());
+    }
+
+    #[test]
+    fn strided_access_wastes_bandwidth() {
+        // Same kernel but with a stride access pattern via a modified index
+        // map is covered in exec-level tests in ipt-gpu; here just assert
+        // the stats plumbing exists.
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 512);
+        let b = sim.alloc(256);
+        let k = IncKernel { buf: b, n: 256, wgs: 2, wg_size: 64 };
+        let stats = sim.launch(&k).unwrap();
+        assert_eq!(stats.name, "inc");
+        assert!(stats.gld_transactions > 0 && stats.gst_transactions > 0);
+    }
+}

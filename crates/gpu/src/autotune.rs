@@ -1,0 +1,130 @@
+//! Tile-size search on the device (§7.4): exhaustive and pruned.
+//!
+//! The throughput surface over `(m, n)` is what Figure 8 plots; the paper's
+//! pruning heuristic (`m, n ∈ [50, 100]`, `m·n` under the shared-memory
+//! capacity) recovers ≥ 80 % of the exhaustive best.
+
+use crate::opts::GpuOptions;
+use crate::pipeline::{plan_flag_words, transpose_on_device};
+use gpu_sim::{DeviceSpec, Sim};
+use ipt_core::stages::{StagePlan, TileConfig};
+use ipt_core::tiles::{all_tiles, TileHeuristic};
+use ipt_core::Matrix;
+
+/// One measured tile configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TilePoint {
+    /// The tile.
+    pub tile: TileConfig,
+    /// Simulated device-side throughput (paper convention), GB/s.
+    pub gbps: f64,
+}
+
+/// Measure the 3-stage throughput of one tile on a fresh simulator.
+///
+/// Returns `None` for infeasible configurations (e.g. stage-2 tile that
+/// fits neither local memory nor local flags and whose 100!-fallback cannot
+/// launch).
+#[must_use]
+pub fn measure_tile(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    tile: TileConfig,
+    opts: &GpuOptions,
+) -> Option<TilePoint> {
+    let plan = StagePlan::three_stage(rows, cols, tile).ok()?;
+    let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(&plan) + 64);
+    let mut data = Matrix::iota(rows, cols).into_vec();
+    let stats = transpose_on_device(&mut sim, &mut data, rows, cols, &plan, opts).ok()?;
+    let bytes = (rows * cols * 4) as f64;
+    Some(TilePoint { tile, gbps: stats.throughput_gbps(bytes) })
+}
+
+/// Exhaustively measure every divisor tile of `rows × cols` (optionally
+/// capped to `max_dim` per dimension to keep sweeps tractable). Sorted by
+/// descending throughput.
+#[must_use]
+pub fn exhaustive_search(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    max_dim: usize,
+    opts: &GpuOptions,
+) -> Vec<TilePoint> {
+    let mut out: Vec<TilePoint> = all_tiles(rows, cols)
+        .into_iter()
+        .filter(|t| t.m > 1 && t.n > 1 && t.m <= max_dim && t.n <= max_dim)
+        .filter_map(|t| measure_tile(dev, rows, cols, t, opts))
+        .collect();
+    out.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
+    out
+}
+
+/// Measure only the §7.4 pruned candidates. Sorted by descending
+/// throughput.
+#[must_use]
+pub fn pruned_search(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    heuristic: &TileHeuristic,
+    opts: &GpuOptions,
+) -> Vec<TilePoint> {
+    let mut out: Vec<TilePoint> = heuristic
+        .pruned_candidates(rows, cols)
+        .into_iter()
+        .filter_map(|t| measure_tile(dev, rows, cols, t, opts))
+        .collect();
+    out.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::GpuOptions;
+
+    // A scaled-down 7200×1800 with the same 4:1 aspect and rich divisor
+    // structure.
+    const ROWS: usize = 720;
+    const COLS: usize = 180;
+
+    #[test]
+    fn exhaustive_finds_points() {
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let pts = exhaustive_search(&dev, ROWS, COLS, 96, &opts);
+        assert!(pts.len() > 10);
+        // Sorted descending.
+        for w in pts.windows(2) {
+            assert!(w[0].gbps >= w[1].gbps);
+        }
+    }
+
+    #[test]
+    fn pruned_heuristic_recovers_most_of_best() {
+        // §7.4: the pruned set yields at least 80 % of the exhaustive best.
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let all = exhaustive_search(&dev, ROWS, COLS, 181, &opts);
+        let h = TileHeuristic { shared_capacity_words: 3600, preferred_lo: 30, preferred_hi: 100 };
+        let pruned = pruned_search(&dev, ROWS, COLS, &h, &opts);
+        assert!(!pruned.is_empty());
+        let best = all[0].gbps;
+        let pruned_best = pruned[0].gbps;
+        assert!(
+            pruned_best >= 0.8 * best,
+            "pruned {pruned_best} vs exhaustive {best}"
+        );
+    }
+
+    #[test]
+    fn bigger_tiles_beat_tiny_tiles() {
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let tiny = measure_tile(&dev, ROWS, COLS, TileConfig::new(4, 4), &opts).unwrap();
+        let good = measure_tile(&dev, ROWS, COLS, TileConfig::new(48, 36), &opts).unwrap();
+        assert!(good.gbps > tiny.gbps, "good {} vs tiny {}", good.gbps, tiny.gbps);
+    }
+}

@@ -1,0 +1,338 @@
+//! Using the device's full in-place transposition from the host (§6):
+//! "virtual in-place transposition" — the matrix is shipped over PCIe,
+//! transposed in place on the accelerator, and shipped back to the same
+//! host location.
+//!
+//! * **Synchronous** (Figure 4): `H2D → stage1 → stage2 → stage3 → D2H` on
+//!   one command queue.
+//! * **Asynchronous** (Figure 5 (b)): stage 1 cannot be split (its cycles
+//!   span the whole array), but stages 2 and 3 operate on independent
+//!   instances. They are split into `Q` chunks along the leading `N′`
+//!   dimension, each chunk's `stage2 → stage3 → D2H` enqueued on its own
+//!   command queue, so chunk kernels overlap other chunks' D2H transfers.
+
+use crate::opts::GpuOptions;
+use crate::pipeline::{plan_flag_words, run_plan, transpose_on_device};
+use gpu_sim::{simulate_queues_dep, Cmd, DeviceSpec, LaunchError, PipelineStats, QCmd, Sim, Timeline};
+use ipt_core::stages::{StageOp, StagePlan, TileConfig};
+use ipt_core::{Matrix, TransposePerm};
+
+/// Result of a host-side (virtual in-place) transposition.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// The DES timeline (PCIe + kernels on engines).
+    pub timeline: Timeline,
+    /// End-to-end seconds (= `timeline.total_s`).
+    pub total_s: f64,
+    /// Paper-convention effective throughput from the CPU's perspective:
+    /// `2 × matrix_bytes / total_s`.
+    pub effective_gbps: f64,
+    /// The device-side kernel stats that produced the kernel durations.
+    pub kernels: PipelineStats,
+    /// Number of command queues used.
+    pub queues: usize,
+}
+
+fn matrix_bytes(rows: usize, cols: usize) -> f64 {
+    (rows * cols * 4) as f64
+}
+
+/// Synchronous scheme: one queue, full H2D, all stages, full D2H.
+///
+/// Functionally executes and verifies the transposition on a fresh
+/// simulator.
+///
+/// # Errors
+/// Propagates infeasible kernel launches.
+pub fn run_host_sync(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+) -> Result<HostReport, LaunchError> {
+    let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(plan) + 64);
+    let mut data = Matrix::iota(rows, cols).into_vec();
+    let stats = transpose_on_device(&mut sim, &mut data, rows, cols, plan, opts)?;
+
+    let bytes = matrix_bytes(rows, cols);
+    let mut q = vec![QCmd::plain(Cmd::H2D { bytes })];
+    for st in &stats.stages {
+        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.clone() }));
+    }
+    if stats.overhead_s > 0.0 {
+        q.push(QCmd::plain(Cmd::Kernel { time_s: stats.overhead_s, name: "flag memsets".into() }));
+    }
+    q.push(QCmd::plain(Cmd::D2H { bytes }));
+    let timeline = simulate_queues_dep(dev, &[q]);
+    Ok(HostReport {
+        total_s: timeline.total_s,
+        effective_gbps: 2.0 * bytes / timeline.total_s / 1e9,
+        timeline,
+        kernels: stats,
+        queues: 1,
+    })
+}
+
+/// Split an instanced stage into `q` chunks along its leading instances.
+/// Returns `(instance_ranges, word_offsets, word_lengths)`.
+fn chunk_ranges(total_instances: usize, instance_words: usize, q: usize) -> Vec<(usize, usize)> {
+    // (first_instance, count) per chunk, last chunk takes the remainder.
+    let _ = instance_words;
+    let per = total_instances.div_ceil(q);
+    (0..q)
+        .map(|c| {
+            let lo = (c * per).min(total_instances);
+            let hi = ((c + 1) * per).min(total_instances);
+            (lo, hi - lo)
+        })
+        .filter(|&(_, n)| n > 0)
+        .collect()
+}
+
+/// Asynchronous scheme with `q` command queues (§7.6). Only valid for the
+/// 3-stage plan (`100! → 0010! → 0100!`): stages 2 and 3 are chunked along
+/// `N′` and overlapped with the D2H transfer.
+///
+/// # Errors
+/// Propagates infeasible kernel launches.
+///
+/// # Panics
+/// Panics if `plan` is not a 3-stage plan or `q == 0`, or if the chunked
+/// execution produces an incorrect transposition.
+pub fn run_host_async(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    q: usize,
+) -> Result<HostReport, LaunchError> {
+    assert!(q >= 1);
+    assert_eq!(plan.name, "3-stage", "asynchronous scheme requires the 3-stage plan");
+    let tile = plan.tile;
+    let (mp, np) = (rows / tile.m, cols / tile.n);
+    let bytes = matrix_bytes(rows, cols);
+
+    // Pull the three ops out of the plan.
+    let ops: Vec<_> = plan
+        .stages
+        .iter()
+        .map(|s| match &s.op {
+            StageOp::Instanced(op) => *op,
+            StageOp::Fused(_) => unreachable!("3-stage has no fused stage"),
+        })
+        .collect();
+
+    // Device-side functional execution, chunked exactly as scheduled.
+    let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(plan) + 64);
+    let data = sim.alloc(rows * cols);
+    let flags = sim.alloc(plan_flag_words(plan).max(1));
+    let host = Matrix::iota(rows, cols).into_vec();
+    sim.upload_u32(data, &host);
+
+    let mut kernels = PipelineStats::default();
+
+    // Stage 1 (100!): unsplittable.
+    let stage1_plan = StagePlan {
+        rows,
+        cols,
+        tile,
+        name: "3-stage",
+        stages: vec![plan.stages[0].clone()],
+    };
+    let s1 = run_plan(&sim, data, flags, &stage1_plan, opts)?;
+    let stage1_time: f64 = s1.time_s();
+    kernels.stages.extend(s1.stages);
+    kernels.overhead_s += s1.overhead_s;
+
+    // Stages 2 and 3, chunked along N′.
+    let chunks = chunk_ranges(np, 0, q);
+    let mut chunk_cmds: Vec<Vec<QCmd>> = Vec::new();
+    // Queue 0 carries H2D + stage1 first.
+    let mut q0 = vec![
+        QCmd::plain(Cmd::H2D { bytes }),
+        QCmd::plain(Cmd::Kernel { time_s: stage1_time, name: "stage1 100!".into() }),
+    ];
+
+    let inst2_per_np = mp; // stage-2 instances per N′ slot
+    let words_per_np = mp * tile.m * tile.n; // words per N′ slot
+    for (ci, &(lo, n_np)) in chunks.iter().enumerate() {
+        // Chunked stage 2 (0010!): instances = n_np · mp tiles.
+        let off = lo * words_per_np;
+        let len = n_np * words_per_np;
+        let sub = data.slice(off, len);
+        let op2 = ipt_core::InstancedTranspose::new(
+            n_np * inst2_per_np,
+            ops[1].rows,
+            ops[1].cols,
+            1,
+        );
+        let st2 = crate::pipeline::run_instanced_public(&sim, sub, flags, &op2, opts)?;
+        // Chunked stage 3 (0100!): instances = n_np.
+        let op3 = ipt_core::InstancedTranspose::new(n_np, ops[2].rows, ops[2].cols, ops[2].super_size);
+        let st3 = crate::pipeline::run_instanced_public(&sim, sub, flags, &op3, opts)?;
+
+        let d2h_bytes = (len * 4) as f64;
+        let mut cmds = Vec::new();
+        let wait_stage1 = Some((0usize, 1usize)); // stage1 is queue 0, index 1
+        cmds.push(QCmd {
+            cmd: Cmd::Kernel { time_s: st2.time_s, name: format!("stage2 chunk {ci}") },
+            wait: wait_stage1,
+        });
+        cmds.push(QCmd::plain(Cmd::Kernel {
+            time_s: st3.time_s,
+            name: format!("stage3 chunk {ci}"),
+        }));
+        cmds.push(QCmd::plain(Cmd::D2H { bytes: d2h_bytes }));
+        kernels.stages.push(st2);
+        kernels.stages.push(st3);
+        if ci == 0 {
+            // Chunk 0 rides queue 0 (after stage1).
+            q0.extend(cmds);
+        } else {
+            chunk_cmds.push(cmds);
+        }
+    }
+
+    let mut queues = vec![q0];
+    queues.extend(chunk_cmds);
+    // The application creates Q queues before knowing how many chunks the
+    // tiling yields; surplus queues still cost their creation overhead.
+    while queues.len() < q {
+        queues.push(Vec::new());
+    }
+    let timeline = simulate_queues_dep(dev, &queues);
+
+    // Verify the chunked execution.
+    let result = sim.download_u32(data);
+    let perm = TransposePerm::new(rows, cols);
+    for (k, &v) in host.iter().enumerate() {
+        assert_eq!(result[perm.dest(k)], v, "async chunked transposition incorrect at {k}");
+    }
+
+    Ok(HostReport {
+        total_s: timeline.total_s,
+        effective_gbps: 2.0 * bytes / timeline.total_s / 1e9,
+        timeline,
+        kernels,
+        queues: queues.len(),
+    })
+}
+
+/// Out-of-place transposition from the host (Table 3's "GPU out-of-place +
+/// data transfers" row): H2D, OOP kernel, D2H. Needs 2× device memory.
+///
+/// # Errors
+/// Propagates infeasible kernel launches.
+pub fn run_host_oop(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+) -> Result<HostReport, LaunchError> {
+    let mut sim = Sim::new(dev.clone(), 2 * rows * cols + 8);
+    let src = sim.alloc(rows * cols);
+    let dst = sim.alloc(rows * cols);
+    let host = Matrix::iota(rows, cols);
+    sim.upload_u32(src, host.as_slice());
+    let k = crate::oop::OopTranspose { src, dst, rows, cols };
+    let stats = sim.launch(&k)?;
+    assert_eq!(
+        sim.download_u32(dst),
+        host.transposed().into_vec(),
+        "OOP kernel incorrect"
+    );
+    let bytes = matrix_bytes(rows, cols);
+    let q = vec![
+        QCmd::plain(Cmd::H2D { bytes }),
+        QCmd::plain(Cmd::Kernel { time_s: stats.time_s, name: stats.name.clone() }),
+        QCmd::plain(Cmd::D2H { bytes }),
+    ];
+    let timeline = simulate_queues_dep(dev, &[q]);
+    Ok(HostReport {
+        total_s: timeline.total_s,
+        effective_gbps: 2.0 * bytes / timeline.total_s / 1e9,
+        timeline,
+        kernels: PipelineStats { stages: vec![stats], overhead_s: 0.0 },
+        queues: 1,
+    })
+}
+
+/// Build the 3-stage plan the host schemes expect.
+///
+/// # Errors
+/// Propagates tile divisibility failures.
+pub fn three_stage_plan(
+    rows: usize,
+    cols: usize,
+    tile: TileConfig,
+) -> Result<StagePlan, ipt_core::stages::PlanError> {
+    StagePlan::three_stage(rows, cols, tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipt_core::TileHeuristic;
+
+    // Large enough that PCIe transfers dwarf queue-creation overhead (the
+    // paper's regime: 51.8 MB matrices, ≈15 ms per transfer direction).
+    const ROWS: usize = 2880;
+    const COLS: usize = 720;
+
+    fn tile() -> TileConfig {
+        TileHeuristic { shared_capacity_words: 3600, preferred_lo: 30, preferred_hi: 90 }
+            .select(ROWS, COLS)
+            .unwrap()
+    }
+
+    #[test]
+    fn sync_scheme_runs_and_verifies() {
+        let dev = DeviceSpec::tesla_k20();
+        let plan = StagePlan::three_stage(ROWS, COLS, tile()).unwrap();
+        let opts = GpuOptions::tuned_for(&dev);
+        let rep = run_host_sync(&dev, ROWS, COLS, &plan, &opts).unwrap();
+        assert!(rep.total_s > 0.0);
+        assert!(rep.effective_gbps > 0.0);
+        // Transfers dominate for this size: effective < device-side.
+        let dev_gbps = rep.kernels.throughput_gbps(matrix_bytes(ROWS, COLS));
+        assert!(rep.effective_gbps < dev_gbps);
+    }
+
+    #[test]
+    fn async_beats_sync_for_moderate_q() {
+        let dev = DeviceSpec::tesla_k20();
+        let plan = StagePlan::three_stage(ROWS, COLS, tile()).unwrap();
+        let opts = GpuOptions::tuned_for(&dev);
+        let sync = run_host_sync(&dev, ROWS, COLS, &plan, &opts).unwrap();
+        let asy = run_host_async(&dev, ROWS, COLS, &plan, &opts, 4).unwrap();
+        assert!(
+            asy.total_s < sync.total_s,
+            "async {} vs sync {}",
+            asy.total_s,
+            sync.total_s
+        );
+    }
+
+    #[test]
+    fn excessive_queues_degrade() {
+        let dev = DeviceSpec::tesla_k20();
+        let plan = StagePlan::three_stage(ROWS, COLS, tile()).unwrap();
+        let opts = GpuOptions::tuned_for(&dev);
+        let q4 = run_host_async(&dev, ROWS, COLS, &plan, &opts, 4).unwrap();
+        let q64 = run_host_async(&dev, ROWS, COLS, &plan, &opts, 64).unwrap();
+        assert!(q64.total_s > q4.total_s, "q64 {} vs q4 {}", q64.total_s, q4.total_s);
+    }
+
+    #[test]
+    fn oop_from_host_close_to_inplace_from_host() {
+        // Table 3: 3.57 vs 3.43 GB/s — transfers dominate both.
+        let dev = DeviceSpec::tesla_k20();
+        let plan = StagePlan::three_stage(ROWS, COLS, tile()).unwrap();
+        let opts = GpuOptions::tuned_for(&dev);
+        let oop = run_host_oop(&dev, ROWS, COLS).unwrap();
+        let ip = run_host_sync(&dev, ROWS, COLS, &plan, &opts).unwrap();
+        let ratio = oop.effective_gbps / ip.effective_gbps;
+        assert!((0.8..1.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # ipt-gpu — the paper's GPU kernels on the `gpu-sim` substrate
+//!
+//! Every kernel from *"In-Place Transposition of Rectangular Matrices on
+//! Accelerators"* (PPoPP 2014), functionally executing and verified:
+//!
+//! * [`bs`] — the Barrier-Sync on-chip tile transposition (Figure 1),
+//! * [`pttwac010`] — `010!` cycle following with local-memory flags and the
+//!   §5.1 spreading/padding optimisations,
+//! * [`pttwac100`] — `100!`-family super-element shifting with global
+//!   coordination bits, in Sung/work-group, warp/local-tile and
+//!   warp/register-tile variants (§5.2), plus the fused stage of the
+//!   4-stage(+fusion) algorithm,
+//! * [`pipt`] — the cycle-per-thread P-IPT comparator,
+//! * [`oop`] — the out-of-place tiled baseline (Ruetsch/Micikevicius),
+//! * [`pipeline`] — plan execution with per-stage kernel selection,
+//! * [`host`] — the §6 virtual in-place transposition (synchronous and
+//!   asynchronous with Q command queues),
+//! * [`autotune`] — §7.4 exhaustive / pruned tile search,
+//! * [`coprime`] — the general-dimension (prime-safe) decomposition the
+//!   paper's footnote 6 points at,
+//! * [`multi`] — the multi-GPU scheme of the paper's future-work section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod autotune;
+pub mod bs;
+pub mod coprime;
+pub mod host;
+pub mod multi;
+pub mod oop;
+pub mod opts;
+pub mod pipeline;
+pub mod pipt;
+pub mod pttwac010;
+pub mod pttwac100;
+
+pub use autotune::{exhaustive_search, measure_tile, pruned_search, TilePoint};
+pub use bs::BsKernel;
+pub use coprime::{transpose_coprime_on_device, CoprimeColShuffle, CoprimeRowScramble};
+pub use host::{run_host_async, run_host_oop, run_host_sync, HostReport};
+pub use multi::{run_multi_gpu, LinkTopology, MultiReport};
+pub use oop::OopTranspose;
+pub use opts::{FlagLayout, GpuOptions, Variant100};
+pub use pipeline::{plan_flag_words, run_plan, scale_plan_words, select_kernel, transpose_on_device, transpose_on_device_f64, StageKernel};
+pub use pipt::PiptKernel;
+pub use pttwac010::Pttwac010;
+pub use pttwac100::Pttwac100;

@@ -1,0 +1,245 @@
+//! Kernel configuration: flag layouts for PTTWAC (§5.1) and per-device
+//! launch options.
+
+use gpu_sim::DeviceSpec;
+
+/// How the 1-bit-per-element cycle flags are laid out in local memory.
+///
+/// The paper's §5.1 optimisations in increasing order of sophistication:
+/// packed (Eq. 2) → spread (Eq. 3) → spread + padded (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagLayout {
+    /// Eq. (2): `word = pos / 32` — maximal packing, maximal position
+    /// conflicts.
+    Packed,
+    /// Eq. (3): `word = pos × factor / 32` — spreads flags over more words.
+    /// `factor` ∈ 1..=32; 1 is equivalent to [`FlagLayout::Packed`].
+    Spread {
+        /// The spreading factor.
+        factor: usize,
+    },
+    /// Spreading plus one unused word inserted every 32 words, which rotates
+    /// banks and locks under power-of-two strides (§5.1.2, Figure 3 (c)).
+    SpreadPadded {
+        /// The spreading factor.
+        factor: usize,
+    },
+}
+
+impl FlagLayout {
+    /// The effective spreading factor.
+    #[must_use]
+    pub fn factor(&self) -> usize {
+        match *self {
+            FlagLayout::Packed => 1,
+            FlagLayout::Spread { factor } | FlagLayout::SpreadPadded { factor } => factor,
+        }
+    }
+
+    /// Is padding applied?
+    #[must_use]
+    pub fn padded(&self) -> bool {
+        matches!(self, FlagLayout::SpreadPadded { .. })
+    }
+
+    /// Local-memory word and bit holding the flag of element `pos`.
+    #[inline]
+    #[must_use]
+    pub fn word_and_bit(&self, pos: usize) -> (usize, u32) {
+        let f = self.factor();
+        let spread = pos * f;
+        let word = spread / 32;
+        let bit = (spread % 32) as u32;
+        let word = if self.padded() { word + word / 32 } else { word };
+        (word, bit)
+    }
+
+    /// Local-memory words required for `elems` flags.
+    #[must_use]
+    pub fn words_needed(&self, elems: usize) -> usize {
+        if elems == 0 {
+            return 0;
+        }
+        let (w, _) = self.word_and_bit(elems - 1);
+        w + 1
+    }
+
+    /// All layouts exercised by the Figure-6 experiment for one spreading
+    /// factor.
+    #[must_use]
+    pub fn for_factor(factor: usize, padded: bool) -> Self {
+        match (factor, padded) {
+            (0 | 1, false) => FlagLayout::Packed,
+            (f, false) => FlagLayout::Spread { factor: f },
+            (f, true) => FlagLayout::SpreadPadded { factor: f.max(1) },
+        }
+    }
+}
+
+/// Which implementation of the `100!` (SoA→ASTA) family to use (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant100 {
+    /// Sung et al.'s original: one work-group of `m` work-items per chain,
+    /// barriers between SIMD units, occupancy limited by work-group slots.
+    SungWorkGroup,
+    /// §5.2.1: one SIMD unit per chain, super-element staged through local
+    /// memory (2·m words per warp).
+    WarpLocalTile,
+    /// §5.2.1: register tiling — carried super-element lives in lane
+    /// registers. Only legal when `m` is a multiple or divisor of the SIMD
+    /// width.
+    WarpRegTile,
+    /// Pick [`Variant100::WarpRegTile`] when legal, else
+    /// [`Variant100::WarpLocalTile`].
+    Auto,
+}
+
+impl Variant100 {
+    /// Resolve [`Variant100::Auto`] for a given super-element size.
+    /// Register tiling needs `m` to divide / be a multiple of the SIMD width
+    /// *and* a register budget of at most 8 payload words per lane.
+    #[must_use]
+    pub fn resolve(self, super_size: usize, simd_width: usize) -> Variant100 {
+        match self {
+            Variant100::Auto => {
+                let aligned = super_size.is_multiple_of(simd_width) || simd_width.is_multiple_of(super_size);
+                if aligned && super_size <= simd_width * 8 {
+                    Variant100::WarpRegTile
+                } else {
+                    Variant100::WarpLocalTile
+                }
+            }
+            v => v,
+        }
+    }
+}
+
+/// Launch options for the staged pipelines.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuOptions {
+    /// Work-group size for the BS and PTTWAC-010 kernels.
+    pub wg_size: usize,
+    /// Work-group size for the warp-based 100! kernels (paper: 192 on
+    /// Fermi — register limited — and a multiple of 128 on Kepler).
+    pub wg_size_100: usize,
+    /// Flag layout for PTTWAC-010.
+    pub flags: FlagLayout,
+    /// 100!-family implementation.
+    pub variant100: Variant100,
+}
+
+impl GpuOptions {
+    /// The paper's best configuration for a device: spread+padded flags,
+    /// warp-based 100! with automatic register tiling.
+    #[must_use]
+    pub fn tuned_for(dev: &DeviceSpec) -> Self {
+        let wg_100 = match dev.arch {
+            gpu_sim::Arch::Fermi => 192,
+            gpu_sim::Arch::Kepler => 256,
+            gpu_sim::Arch::Gcn => 256,
+            gpu_sim::Arch::Mic => 128,
+        };
+        Self {
+            wg_size: 256.min(dev.max_threads_per_wg),
+            wg_size_100: wg_100.min(dev.max_threads_per_wg),
+            flags: FlagLayout::SpreadPadded { factor: 8 },
+            variant100: Variant100::Auto,
+        }
+    }
+
+    /// The unoptimised baseline: packed flags (Eq. 2) and Sung's
+    /// work-group-per-super-element 100!.
+    #[must_use]
+    pub fn baseline_for(dev: &DeviceSpec) -> Self {
+        Self {
+            wg_size: 256.min(dev.max_threads_per_wg),
+            wg_size_100: 256.min(dev.max_threads_per_wg),
+            flags: FlagLayout::Packed,
+            variant100: Variant100::SungWorkGroup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_layout_is_eq2() {
+        let l = FlagLayout::Packed;
+        assert_eq!(l.word_and_bit(0), (0, 0));
+        assert_eq!(l.word_and_bit(31), (0, 31));
+        assert_eq!(l.word_and_bit(32), (1, 0));
+        assert_eq!(l.words_needed(64), 2);
+        assert_eq!(l.words_needed(65), 3);
+    }
+
+    #[test]
+    fn spread_layout_is_eq3() {
+        let l = FlagLayout::Spread { factor: 8 };
+        // pos 0..3 share word 0 at bits 0,8,16,24; pos 4 → word 1.
+        assert_eq!(l.word_and_bit(0), (0, 0));
+        assert_eq!(l.word_and_bit(3), (0, 24));
+        assert_eq!(l.word_and_bit(4), (1, 0));
+        assert_eq!(l.words_needed(64), 16);
+        // factor 32: one flag per word.
+        let l = FlagLayout::Spread { factor: 32 };
+        assert_eq!(l.word_and_bit(5), (5, 0));
+    }
+
+    #[test]
+    fn padding_inserts_gap_every_32_words() {
+        let l = FlagLayout::SpreadPadded { factor: 32 };
+        // Unpadded words 0..31 map to 0..31; word 32 skips to 33.
+        assert_eq!(l.word_and_bit(31).0, 31);
+        assert_eq!(l.word_and_bit(32).0, 33);
+        assert_eq!(l.word_and_bit(64).0, 66);
+    }
+
+    #[test]
+    fn flags_unique_per_position() {
+        for layout in [
+            FlagLayout::Packed,
+            FlagLayout::Spread { factor: 4 },
+            FlagLayout::Spread { factor: 32 },
+            FlagLayout::SpreadPadded { factor: 8 },
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for pos in 0..2000 {
+                assert!(seen.insert(layout.word_and_bit(pos)), "{layout:?} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn spreading_reduces_same_word_collisions() {
+        // 32 consecutive positions: packed → all in 1 word; spread 8 → 8 per
+        // 4 words... i.e. 4 positions per word.
+        let count_words = |l: FlagLayout| {
+            let mut words = std::collections::HashSet::new();
+            for pos in 0..32 {
+                words.insert(l.word_and_bit(pos).0);
+            }
+            words.len()
+        };
+        assert_eq!(count_words(FlagLayout::Packed), 1);
+        assert_eq!(count_words(FlagLayout::Spread { factor: 8 }), 8);
+        assert_eq!(count_words(FlagLayout::Spread { factor: 32 }), 32);
+    }
+
+    #[test]
+    fn variant_resolution() {
+        assert_eq!(Variant100::Auto.resolve(64, 32), Variant100::WarpRegTile);
+        assert_eq!(Variant100::Auto.resolve(16, 32), Variant100::WarpRegTile);
+        assert_eq!(Variant100::Auto.resolve(72, 32), Variant100::WarpLocalTile);
+        assert_eq!(Variant100::SungWorkGroup.resolve(64, 32), Variant100::SungWorkGroup);
+    }
+
+    #[test]
+    fn tuned_options_per_arch() {
+        assert_eq!(GpuOptions::tuned_for(&DeviceSpec::gtx580()).wg_size_100, 192);
+        assert_eq!(GpuOptions::tuned_for(&DeviceSpec::tesla_k20()).wg_size_100, 256);
+        // AMD: hard 256-thread cap.
+        assert!(GpuOptions::tuned_for(&DeviceSpec::hd7750()).wg_size <= 256);
+    }
+}

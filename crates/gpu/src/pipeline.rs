@@ -1,0 +1,593 @@
+//! Staged full in-place transposition on the simulated device: plan →
+//! kernel selection → execution → stats.
+//!
+//! Kernel selection per stage follows the paper:
+//!
+//! * an instanced stage whose whole tile fits local memory → **BS**
+//!   (Figure 1; the preferred stage-2 kernel, §7.4),
+//! * scalar stage (super = 1) with flags fitting local memory →
+//!   **PTTWAC 010!** (§5.1, with the configured flag layout),
+//! * anything with super-elements (100!, 0100!, 1000!) or too big for local
+//!   flags → **PTTWAC 100!** (§5.2, with the configured variant),
+//! * the fused stage of the 4-stage(+fusion) plan → PTTWAC 100! with
+//!   in-flight tile transposition plus a BS pass over outer fixed tiles.
+
+use crate::bs::BsKernel;
+use crate::opts::{GpuOptions, Variant100};
+use crate::pttwac010::Pttwac010;
+use crate::pttwac100::Pttwac100;
+use gpu_sim::{Buffer, KernelStats, LaunchError, PipelineStats, Sim};
+use ipt_core::stages::{StageOp, StagePlan};
+use ipt_core::{InstancedTranspose, TransposePerm};
+
+/// Which kernel the selector chose for a stage (exposed for tests and the
+/// experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKernel {
+    /// Barrier-sync on-chip transposition.
+    Bs,
+    /// PTTWAC with local-memory flags.
+    Pttwac010,
+    /// PTTWAC with global coordination bits.
+    Pttwac100,
+}
+
+/// Decide the kernel for an instanced stage on this device.
+#[must_use]
+pub fn select_kernel(sim: &Sim, op: &InstancedTranspose, opts: &GpuOptions) -> StageKernel {
+    let dev = sim.device();
+    let tile_words = op.instance_len();
+    if tile_words <= dev.local_words_per_wg() && op.instances > 1 {
+        return StageKernel::Bs;
+    }
+    if op.super_size == 1 {
+        let flag_words = opts.flags.words_needed(op.rows * op.cols);
+        if flag_words <= dev.local_words_per_wg() && op.instances > 1 {
+            return StageKernel::Pttwac010;
+        }
+    }
+    StageKernel::Pttwac100
+}
+
+/// Flag words needed by the whole plan: the maximum over the stages that
+/// route to the global-coordination-bit kernel (`100!` family). Scalar
+/// multi-instance stages (`0010!`) use BS or local-memory flags and need
+/// none — this is why the paper's global overhead is one bit per
+/// *super-element* (< 0.1 % for §7.4 tiles), not per element.
+#[must_use]
+pub fn plan_flag_words(plan: &StagePlan) -> usize {
+    // Conservative local-flag capacity: the smallest modelled local memory
+    // (32 KB) at the most wasteful layout (spreading 32 + padding) holds
+    // ≈ 7900 flags. Scalar tiles beyond this may fall back to global flags
+    // even with instances > 1.
+    const MAX_LOCAL_FLAGS: usize = 7900;
+    plan.stages
+        .iter()
+        .map(|s| match &s.op {
+            StageOp::Instanced(op) => {
+                let supers = op.rows * op.cols;
+                let uses_global_flags =
+                    op.super_size > 1 || op.instances == 1 || supers > MAX_LOCAL_FLAGS;
+                if uses_global_flags {
+                    Pttwac100::flag_words(op.instances * supers)
+                } else {
+                    0
+                }
+            }
+            StageOp::Fused(f) => Pttwac100::flag_words(f.rows_outer * f.cols_outer),
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Execute `plan` in place over `data` on the simulator; `flags` must have
+/// at least [`plan_flag_words`] words.
+///
+/// Returns per-stage kernel stats; `overhead_s` accounts the flag-buffer
+/// memsets (the paper's ≈0.1 % coordination-bit overhead).
+///
+/// # Errors
+/// Propagates infeasible launches.
+pub fn run_plan(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+) -> Result<PipelineStats, LaunchError> {
+    let mut out = PipelineStats::default();
+    for stage in &plan.stages {
+        match &stage.op {
+            StageOp::Instanced(op) => {
+                let stats = run_instanced(sim, data, flags, op, opts, &mut out.overhead_s)?;
+                out.stages.push(stats);
+            }
+            StageOp::Fused(f) => {
+                // Moving stage: m·n-word super-elements over the (M′,N′)
+                // grid, transposed in flight.
+                let supers = f.rows_outer * f.cols_outer;
+                sim.zero(flags);
+                out.overhead_s += memset_time(sim, Pttwac100::flag_words(supers));
+                let ss = f.rows_inner * f.cols_inner;
+                let k = Pttwac100 {
+                    data,
+                    flags,
+                    instances: 1,
+                    rows: f.rows_outer,
+                    cols: f.cols_outer,
+                    super_size: ss,
+                    variant: moving_variant(sim, opts, ss),
+                    wg_size: opts.wg_size_100,
+                    fuse_tile: Some((f.rows_inner, f.cols_inner)),
+                };
+                out.stages.push(sim.launch(&k)?);
+                // Outer fixed tiles still need internal transposition.
+                if let Some(stats) = run_fused_fixed_tiles(sim, data, f, opts)? {
+                    out.stages.push(stats);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a single instanced elementary transposition on the device
+/// (kernel selection as in [`run_plan`]); flag-memset overhead is folded
+/// into the returned stage time. Used by the asynchronous host scheme to
+/// run chunked stages.
+///
+/// # Errors
+/// Propagates infeasible launches.
+pub fn run_instanced_public(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    op: &InstancedTranspose,
+    opts: &GpuOptions,
+) -> Result<KernelStats, LaunchError> {
+    let mut overhead = 0.0;
+    let mut stats = run_instanced(sim, data, flags, op, opts, &mut overhead)?;
+    stats.time_s += overhead;
+    Ok(stats)
+}
+
+/// Time to clear `words` of flag storage (bandwidth-bound memset).
+fn memset_time(sim: &Sim, words: usize) -> f64 {
+    (words * 4) as f64 / (sim.device().peak_gbps * 1e9)
+}
+
+fn moving_variant(sim: &Sim, opts: &GpuOptions, super_size: usize) -> Variant100 {
+    opts.variant100.resolve(super_size, sim.device().simd_width)
+}
+
+fn run_instanced(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    op: &InstancedTranspose,
+    opts: &GpuOptions,
+    overhead_s: &mut f64,
+) -> Result<KernelStats, LaunchError> {
+    // Degenerate stages (1×1 grids) move nothing.
+    if op.rows * op.cols <= 1 || (op.rows == 1 || op.cols == 1) {
+        // A r×1 or 1×c transposition is the identity on linear storage.
+        return Ok(noop_stats(op));
+    }
+    match select_kernel(sim, op, opts) {
+        StageKernel::Bs => sim.launch(&BsKernel {
+            data,
+            instances: op.instances,
+            rows: op.rows,
+            cols: op.cols,
+            super_size: op.super_size,
+            wg_size: opts.wg_size,
+        }),
+        StageKernel::Pttwac010 => sim.launch(&Pttwac010 {
+            data,
+            instances: op.instances,
+            rows: op.rows,
+            cols: op.cols,
+            wg_size: opts.wg_size,
+            flags: opts.flags,
+        }),
+        StageKernel::Pttwac100 => {
+            let needed = Pttwac100::flag_words(op.instances * op.rows * op.cols);
+            assert!(
+                flags.len >= needed,
+                "flags buffer has {} words but the 100!-family stage needs {needed}; \
+                 size it with plan_flag_words()",
+                flags.len
+            );
+            sim.zero(flags);
+            *overhead_s += memset_time(sim, needed);
+            sim.launch(&Pttwac100 {
+                data,
+                flags,
+                instances: op.instances,
+                rows: op.rows,
+                cols: op.cols,
+                super_size: op.super_size,
+                variant: moving_variant(sim, opts, op.super_size),
+                wg_size: opts.wg_size_100,
+                fuse_tile: None,
+            })
+        }
+    }
+}
+
+/// Zero-cost stats entry for stages that are the identity on linear
+/// storage.
+fn noop_stats(op: &InstancedTranspose) -> KernelStats {
+    KernelStats {
+        name: format!("noop {}x{}x{}x{}", op.instances, op.rows, op.cols, op.super_size),
+        num_wgs: 0,
+        wg_size: 0,
+        occupancy: gpu_sim::Occupancy {
+            wgs_per_sm: 0,
+            warps_per_sm: 0,
+            occupancy: 0.0,
+            limiter: gpu_sim::Limiter::WgSlots,
+        },
+        time_s: 0.0,
+        bounds: gpu_sim::TimeBounds {
+            bandwidth_s: 0.0,
+            latency_s: 0.0,
+            serial_s: 0.0,
+            local_port_s: 0.0,
+        },
+        dram_bytes: 0.0,
+        useful_bytes: 0.0,
+        gld_transactions: 0,
+        gst_transactions: 0,
+        local_accesses: 0,
+        local_atomics: 0,
+        global_atomics: 0,
+        position_conflicts: 0,
+        lock_conflicts: 0,
+        bank_conflicts: 0,
+        barriers: 0,
+        warp_steps: 0,
+        total_chain_cycles: 0.0,
+        max_chain_cycles: 0.0,
+    }
+}
+
+/// Transpose the outer fixed tiles of a fused stage with a BS pass over
+/// just those tiles. Returns `None` when the tiles fit nothing (no fixed
+/// tiles beyond trivial cases are exercised — there are always at least 2).
+fn run_fused_fixed_tiles(
+    sim: &Sim,
+    data: Buffer,
+    f: &ipt_core::elementary::FusedTileTranspose,
+    opts: &GpuOptions,
+) -> Result<Option<KernelStats>, LaunchError> {
+    let perm = TransposePerm::new(f.rows_outer, f.cols_outer);
+    let tile = f.rows_inner * f.cols_inner;
+    if tile <= 1 || f.rows_inner == 1 || f.cols_inner == 1 {
+        return Ok(None);
+    }
+    // Fixed outer tiles are contiguous tile-sized regions; run one BS
+    // work-group per fixed tile via a sub-buffer each. For simplicity and
+    // because there are only gcd(M′N′−1, M′−1)+1 ≈ a handful of them, launch
+    // one BS kernel per fixed tile and merge the stats.
+    let mut merged: Option<KernelStats> = None;
+    for t in 0..f.rows_outer * f.cols_outer {
+        if perm.dest(t) != t {
+            continue;
+        }
+        let sub = data.slice(t * tile, tile);
+        let stats = sim.launch(&BsKernel {
+            data: sub,
+            instances: 1,
+            rows: f.rows_inner,
+            cols: f.cols_inner,
+            super_size: 1,
+            wg_size: opts.wg_size.min(tile.next_multiple_of(32)),
+        })?;
+        merged = Some(match merged {
+            None => stats,
+            Some(mut acc) => {
+                acc.time_s += stats.time_s;
+                acc.dram_bytes += stats.dram_bytes;
+                acc.useful_bytes += stats.useful_bytes;
+                acc.name = "BS fixed-tiles".into();
+                acc
+            }
+        });
+    }
+    Ok(merged)
+}
+
+/// Convenience: upload, run, download, and *verify* a full in-place
+/// transposition of `data` (row-major `rows × cols`) on a fresh simulator.
+///
+/// # Errors
+/// Propagates infeasible launches.
+///
+/// # Panics
+/// Panics if the simulated kernels produce an incorrect transposition —
+/// functional correctness is non-negotiable in this workspace.
+pub fn transpose_on_device(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+) -> Result<PipelineStats, LaunchError> {
+    assert_eq!(host_data.len(), rows * cols);
+    let data = sim.alloc(rows * cols);
+    let flags = sim.alloc(plan_flag_words(plan).max(1));
+    sim.upload_u32(data, host_data);
+    let stats = run_plan(sim, data, flags, plan, opts)?;
+    let result = sim.download_u32(data);
+    // Verify against the definitional permutation.
+    let perm = TransposePerm::new(rows, cols);
+    for (k, &v) in host_data.iter().enumerate() {
+        let d = perm.dest(k);
+        assert_eq!(
+            result[d], v,
+            "device transposition incorrect at source offset {k} (plan {})",
+            plan.name
+        );
+    }
+    *host_data = result;
+    Ok(stats)
+}
+
+/// Scale a plan's elementary operations for elements of `elem_words` 32-bit
+/// words (e.g. 2 for `f64`): every moved unit grows by the element size.
+/// Fused stages are replaced by their unfused pair (the fused kernel's
+/// in-flight tile transposition is word-granular).
+#[must_use]
+pub fn scale_plan_words(plan: &StagePlan, elem_words: usize) -> StagePlan {
+    assert!(elem_words >= 1);
+    if elem_words == 1 {
+        return plan.clone();
+    }
+    let mut out = plan.clone();
+    let mut stages = Vec::with_capacity(plan.stages.len() + 1);
+    for stage in &plan.stages {
+        match &stage.op {
+            StageOp::Instanced(op) => {
+                let mut st = stage.clone();
+                st.op = StageOp::Instanced(InstancedTranspose::new(
+                    op.instances,
+                    op.rows,
+                    op.cols,
+                    op.super_size * elem_words,
+                ));
+                stages.push(st);
+            }
+            StageOp::Fused(f) => {
+                // Unfuse: 0010! (tiles of rows_inner × cols_inner elements)
+                // then 1000! over the outer grid.
+                let mut a = stage.clone();
+                a.op = StageOp::Instanced(InstancedTranspose::new(
+                    f.rows_outer * f.cols_outer,
+                    f.rows_inner,
+                    f.cols_inner,
+                    elem_words,
+                ));
+                stages.push(a);
+                let mut b = stage.clone();
+                b.op = StageOp::Instanced(InstancedTranspose::new(
+                    1,
+                    f.rows_outer,
+                    f.cols_outer,
+                    f.rows_inner * f.cols_inner * elem_words,
+                ));
+                stages.push(b);
+            }
+        }
+    }
+    out.stages = stages;
+    out
+}
+
+/// [`transpose_on_device`] for `f64` matrices: elements travel as pairs of
+/// 32-bit words; every elementary operation's super-element size doubles.
+/// The result is verified element-exact against the reference permutation.
+///
+/// # Errors
+/// Propagates infeasible launches.
+///
+/// # Panics
+/// Panics on an incorrect transposition or size mismatch.
+pub fn transpose_on_device_f64(
+    sim: &mut Sim,
+    host_data: &mut Vec<f64>,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+) -> Result<PipelineStats, LaunchError> {
+    assert_eq!(host_data.len(), rows * cols);
+    let scaled = scale_plan_words(plan, 2);
+    let words: Vec<u32> = host_data
+        .iter()
+        .flat_map(|v| {
+            let b = v.to_bits();
+            [(b & 0xffff_ffff) as u32, (b >> 32) as u32]
+        })
+        .collect();
+    let data = sim.alloc(words.len());
+    let flags = sim.alloc(plan_flag_words(&scaled).max(1));
+    sim.upload_u32(data, &words);
+    let stats = run_plan(sim, data, flags, &scaled, opts)?;
+    let out_words = sim.download_u32(data);
+    let result: Vec<f64> = out_words
+        .chunks_exact(2)
+        .map(|w| f64::from_bits(u64::from(w[0]) | (u64::from(w[1]) << 32)))
+        .collect();
+    let perm = TransposePerm::new(rows, cols);
+    for (k, &v) in host_data.iter().enumerate() {
+        assert_eq!(
+            result[perm.dest(k)].to_bits(),
+            v.to_bits(),
+            "f64 device transposition incorrect at source offset {k}"
+        );
+    }
+    *host_data = result;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use ipt_core::stages::TileConfig;
+    use ipt_core::Matrix;
+
+    fn run_full(
+        dev: DeviceSpec,
+        rows: usize,
+        cols: usize,
+        plan: &StagePlan,
+        opts: &GpuOptions,
+    ) -> PipelineStats {
+        let mut sim = Sim::new(dev, rows * cols + plan_flag_words(plan) + 64);
+        let mut data = Matrix::iota(rows, cols).into_vec();
+        transpose_on_device(&mut sim, &mut data, rows, cols, plan, opts).expect("launch")
+        // transpose_on_device panics on functional mismatch.
+    }
+
+    #[test]
+    fn three_stage_transposes_on_all_devices() {
+        let (rows, cols) = (72, 60);
+        let plan = StagePlan::three_stage(rows, cols, TileConfig::new(12, 10)).unwrap();
+        for dev in [
+            DeviceSpec::tesla_k20(),
+            DeviceSpec::gtx580(),
+            DeviceSpec::hd7750(),
+            DeviceSpec::xeon_phi(),
+        ] {
+            let opts = GpuOptions::tuned_for(&dev);
+            let stats = run_full(dev, rows, cols, &plan, &opts);
+            assert_eq!(stats.stages.len(), 3);
+            assert!(stats.time_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_plans_verify_functionally() {
+        let (rows, cols) = (48, 90);
+        let tile = TileConfig::new(8, 9);
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        for plan in [
+            StagePlan::three_stage(rows, cols, tile).unwrap(),
+            StagePlan::four_stage(rows, cols, tile).unwrap(),
+            StagePlan::four_stage_fused(rows, cols, tile).unwrap(),
+            StagePlan::single_stage(rows, cols),
+        ] {
+            let _ = run_full(DeviceSpec::tesla_k20(), rows, cols, &plan, &opts);
+        }
+    }
+
+    #[test]
+    fn f64_three_and_four_stage_verify() {
+        let (rows, cols) = (72, 60);
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let tile = TileConfig::new(12, 10);
+        for plan in [
+            StagePlan::three_stage(rows, cols, tile).unwrap(),
+            StagePlan::four_stage(rows, cols, tile).unwrap(),
+            StagePlan::four_stage_fused(rows, cols, tile).unwrap(), // unfused under f64
+            StagePlan::single_stage(rows, cols),
+        ] {
+            let scaled = scale_plan_words(&plan, 2);
+            let mut sim =
+                Sim::new(dev.clone(), 2 * rows * cols + plan_flag_words(&scaled) + 64);
+            let mut data: Vec<f64> =
+                (0..rows * cols).map(|k| k as f64 * 1.5 - 7.25).collect();
+            // Verified internally (bit-exact).
+            let stats =
+                transpose_on_device_f64(&mut sim, &mut data, rows, cols, &plan, &opts)
+                    .unwrap();
+            assert!(stats.time_s() > 0.0, "{}", plan.name);
+        }
+    }
+
+    #[test]
+    fn f64_moves_double_the_bytes_at_similar_bandwidth() {
+        let (rows, cols) = (360, 180);
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let plan = StagePlan::three_stage(rows, cols, TileConfig::new(60, 60)).unwrap();
+        let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(&plan) + 64);
+        let mut d32 = Matrix::iota(rows, cols).into_vec();
+        let s32 = transpose_on_device(&mut sim, &mut d32, rows, cols, &plan, &opts).unwrap();
+        let scaled = scale_plan_words(&plan, 2);
+        let mut sim = Sim::new(dev, 2 * rows * cols + plan_flag_words(&scaled) + 64);
+        let mut d64: Vec<f64> = (0..rows * cols).map(|k| k as f64).collect();
+        let s64 = transpose_on_device_f64(&mut sim, &mut d64, rows, cols, &plan, &opts).unwrap();
+        // Same payload GB/s regime: f64 time within ~3x of 2x-the-f32 time.
+        let ratio = s64.time_s() / (2.0 * s32.time_s());
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn kernel_selection_logic() {
+        let dev = DeviceSpec::tesla_k20();
+        let sim = Sim::new(dev, 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        // Small tiles in many instances → BS.
+        assert_eq!(
+            select_kernel(&sim, &InstancedTranspose::new(100, 16, 16, 1), &opts),
+            StageKernel::Bs
+        );
+        // Large scalar tile, flags fit → PTTWAC 010.
+        assert_eq!(
+            select_kernel(&sim, &InstancedTranspose::new(8, 64, 500, 1), &opts),
+            StageKernel::Pttwac010
+        );
+        // Super-elements → PTTWAC 100.
+        assert_eq!(
+            select_kernel(&sim, &InstancedTranspose::new(1, 100, 50, 64), &opts),
+            StageKernel::Pttwac100
+        );
+        // Whole-matrix scalar (single instance) → PTTWAC 100 (global flags).
+        assert_eq!(
+            select_kernel(&sim, &InstancedTranspose::new(1, 7200, 1800, 1), &opts),
+            StageKernel::Pttwac100
+        );
+    }
+
+    #[test]
+    fn three_stage_beats_four_stage_at_good_tiles() {
+        // The Table-2 headline on a reduced-size matrix: 720×180 with the
+        // paper's preferred tile shapes.
+        let (rows, cols) = (720, 180);
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let t3 = StagePlan::three_stage(rows, cols, TileConfig::new(48, 36)).unwrap();
+        let t4 = StagePlan::four_stage(rows, cols, TileConfig::new(16, 12)).unwrap();
+        let s3 = run_full(dev.clone(), rows, cols, &t3, &opts);
+        let s4 = run_full(dev, rows, cols, &t4, &opts);
+        assert!(
+            s3.time_s() < s4.time_s(),
+            "3-stage {} vs 4-stage {}",
+            s3.time_s(),
+            s4.time_s()
+        );
+    }
+
+    #[test]
+    fn single_stage_is_much_slower_than_staged() {
+        let (rows, cols) = (360, 180);
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let staged = StagePlan::three_stage(rows, cols, TileConfig::new(60, 60)).unwrap();
+        let single = StagePlan::single_stage(rows, cols);
+        let s = run_full(dev.clone(), rows, cols, &staged, &opts);
+        let one = run_full(dev, rows, cols, &single, &opts);
+        assert!(
+            one.time_s() > 2.0 * s.time_s(),
+            "single {} vs staged {}",
+            one.time_s(),
+            s.time_s()
+        );
+    }
+}
