@@ -37,7 +37,7 @@ pub fn run(dev: &DeviceSpec, rows: usize, cols: usize) -> Vec<Row> {
     let mut out = Vec::new();
     for link in [LinkTopology::Shared, LinkTopology::Private] {
         for d in [1usize, 2, 4, 8] {
-            if rows % d != 0 {
+            if !rows.is_multiple_of(d) {
                 continue;
             }
             let rep = run_multi_gpu(dev, d, rows, cols, &opts, link).expect("multi-gpu run");

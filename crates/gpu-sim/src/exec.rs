@@ -20,6 +20,7 @@
 //! inside one launch.
 
 use crate::device::DeviceSpec;
+use crate::fault::{AtomicTamper, FaultPlan, StepFault};
 use crate::lanes::{LaneAddrs, LaneVals, LaneWrites, MAX_LANES};
 use crate::mem::{Buffer, GlobalMem, LocalMem};
 use crate::occupancy::{occupancy, KernelResources};
@@ -79,12 +80,24 @@ pub enum LaunchError {
         /// Offending resource description.
         why: String,
     },
+    /// The kernel died mid-flight (injected watchdog/machine-check fault).
+    /// Device memory may hold a partially transposed state; recovery must
+    /// restore a snapshot before retrying.
+    Aborted {
+        /// Kernel display name.
+        kernel: String,
+        /// Warp steps completed before the abort.
+        after_steps: u64,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::Infeasible { why } => write!(f, "kernel launch infeasible: {why}"),
+            LaunchError::Aborted { kernel, after_steps } => {
+                write!(f, "kernel `{kernel}` aborted after {after_steps} warp steps")
+            }
         }
     }
 }
@@ -126,6 +139,7 @@ pub struct WarpCtx<'a> {
     local: &'a mut LocalMem,
     counters: &'a mut Counters,
     chain_cycles: &'a mut f64,
+    fault: Option<&'a FaultPlan>,
 }
 
 /// Scratch for distinct-count computations (≤ 64 entries, stack only).
@@ -326,8 +340,17 @@ impl WarpCtx<'_> {
             self.counters.position_conflicts += (n - distinct) as u64;
             *self.chain_cycles += self.dev.lat_global_atomic * max_deg as f64;
         }
-        // Functional execution in lane order (deterministic).
-        ops.map(|w| w.map_or(0, |(off, v)| self.global.atomic_or(buf.addr(off), v)))
+        // Functional execution in lane order (deterministic). An armed
+        // fault plan may tamper with the first active lane's update.
+        let mut tamper =
+            self.fault.and_then(|f| f.on_global_atomic(self.wg_id, self.warp_id));
+        ops.map(|w| {
+            w.map_or(0, |(off, v)| match tamper.take() {
+                None => self.global.atomic_or(buf.addr(off), v),
+                Some(AtomicTamper::Drop) => self.global.read(buf.addr(off)),
+                Some(AtomicTamper::Duplicate) => self.global.atomic_or(buf.addr(off), v) | v,
+            })
+        })
     }
 
     // ---- local memory ----
@@ -499,7 +522,15 @@ impl WarpCtx<'_> {
                 *self.chain_cycles += self.dev.lat_local_atomic * degree;
             }
         }
-        ops.map(|w| w.map_or(0, |(addr, v)| self.local.or(addr, v)))
+        let mut tamper =
+            self.fault.and_then(|f| f.on_local_atomic(self.wg_id, self.warp_id));
+        ops.map(|w| {
+            w.map_or(0, |(addr, v)| match tamper.take() {
+                None => self.local.or(addr, v),
+                Some(AtomicTamper::Drop) => self.local.read(addr),
+                Some(AtomicTamper::Duplicate) => self.local.or(addr, v) | v,
+            })
+        })
     }
 }
 
@@ -532,6 +563,26 @@ pub fn launch<K: Kernel>(
     global: &GlobalMem,
     kernel: &K,
 ) -> Result<KernelStats, LaunchError> {
+    launch_with_faults(dev, global, kernel, None)
+}
+
+/// [`launch`] with an optional armed [`FaultPlan`]: atomic-flag tampering
+/// and local-memory corruption are applied in flight; a planned abort
+/// surfaces as [`LaunchError::Aborted`] with device memory left in whatever
+/// partially transposed state the kernel reached.
+///
+/// # Errors
+/// [`LaunchError::Infeasible`] for infeasible launches,
+/// [`LaunchError::Aborted`] when the fault plan kills the kernel.
+pub fn launch_with_faults<K: Kernel>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    fault: Option<&FaultPlan>,
+) -> Result<KernelStats, LaunchError> {
+    if let Some(f) = fault {
+        f.set_context(&kernel.name());
+    }
     let grid = kernel.grid();
     assert!(grid.num_wgs > 0 && grid.wg_size > 0, "empty grid");
     let res = KernelResources {
@@ -587,6 +638,23 @@ pub fn launch<K: Kernel>(
                 }
                 let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
                 counters.warp_steps += 1;
+                if let Some(f) = fault {
+                    match f.on_warp_step(wg.wg_id, w) {
+                        StepFault::None => {}
+                        StepFault::Abort => {
+                            return Err(LaunchError::Aborted {
+                                kernel: kernel.name(),
+                                after_steps: counters.warp_steps,
+                            })
+                        }
+                        StepFault::CorruptLocal(garbage) => {
+                            let len = wg.local.len();
+                            if len > 0 {
+                                wg.local.write(f.corrupt_index(len), garbage);
+                            }
+                        }
+                    }
+                }
                 let warp = &mut wg.warps[w];
                 let mut ctx = WarpCtx {
                     wg_id: wg.wg_id,
@@ -599,6 +667,7 @@ pub fn launch<K: Kernel>(
                     local: &mut wg.local,
                     counters: &mut counters,
                     chain_cycles: &mut warp.chain_cycles,
+                    fault,
                 };
                 match kernel.step(&mut warp.state, &mut ctx) {
                     Step::Continue => {}

@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] is seeded, armed on a [`crate::Sim`] (or passed to the
+//! command-queue DES), and fires **exactly one** fault when its event
+//! countdown reaches zero. Every fault is tagged with a [`FaultRecord`]
+//! naming the site it fired at, so tests can assert both *that* and *where*
+//! injection happened, and campaigns are reproducible from the seed alone.
+//!
+//! Modelled fault classes (chosen to stress the transposition pipeline's
+//! correctness mechanisms — the PTTWAC claim protocols, the barrier
+//! schedule, and the PCIe transfer path):
+//!
+//! * **Dropped / duplicated atomic flag updates**, local ([`LocalMem::or`])
+//!   and global ([`GlobalMem::atomic_or`]) — the coordination bits of
+//!   `010!` / `100!` cycle following. A *drop* loses the claim (two warps
+//!   may move the same element); a *duplicate* reports the bit as already
+//!   set (the claiming warp skips its move).
+//! * **Kernel abort** after K warp steps — a launch that dies mid-flight
+//!   (watchdog timeout, ECC machine check), surfacing as
+//!   [`LaunchError::Aborted`](crate::exec::LaunchError::Aborted).
+//! * **Local-memory word corruption** — a transient bit flip in one
+//!   work-group's scratchpad.
+//! * **Transient H2D / D2H transfer failures** in the command-queue DES —
+//!   a PCIe hiccup; retrying the transfer succeeds.
+//!
+//! All of it is deterministic: the same seed fires the same fault at the
+//! same event index, independent of host threading (the simulator itself is
+//! single-threaded per launch and the countdown is atomic).
+//!
+//! [`LocalMem::or`]: crate::mem::LocalMem::or
+//! [`GlobalMem::atomic_or`]: crate::mem::GlobalMem::atomic_or
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+/// The class of fault a plan injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A local-memory atomic OR is not applied (the claim is lost).
+    DropLocalAtomic,
+    /// A local-memory atomic OR reports its bits as already set (a spurious
+    /// duplicate claim: the claiming lane believes it lost the race).
+    DuplicateLocalAtomic,
+    /// A global-memory atomic OR is not applied.
+    DropGlobalAtomic,
+    /// A global-memory atomic OR reports its bits as already set.
+    DuplicateGlobalAtomic,
+    /// The running kernel aborts after the countdown's worth of warp steps.
+    AbortKernel,
+    /// One word of a work-group's local memory is overwritten.
+    CorruptLocalWord,
+    /// The Nth host-to-device transfer in the DES fails transiently.
+    FailH2D,
+    /// The Nth device-to-host transfer in the DES fails transiently.
+    FailD2H,
+}
+
+impl FaultKind {
+    /// All injectable kinds, in the order the seed selects from.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::DropLocalAtomic,
+        FaultKind::DuplicateLocalAtomic,
+        FaultKind::DropGlobalAtomic,
+        FaultKind::DuplicateGlobalAtomic,
+        FaultKind::AbortKernel,
+        FaultKind::CorruptLocalWord,
+        FaultKind::FailH2D,
+        FaultKind::FailD2H,
+    ];
+}
+
+/// How a tampered atomic behaves at the firing site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicTamper {
+    /// The OR is not applied; the true old value is returned (a lost
+    /// update — other warps can still claim the same bit).
+    Drop,
+    /// The OR is applied, but the returned old value has the requested bits
+    /// set (the claimant concludes someone else owns the element).
+    Duplicate,
+}
+
+/// What the execution engine should do at a warp-step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepFault {
+    /// Nothing fires here.
+    None,
+    /// Abort the launch now.
+    Abort,
+    /// Overwrite one local-memory word with the given value.
+    CorruptLocal(u32),
+}
+
+/// One fired fault, for assertion and reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// What fired.
+    pub kind: FaultKind,
+    /// Where it fired (kernel or transfer site, e.g. `pttwac-010`,
+    /// `DES H2D #0`).
+    pub site: String,
+    /// Free-form detail (event index, affected word, …).
+    pub detail: String,
+}
+
+/// SplitMix64 — the same tiny deterministic generator the test shims use.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, single-shot fault plan.
+///
+/// Interior-mutable so the simulator can consult it through shared
+/// references on its hot paths; the countdown is a single atomic and the
+/// record log is mutex-guarded (contended only at the one firing instant).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    kind: FaultKind,
+    trigger: u64,
+    payload: u64,
+    remaining: AtomicI64,
+    context: Mutex<String>,
+    log: Mutex<Vec<FaultRecord>>,
+}
+
+impl FaultPlan {
+    /// Derive a single fault (kind, trigger point, payload) from `seed`.
+    ///
+    /// Trigger ranges are deliberately small so that typical pipeline runs
+    /// actually reach the firing point; a plan whose countdown is never
+    /// exhausted simply never fires (the run is fault-free).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        let kind = FaultKind::ALL[(splitmix(&mut s) % FaultKind::ALL.len() as u64) as usize];
+        let trigger = match kind {
+            // Atomic tampering: within the first few hundred flag updates.
+            FaultKind::DropLocalAtomic
+            | FaultKind::DuplicateLocalAtomic
+            | FaultKind::DropGlobalAtomic
+            | FaultKind::DuplicateGlobalAtomic => splitmix(&mut s) % 256,
+            // Abort / corruption: within the first few thousand warp steps.
+            FaultKind::AbortKernel | FaultKind::CorruptLocalWord => splitmix(&mut s) % 2048,
+            // Transfers: one of the first few DES copies.
+            FaultKind::FailH2D | FaultKind::FailD2H => splitmix(&mut s) % 3,
+        };
+        let payload = splitmix(&mut s);
+        Self::exact(seed, kind, trigger, payload)
+    }
+
+    /// A plan firing `kind` at exactly the `trigger`-th matching event
+    /// (0-based), with `payload` steering secondary choices (corruption
+    /// value, etc.). For targeted tests.
+    #[must_use]
+    pub fn exact(seed: u64, kind: FaultKind, trigger: u64, payload: u64) -> Self {
+        Self {
+            seed,
+            kind,
+            trigger,
+            payload,
+            remaining: AtomicI64::new(trigger as i64),
+            context: Mutex::new(String::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The seed this plan was derived from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault class this plan injects.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Has the fault fired yet?
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        !self.log.lock().map(|l| l.is_empty()).unwrap_or(true)
+    }
+
+    /// The records of every fired fault (a single-shot plan logs at most
+    /// one).
+    #[must_use]
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.log.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+
+    /// Name the execution context (kernel name, scheme) for subsequent
+    /// records.
+    pub fn set_context(&self, ctx: &str) {
+        if let Ok(mut c) = self.context.lock() {
+            c.clear();
+            c.push_str(ctx);
+        }
+    }
+
+    /// Re-arm the countdown (a fresh campaign pass with the same plan).
+    pub fn rearm(&self) {
+        self.remaining.store(self.trigger as i64, Ordering::SeqCst);
+        if let Ok(mut l) = self.log.lock() {
+            l.clear();
+        }
+    }
+
+    /// Count one event of the plan's class; true exactly once, when the
+    /// countdown crosses zero.
+    fn tick(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::SeqCst) == 0
+    }
+
+    fn record(&self, detail: String) {
+        let site = self.context.lock().map(|c| c.clone()).unwrap_or_default();
+        if let Ok(mut l) = self.log.lock() {
+            l.push(FaultRecord { kind: self.kind, site, detail });
+        }
+    }
+
+    /// Consult the plan at a local atomic OR (one call per warp
+    /// instruction). `Some` means: tamper with the first active lane.
+    pub fn on_local_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        let tamper = match self.kind {
+            FaultKind::DropLocalAtomic => AtomicTamper::Drop,
+            FaultKind::DuplicateLocalAtomic => AtomicTamper::Duplicate,
+            _ => return None,
+        };
+        if !self.tick() {
+            return None;
+        }
+        self.record(format!(
+            "local atomic #{} tampered ({tamper:?}) at wg={wg_id} warp={warp_id}",
+            self.trigger
+        ));
+        Some(tamper)
+    }
+
+    /// Consult the plan at a global atomic OR (one call per warp
+    /// instruction).
+    pub fn on_global_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        let tamper = match self.kind {
+            FaultKind::DropGlobalAtomic => AtomicTamper::Drop,
+            FaultKind::DuplicateGlobalAtomic => AtomicTamper::Duplicate,
+            _ => return None,
+        };
+        if !self.tick() {
+            return None;
+        }
+        self.record(format!(
+            "global atomic #{} tampered ({tamper:?}) at wg={wg_id} warp={warp_id}",
+            self.trigger
+        ));
+        Some(tamper)
+    }
+
+    /// Consult the plan at a warp-step boundary.
+    pub fn on_warp_step(&self, wg_id: usize, warp_id: usize) -> StepFault {
+        match self.kind {
+            FaultKind::AbortKernel => {
+                if self.tick() {
+                    self.record(format!(
+                        "kernel aborted at warp step #{} (wg={wg_id} warp={warp_id})",
+                        self.trigger
+                    ));
+                    StepFault::Abort
+                } else {
+                    StepFault::None
+                }
+            }
+            FaultKind::CorruptLocalWord => {
+                if self.tick() {
+                    // Corruption value: never zero, so flag words are
+                    // visibly disturbed.
+                    let garbage = (self.payload as u32) | 1;
+                    self.record(format!(
+                        "local word corrupted to {garbage:#x} at warp step #{} \
+                         (wg={wg_id} warp={warp_id})",
+                        self.trigger
+                    ));
+                    StepFault::CorruptLocal(garbage)
+                } else {
+                    StepFault::None
+                }
+            }
+            _ => StepFault::None,
+        }
+    }
+
+    /// Word index to corrupt inside a scratchpad of `len` words.
+    #[must_use]
+    pub fn corrupt_index(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (self.payload % len as u64) as usize
+        }
+    }
+
+    /// Consult the plan when the DES schedules an H2D (`h2d = true`) or
+    /// D2H transfer; true means this transfer fails transiently.
+    pub fn on_transfer(&self, h2d: bool, queue: usize, index: usize) -> bool {
+        let matches = match self.kind {
+            FaultKind::FailH2D => h2d,
+            FaultKind::FailD2H => !h2d,
+            _ => false,
+        };
+        if !matches || !self.tick() {
+            return false;
+        }
+        let dir = if h2d { "H2D" } else { "D2H" };
+        self.record(format!(
+            "{dir} transfer #{} failed transiently (queue {queue}, command {index})",
+            self.trigger
+        ));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.trigger, b.trigger);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_all_kinds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            seen.insert(FaultPlan::from_seed(seed).kind());
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn fires_exactly_once_at_trigger() {
+        let p = FaultPlan::exact(1, FaultKind::DropLocalAtomic, 3, 0);
+        p.set_context("unit");
+        assert_eq!(p.on_local_atomic(0, 0), None);
+        assert_eq!(p.on_local_atomic(0, 0), None);
+        assert_eq!(p.on_local_atomic(0, 0), None);
+        assert_eq!(p.on_local_atomic(0, 1), Some(AtomicTamper::Drop));
+        assert_eq!(p.on_local_atomic(0, 1), None, "single-shot");
+        let recs = p.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, FaultKind::DropLocalAtomic);
+        assert_eq!(recs[0].site, "unit");
+        assert!(recs[0].detail.contains("warp=1"), "{}", recs[0].detail);
+    }
+
+    #[test]
+    fn kinds_do_not_cross_talk() {
+        let p = FaultPlan::exact(1, FaultKind::AbortKernel, 0, 0);
+        assert_eq!(p.on_local_atomic(0, 0), None);
+        assert_eq!(p.on_global_atomic(0, 0), None);
+        assert!(!p.on_transfer(true, 0, 0));
+        assert!(!p.fired(), "other sites must not consume the countdown");
+        assert_eq!(p.on_warp_step(2, 0), StepFault::Abort);
+        assert!(p.fired());
+    }
+
+    #[test]
+    fn transfer_direction_respected() {
+        let p = FaultPlan::exact(9, FaultKind::FailD2H, 1, 0);
+        assert!(!p.on_transfer(true, 0, 0), "H2D does not count for FailD2H");
+        assert!(!p.on_transfer(false, 0, 2), "first D2H is below trigger 1");
+        assert!(p.on_transfer(false, 1, 2), "second D2H fires");
+        assert!(!p.on_transfer(false, 1, 3), "transient: next one succeeds");
+    }
+
+    #[test]
+    fn rearm_resets_countdown_and_log() {
+        let p = FaultPlan::exact(4, FaultKind::DuplicateGlobalAtomic, 0, 0);
+        assert_eq!(p.on_global_atomic(0, 0), Some(AtomicTamper::Duplicate));
+        assert!(p.fired());
+        p.rearm();
+        assert!(!p.fired());
+        assert_eq!(p.on_global_atomic(0, 0), Some(AtomicTamper::Duplicate));
+    }
+
+    #[test]
+    fn corrupt_index_in_bounds() {
+        let p = FaultPlan::exact(7, FaultKind::CorruptLocalWord, 0, u64::MAX - 3);
+        assert!(p.corrupt_index(10) < 10);
+        assert_eq!(p.corrupt_index(0), 0);
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod lanes;
 pub mod mem;
 pub mod occupancy;
@@ -32,10 +33,14 @@ pub mod report;
 pub mod sim;
 
 pub use device::{Arch, DeviceSpec, PcieSpec};
-pub use exec::{Grid, Kernel, LaunchError, Step, WarpCtx};
+pub use exec::{launch_with_faults, Grid, Kernel, LaunchError, Step, WarpCtx};
+pub use fault::{AtomicTamper, FaultKind, FaultPlan, FaultRecord, StepFault};
 pub use lanes::{LaneAddrs, LaneVals, LaneWrites, Lanes, MAX_LANES};
 pub use mem::{Buffer, GlobalMem, LocalMem};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
-pub use queue::{simulate_engines, simulate_queues, simulate_queues_dep, Cmd, ECmd, QCmd, Span, Timeline};
+pub use queue::{
+    simulate_engines, simulate_queues, simulate_queues_dep, try_simulate_engines,
+    try_simulate_queues_dep, Cmd, ECmd, QCmd, QueueError, Span, Timeline,
+};
 pub use report::{KernelStats, PipelineStats, TimeBounds};
 pub use sim::Sim;

@@ -14,6 +14,7 @@
 //! is why throughput degrades for large `Q` (§7.6).
 
 use crate::device::DeviceSpec;
+use crate::fault::FaultPlan;
 use serde::Serialize;
 
 /// One queued command.
@@ -188,13 +189,79 @@ pub fn simulate_queues(dev: &DeviceSpec, queues: &[Vec<Cmd>]) -> Timeline {
     simulate_queues_dep(dev, &wrapped)
 }
 
+/// Why the DES could not complete a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    /// A command's event dependency points at a nonexistent command.
+    BadDependency {
+        /// Queue of the malformed command.
+        queue: usize,
+        /// Index of the malformed command within its queue.
+        index: usize,
+    },
+    /// The dependency graph has a cycle: no head command is schedulable.
+    Deadlock,
+    /// An injected transient transfer fault killed a copy command. The
+    /// schedule up to the failure is discarded; retrying the whole schedule
+    /// succeeds (the fault is single-shot).
+    TransferFault {
+        /// Queue of the failed transfer.
+        queue: usize,
+        /// Index of the failed transfer within its queue.
+        index: usize,
+        /// True for host-to-device, false for device-to-host.
+        h2d: bool,
+        /// Timeline label of the failed command.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::BadDependency { queue, index } => {
+                write!(f, "command ({queue}, {index}) waits on a nonexistent command")
+            }
+            QueueError::Deadlock => write!(f, "dependency deadlock in queue schedule"),
+            QueueError::TransferFault { queue, index, h2d, label } => write!(
+                f,
+                "transient {} failure at command ({queue}, {index}): {label}",
+                if *h2d { "H2D" } else { "D2H" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
 /// [`simulate_queues`] with cross-queue event dependencies.
 ///
 /// # Panics
 /// Panics if a dependency points at a nonexistent command (a malformed
-/// schedule), or if dependencies deadlock (cycle).
+/// schedule), or if dependencies deadlock (cycle). Fallible callers (and
+/// fault-injection campaigns) use [`try_simulate_queues_dep`] instead.
 #[must_use]
 pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
+    match try_simulate_queues_dep(dev, queues, None) {
+        Ok(tl) => tl,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`simulate_queues_dep`] returning typed errors, with optional transfer
+/// fault injection: when `fault` is armed with an H2D/D2H failure, the
+/// matching transfer command errors out instead of completing, and the
+/// caller decides how to retry (re-simulating succeeds — the fault is
+/// single-shot).
+///
+/// # Errors
+/// [`QueueError::BadDependency`] / [`QueueError::Deadlock`] on malformed
+/// schedules; [`QueueError::TransferFault`] when the fault plan fires.
+pub fn try_simulate_queues_dep(
+    dev: &DeviceSpec,
+    queues: &[Vec<QCmd>],
+    fault: Option<&FaultPlan>,
+) -> Result<Timeline, QueueError> {
     let setup_s = dev.queue_create_overhead_s * queues.len() as f64;
     let mut engine_free = [setup_s; 3];
     let mut queue_ready: Vec<f64> = vec![setup_s; queues.len()];
@@ -215,7 +282,9 @@ pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
             let dep_end = match cmds[i].wait {
                 None => setup_s,
                 Some((dq, di)) => {
-                    assert!(dq < queues.len() && di < queues[dq].len(), "bad dependency");
+                    if dq >= queues.len() || di >= queues[dq].len() {
+                        return Err(QueueError::BadDependency { queue: q, index: i });
+                    }
                     match end_time[dq][di] {
                         Some(t) => t,
                         None => continue, // prerequisite not yet scheduled
@@ -229,9 +298,26 @@ pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
                 best = Some((start, q));
             }
         }
-        let (start, q) = best.expect("dependency deadlock in queue schedule");
+        let (start, q) = best.ok_or(QueueError::Deadlock)?;
         let i = next_idx[q];
         let cmd = &queues[q][i].cmd;
+        if let Some(f) = fault {
+            let dir = match cmd {
+                Cmd::H2D { .. } => Some(true),
+                Cmd::D2H { .. } => Some(false),
+                Cmd::Kernel { .. } => None,
+            };
+            if let Some(h2d) = dir {
+                if f.on_transfer(h2d, q, i) {
+                    return Err(QueueError::TransferFault {
+                        queue: q,
+                        index: i,
+                        h2d,
+                        label: cmd.label(),
+                    });
+                }
+            }
+        }
         let engine = cmd.engine(dev);
         let end = start + cmd.duration(dev);
         spans.push(Span { queue: q, index: i, engine, start_s: start, end_s: end, label: cmd.label() });
@@ -242,7 +328,7 @@ pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
     }
 
     let total_s = spans.iter().map(|s| s.end_s).fold(setup_s, f64::max);
-    Timeline { spans, total_s, setup_s }
+    Ok(Timeline { spans, total_s, setup_s })
 }
 
 /// A fully generic scheduled command for [`simulate_engines`]: runs on an
@@ -266,9 +352,27 @@ pub struct ECmd {
 ///
 /// # Panics
 /// Panics on malformed dependencies (out of range or deadlocked) or an
-/// engine id out of range.
+/// engine id out of range. Use [`try_simulate_engines`] for a typed error
+/// instead.
 #[must_use]
 pub fn simulate_engines(num_engines: usize, setup_s: f64, queues: &[Vec<ECmd>]) -> Timeline {
+    match try_simulate_engines(num_engines, setup_s, queues) {
+        Ok(tl) => tl,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`simulate_engines`] with malformed inputs reported as a typed
+/// [`QueueError`] instead of a panic.
+///
+/// # Errors
+/// [`QueueError::BadDependency`] for an out-of-range wait target or
+/// engine id; [`QueueError::Deadlock`] when no queue can make progress.
+pub fn try_simulate_engines(
+    num_engines: usize,
+    setup_s: f64,
+    queues: &[Vec<ECmd>],
+) -> Result<Timeline, QueueError> {
     let mut engine_free = vec![setup_s; num_engines];
     let mut queue_ready: Vec<f64> = vec![setup_s; queues.len()];
     let mut next_idx: Vec<usize> = vec![0; queues.len()];
@@ -284,11 +388,15 @@ pub fn simulate_engines(num_engines: usize, setup_s: f64, queues: &[Vec<ECmd>]) 
             if i >= cmds.len() {
                 continue;
             }
-            assert!(cmds[i].engine < num_engines, "engine id out of range");
+            if cmds[i].engine >= num_engines {
+                return Err(QueueError::BadDependency { queue: q, index: i });
+            }
             let dep_end = match cmds[i].wait {
                 None => setup_s,
                 Some((dq, di)) => {
-                    assert!(dq < queues.len() && di < queues[dq].len(), "bad dependency");
+                    if dq >= queues.len() || di >= queues[dq].len() {
+                        return Err(QueueError::BadDependency { queue: q, index: i });
+                    }
                     match end_time[dq][di] {
                         Some(t) => t,
                         None => continue,
@@ -300,7 +408,9 @@ pub fn simulate_engines(num_engines: usize, setup_s: f64, queues: &[Vec<ECmd>]) 
                 best = Some((start, q));
             }
         }
-        let (start, q) = best.expect("dependency deadlock in engine schedule");
+        let Some((start, q)) = best else {
+            return Err(QueueError::Deadlock);
+        };
         let i = next_idx[q];
         let cmd = &queues[q][i];
         let end = start + cmd.duration_s;
@@ -319,7 +429,7 @@ pub fn simulate_engines(num_engines: usize, setup_s: f64, queues: &[Vec<ECmd>]) 
     }
 
     let total_s = spans.iter().map(|s| s.end_s).fold(setup_s, f64::max);
-    Timeline { spans, total_s, setup_s }
+    Ok(Timeline { spans, total_s, setup_s })
 }
 
 #[cfg(test)]

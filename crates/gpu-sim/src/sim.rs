@@ -2,7 +2,8 @@
 //! allocator, typed upload/download, and kernel launch.
 
 use crate::device::DeviceSpec;
-use crate::exec::{launch, Kernel, LaunchError};
+use crate::exec::{launch_with_faults, Kernel, LaunchError};
+use crate::fault::{FaultPlan, FaultRecord};
 use crate::mem::{Buffer, GlobalMem};
 use crate::report::KernelStats;
 
@@ -11,13 +12,14 @@ pub struct Sim {
     device: DeviceSpec,
     mem: GlobalMem,
     cursor: usize,
+    fault: Option<FaultPlan>,
 }
 
 impl Sim {
     /// Create a simulator with `capacity_words` of on-board memory.
     #[must_use]
     pub fn new(device: DeviceSpec, capacity_words: usize) -> Self {
-        Self { device, mem: GlobalMem::new(capacity_words), cursor: 0 }
+        Self { device, mem: GlobalMem::new(capacity_words), cursor: 0, fault: None }
     }
 
     /// Convenience: memory sized to hold `words` plus `slack_words`.
@@ -42,6 +44,40 @@ impl Sim {
     #[must_use]
     pub fn free_words(&self) -> usize {
         self.mem.len() - self.cursor
+    }
+
+    /// Arm a fault plan: subsequent launches inject its fault (once).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Disarm and return the fault plan.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// Records of faults that fired on this simulator so far.
+    #[must_use]
+    pub fn fault_records(&self) -> Vec<FaultRecord> {
+        self.fault.as_ref().map(FaultPlan::records).unwrap_or_default()
+    }
+
+    /// Allocate a buffer of `words` if they fit, without panicking — the
+    /// graceful-degradation path (e.g. an out-of-place fallback that needs
+    /// 2× memory and must *politely* discover it cannot have it).
+    pub fn try_alloc(&mut self, words: usize) -> Option<Buffer> {
+        if self.cursor + words > self.mem.len() {
+            return None;
+        }
+        let b = Buffer { base: self.cursor, len: words };
+        self.cursor += words;
+        Some(b)
     }
 
     /// Allocate a buffer of `words` (bump allocator; no free).
@@ -100,12 +136,14 @@ impl Sim {
         }
     }
 
-    /// Launch a kernel.
+    /// Launch a kernel. When a fault plan is armed, its fault is injected
+    /// in flight.
     ///
     /// # Errors
-    /// Propagates [`LaunchError`] for infeasible launches.
+    /// Propagates [`LaunchError`] for infeasible launches, or
+    /// [`LaunchError::Aborted`] when an armed fault plan kills the kernel.
     pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<KernelStats, LaunchError> {
-        launch(&self.device, &self.mem, kernel)
+        launch_with_faults(&self.device, &self.mem, kernel, self.fault.as_ref())
     }
 }
 

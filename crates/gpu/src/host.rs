@@ -13,9 +13,15 @@
 
 use crate::opts::GpuOptions;
 use crate::pipeline::{plan_flag_words, run_plan, transpose_on_device};
-use gpu_sim::{simulate_queues_dep, Cmd, DeviceSpec, LaunchError, PipelineStats, QCmd, Sim, Timeline};
+use crate::recover::{
+    transpose_with_recovery, verify_exact, RecoveryPolicy, RecoveryReport, TransposeError,
+};
+use gpu_sim::{
+    simulate_queues_dep, try_simulate_queues_dep, Buffer, Cmd, DeviceSpec, FaultPlan, LaunchError,
+    PipelineStats, QCmd, QueueError, Sim, Timeline,
+};
 use ipt_core::stages::{StageOp, StagePlan, TileConfig};
-use ipt_core::{Matrix, TransposePerm};
+use ipt_core::{InstancedTranspose, Matrix};
 
 /// Result of a host-side (virtual in-place) transposition.
 #[derive(Debug, Clone)]
@@ -95,11 +101,10 @@ fn chunk_ranges(total_instances: usize, instance_words: usize, q: usize) -> Vec<
 /// `N′` and overlapped with the D2H transfer.
 ///
 /// # Errors
-/// Propagates infeasible kernel launches.
-///
-/// # Panics
-/// Panics if `plan` is not a 3-stage plan or `q == 0`, or if the chunked
-/// execution produces an incorrect transposition.
+/// [`TransposeError::InvalidConfig`] for `q == 0` or a non-3-stage plan;
+/// [`TransposeError::Launch`] for infeasible kernel launches;
+/// [`TransposeError::Verify`] if the chunked execution produces an
+/// incorrect transposition.
 pub fn run_host_async(
     dev: &DeviceSpec,
     rows: usize,
@@ -107,27 +112,77 @@ pub fn run_host_async(
     plan: &StagePlan,
     opts: &GpuOptions,
     q: usize,
-) -> Result<HostReport, LaunchError> {
-    assert!(q >= 1);
-    assert_eq!(plan.name, "3-stage", "asynchronous scheme requires the 3-stage plan");
+) -> Result<HostReport, TransposeError> {
+    run_host_async_attempt(dev, rows, cols, plan, opts, q, None).0
+}
+
+/// One attempt at the asynchronous scheme, with an optional fault plan
+/// armed on the internal simulator. Returns the (possibly consumed) fault
+/// plan so a coarse-grained retry can carry it forward.
+pub(crate) fn run_host_async_attempt(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    q: usize,
+    fault: Option<FaultPlan>,
+) -> (Result<HostReport, TransposeError>, Option<FaultPlan>) {
+    if q == 0 {
+        let e = TransposeError::InvalidConfig {
+            what: "asynchronous scheme needs at least one command queue (q >= 1)".into(),
+        };
+        return (Err(e), fault);
+    }
+    if plan.name != "3-stage" {
+        let e = TransposeError::InvalidConfig {
+            what: format!("asynchronous scheme requires the 3-stage plan, got `{}`", plan.name),
+        };
+        return (Err(e), fault);
+    }
+    // Pull the three ops out of the plan.
+    let mut ops = Vec::with_capacity(plan.stages.len());
+    for s in &plan.stages {
+        match &s.op {
+            StageOp::Instanced(op) => ops.push(*op),
+            StageOp::Fused(_) => {
+                let e = TransposeError::InvalidConfig {
+                    what: "3-stage plan unexpectedly contains a fused stage".into(),
+                };
+                return (Err(e), fault);
+            }
+        }
+    }
+
+    let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(plan) + 64);
+    if let Some(f) = fault {
+        sim.set_fault_plan(f);
+    }
+    let data = sim.alloc(rows * cols);
+    let flags = sim.alloc(plan_flag_words(plan).max(1));
+    let res = run_host_async_body(&sim, data, flags, dev, rows, cols, plan, &ops, opts, q);
+    let fault = sim.take_fault_plan();
+    (res, fault)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_host_async_body(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    ops: &[InstancedTranspose],
+    opts: &GpuOptions,
+    q: usize,
+) -> Result<HostReport, TransposeError> {
     let tile = plan.tile;
     let (mp, np) = (rows / tile.m, cols / tile.n);
     let bytes = matrix_bytes(rows, cols);
 
-    // Pull the three ops out of the plan.
-    let ops: Vec<_> = plan
-        .stages
-        .iter()
-        .map(|s| match &s.op {
-            StageOp::Instanced(op) => *op,
-            StageOp::Fused(_) => unreachable!("3-stage has no fused stage"),
-        })
-        .collect();
-
     // Device-side functional execution, chunked exactly as scheduled.
-    let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(plan) + 64);
-    let data = sim.alloc(rows * cols);
-    let flags = sim.alloc(plan_flag_words(plan).max(1));
     let host = Matrix::iota(rows, cols).into_vec();
     sim.upload_u32(data, &host);
 
@@ -141,7 +196,7 @@ pub fn run_host_async(
         name: "3-stage",
         stages: vec![plan.stages[0].clone()],
     };
-    let s1 = run_plan(&sim, data, flags, &stage1_plan, opts)?;
+    let s1 = run_plan(sim, data, flags, &stage1_plan, opts)?;
     let stage1_time: f64 = s1.time_s();
     kernels.stages.extend(s1.stages);
     kernels.overhead_s += s1.overhead_s;
@@ -168,10 +223,10 @@ pub fn run_host_async(
             ops[1].cols,
             1,
         );
-        let st2 = crate::pipeline::run_instanced_public(&sim, sub, flags, &op2, opts)?;
+        let st2 = crate::pipeline::run_instanced_public(sim, sub, flags, &op2, opts)?;
         // Chunked stage 3 (0100!): instances = n_np.
-        let op3 = ipt_core::InstancedTranspose::new(n_np, ops[2].rows, ops[2].cols, ops[2].super_size);
-        let st3 = crate::pipeline::run_instanced_public(&sim, sub, flags, &op3, opts)?;
+        let op3 = InstancedTranspose::new(n_np, ops[2].rows, ops[2].cols, ops[2].super_size);
+        let st3 = crate::pipeline::run_instanced_public(sim, sub, flags, &op3, opts)?;
 
         let d2h_bytes = (len * 4) as f64;
         let mut cmds = Vec::new();
@@ -202,14 +257,11 @@ pub fn run_host_async(
     while queues.len() < q {
         queues.push(Vec::new());
     }
-    let timeline = simulate_queues_dep(dev, &queues);
+    let timeline = try_simulate_queues_dep(dev, &queues, sim.fault_plan())?;
 
     // Verify the chunked execution.
     let result = sim.download_u32(data);
-    let perm = TransposePerm::new(rows, cols);
-    for (k, &v) in host.iter().enumerate() {
-        assert_eq!(result[perm.dest(k)], v, "async chunked transposition incorrect at {k}");
-    }
+    verify_exact(&host, &result, rows, cols)?;
 
     Ok(HostReport {
         total_s: timeline.total_s,
@@ -268,6 +320,160 @@ pub fn three_stage_plan(
     tile: TileConfig,
 ) -> Result<StagePlan, ipt_core::stages::PlanError> {
     StagePlan::three_stage(rows, cols, tile)
+}
+
+/// Run the DES timeline, resubmitting on injected transfer failures
+/// (bounded by the policy's retry budget, each resubmission charging
+/// backoff into the report).
+fn simulate_with_transfer_retry(
+    dev: &DeviceSpec,
+    queues: &[Vec<QCmd>],
+    sim: &Sim,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<Timeline, TransposeError> {
+    let mut attempt = 0usize;
+    loop {
+        match try_simulate_queues_dep(dev, queues, sim.fault_plan()) {
+            Ok(tl) => return Ok(tl),
+            Err(e @ QueueError::TransferFault { .. }) => {
+                if attempt >= policy.max_stage_retries {
+                    return Err(TransposeError::RecoveryExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(TransposeError::Transfer(e)),
+                    });
+                }
+                report.transfer_retries += 1;
+                report.penalty_s += policy.backoff_s(attempt);
+                attempt += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Synchronous host scheme with verified recovery: the device-side
+/// transposition runs through [`transpose_with_recovery`] (per-stage
+/// validation, fallback chain) and the PCIe timeline resubmits failed
+/// transfers. An optional [`FaultPlan`] is armed on the internal
+/// simulator — the test harness's injection point.
+///
+/// # Errors
+/// Only configuration errors when fallback is allowed; any
+/// [`TransposeError`] otherwise. Never panics.
+pub fn run_host_sync_recovering(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+    fault: Option<FaultPlan>,
+) -> Result<(HostReport, RecoveryReport), TransposeError> {
+    // 2× data room keeps the out-of-place fallback reachable.
+    let mut sim =
+        Sim::new(dev.clone(), 2 * rows * cols + plan_flag_words(plan).max(1) + 64);
+    if let Some(f) = fault {
+        sim.set_fault_plan(f);
+    }
+    let mut data = Matrix::iota(rows, cols).into_vec();
+    let (stats, mut report) =
+        transpose_with_recovery(&mut sim, &mut data, rows, cols, plan, opts, policy)?;
+
+    let bytes = matrix_bytes(rows, cols);
+    let mut q = vec![QCmd::plain(Cmd::H2D { bytes })];
+    for st in &stats.stages {
+        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.clone() }));
+    }
+    if stats.overhead_s > 0.0 {
+        q.push(QCmd::plain(Cmd::Kernel { time_s: stats.overhead_s, name: "flag memsets".into() }));
+    }
+    if report.penalty_s > 0.0 {
+        q.push(QCmd::plain(Cmd::Kernel {
+            time_s: report.penalty_s,
+            name: "recovery penalty".into(),
+        }));
+    }
+    q.push(QCmd::plain(Cmd::D2H { bytes }));
+    let timeline = simulate_with_transfer_retry(dev, &[q], &sim, policy, &mut report)?;
+    report.faults = sim.fault_records();
+    Ok((
+        HostReport {
+            total_s: timeline.total_s,
+            effective_gbps: 2.0 * bytes / timeline.total_s / 1e9,
+            timeline,
+            kernels: stats,
+            queues: 1,
+        },
+        report,
+    ))
+}
+
+/// Asynchronous host scheme with coarse-grained recovery. The chunked
+/// scheme interleaves kernels and transfers too tightly for per-stage
+/// snapshots, so recovery is whole-scheme: retry the full asynchronous
+/// execution (injected faults are single-shot, so a retry runs clean),
+/// and when the retry budget is spent, degrade to the synchronous
+/// recovering scheme — whose own chain bottoms out at the host-sequential
+/// path and cannot fail.
+///
+/// # Errors
+/// Configuration errors immediately (retrying cannot fix them); otherwise
+/// only what [`run_host_sync_recovering`] can return. Never panics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_host_async_recovering(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    q: usize,
+    policy: &RecoveryPolicy,
+    fault: Option<FaultPlan>,
+) -> Result<(HostReport, RecoveryReport), TransposeError> {
+    let mut report = RecoveryReport::new(crate::recover::RecoveryPath::Primary);
+    let mut fault = fault;
+    let mut last_err: Option<TransposeError> = None;
+    for attempt in 0..=policy.max_stage_retries {
+        let (res, fp) = run_host_async_attempt(dev, rows, cols, plan, opts, q, fault.take());
+        if let Some(f) = &fp {
+            report.faults = f.records();
+        }
+        fault = fp;
+        match res {
+            Ok(rep) => {
+                report.scheme_retries = attempt;
+                if report.primary_error.is_none() {
+                    report.primary_error = last_err.map(|e| e.to_string());
+                }
+                return Ok((rep, report));
+            }
+            // Deterministic configuration problems: fail fast.
+            Err(e @ (TransposeError::InvalidConfig { .. } | TransposeError::Plan(_))) => {
+                return Err(e);
+            }
+            Err(e) => {
+                report.penalty_s += policy.backoff_s(attempt);
+                last_err = Some(e);
+            }
+        }
+    }
+    // Degrade: the synchronous recovering scheme finishes the job.
+    report.primary_error = last_err.map(|e| e.to_string());
+    let async_attempts = policy.max_stage_retries + 1;
+    let (rep, mut merged) =
+        run_host_sync_recovering(dev, rows, cols, plan, opts, policy, fault)?;
+    merged.scheme_retries += async_attempts;
+    merged.penalty_s += report.penalty_s;
+    // The fault plan (and its record log) was carried into the sync run,
+    // so its report already holds the full firing history.
+    if merged.faults.is_empty() {
+        merged.faults = report.faults;
+    }
+    if merged.primary_error.is_none() {
+        merged.primary_error = report.primary_error;
+    }
+    Ok((rep, merged))
 }
 
 #[cfg(test)]

@@ -35,15 +35,23 @@ pub mod pipeline;
 pub mod pipt;
 pub mod pttwac010;
 pub mod pttwac100;
+pub mod recover;
 
 pub use autotune::{exhaustive_search, measure_tile, pruned_search, TilePoint};
 pub use bs::BsKernel;
 pub use coprime::{transpose_coprime_on_device, CoprimeColShuffle, CoprimeRowScramble};
-pub use host::{run_host_async, run_host_oop, run_host_sync, HostReport};
+pub use host::{
+    run_host_async, run_host_async_recovering, run_host_oop, run_host_sync,
+    run_host_sync_recovering, HostReport,
+};
 pub use multi::{run_multi_gpu, LinkTopology, MultiReport};
 pub use oop::OopTranspose;
 pub use opts::{FlagLayout, GpuOptions, Variant100};
-pub use pipeline::{plan_flag_words, run_plan, scale_plan_words, select_kernel, transpose_on_device, transpose_on_device_f64, StageKernel};
+pub use pipeline::{plan_flag_words, run_plan, run_stage, scale_plan_words, select_kernel, transpose_on_device, transpose_on_device_f64, StageKernel};
+pub use recover::{
+    host_transpose, multiset_checksum, run_plan_validated, transpose_with_recovery, verify_exact,
+    RecoveryPath, RecoveryPolicy, RecoveryReport, StageRetryInfo, TransposeError, VerifyError,
+};
 pub use pipt::PiptKernel;
 pub use pttwac010::Pttwac010;
 pub use pttwac100::Pttwac100;

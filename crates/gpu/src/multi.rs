@@ -26,7 +26,8 @@
 
 use crate::opts::GpuOptions;
 use crate::pipeline::{plan_flag_words, run_plan};
-use gpu_sim::{simulate_engines, DeviceSpec, ECmd, LaunchError, Sim, Timeline};
+use crate::recover::{TransposeError, VerifyError};
+use gpu_sim::{try_simulate_engines, DeviceSpec, ECmd, Sim, Timeline};
 use ipt_core::stages::StagePlan;
 use ipt_core::{Matrix, TileHeuristic};
 use serde::Serialize;
@@ -61,11 +62,10 @@ pub struct MultiReport {
 /// Run the multi-GPU scheme with `d_count` identical devices.
 ///
 /// # Errors
-/// Propagates infeasible launches.
-///
-/// # Panics
-/// Panics if `d_count` does not divide `rows`, if no tile fits the blocks,
-/// or if the reassembled result is not the exact transposition.
+/// [`TransposeError::InvalidConfig`] if `d_count` does not divide `rows`
+/// or no tile fits the row blocks; [`TransposeError::Launch`] for
+/// infeasible launches; [`TransposeError::Verify`] if the reassembled
+/// result is not the exact transposition.
 pub fn run_multi_gpu(
     dev: &DeviceSpec,
     d_count: usize,
@@ -73,14 +73,20 @@ pub fn run_multi_gpu(
     cols: usize,
     opts: &GpuOptions,
     link: LinkTopology,
-) -> Result<MultiReport, LaunchError> {
-    assert!(d_count >= 1 && rows % d_count == 0, "device count must divide M");
+) -> Result<MultiReport, TransposeError> {
+    if d_count < 1 || !rows.is_multiple_of(d_count) {
+        return Err(TransposeError::InvalidConfig {
+            what: format!("device count {d_count} must divide M = {rows}"),
+        });
+    }
     let md = rows / d_count;
     let heuristic = TileHeuristic { preferred_lo: 20, ..TileHeuristic::default() };
-    let tile = heuristic
-        .select(md, cols)
-        .expect("block must tile; pick a device count that keeps divisors");
-    let plan = StagePlan::three_stage(md, cols, tile).expect("tile divides block");
+    let tile = heuristic.select(md, cols).ok_or_else(|| TransposeError::InvalidConfig {
+        what: format!(
+            "no tile fits the {md}×{cols} row blocks; pick a device count that keeps divisors"
+        ),
+    })?;
+    let plan = StagePlan::three_stage(md, cols, tile)?;
 
     let host = Matrix::iota(rows, cols);
     let want = host.transposed();
@@ -105,7 +111,17 @@ pub fn run_multi_gpu(
             }
         }
     }
-    assert_eq!(result, want.as_slice(), "multi-GPU reassembly incorrect");
+    if result != want.as_slice() {
+        let off = result
+            .iter()
+            .zip(want.as_slice())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(TransposeError::Verify(VerifyError {
+            stage: None,
+            detail: format!("multi-GPU reassembly incorrect, first mismatch at offset {off}"),
+        }));
+    }
 
     // Timeline: engines [0..D) = per-device compute; D = shared H2D link,
     // D+1 = shared D2H link (or 2 per device when private).
@@ -144,7 +160,7 @@ pub fn run_multi_gpu(
         LinkTopology::Shared => d_count + 2,
         LinkTopology::Private => 3 * d_count,
     };
-    let timeline = simulate_engines(num_engines, setup, &queues);
+    let timeline = try_simulate_engines(num_engines, setup, &queues)?;
     let bytes = (rows * cols * 4) as f64;
     Ok(MultiReport {
         devices: d_count,
@@ -209,9 +225,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divide")]
     fn device_count_must_divide_rows() {
         let (dev, opts) = k20();
-        let _ = run_multi_gpu(&dev, 7, ROWS, COLS, &opts, LinkTopology::Shared);
+        let err = run_multi_gpu(&dev, 7, ROWS, COLS, &opts, LinkTopology::Shared).unwrap_err();
+        assert!(
+            matches!(&err, TransposeError::InvalidConfig { what } if what.contains("divide")),
+            "{err}"
+        );
     }
 }

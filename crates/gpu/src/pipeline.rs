@@ -97,38 +97,57 @@ pub fn run_plan(
 ) -> Result<PipelineStats, LaunchError> {
     let mut out = PipelineStats::default();
     for stage in &plan.stages {
-        match &stage.op {
-            StageOp::Instanced(op) => {
-                let stats = run_instanced(sim, data, flags, op, opts, &mut out.overhead_s)?;
+        run_stage(sim, data, flags, stage, opts, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Execute one stage of a plan, appending its kernel stats (one entry, or
+/// two for a fused stage's moving + fixed-tile passes) to `out`. This is
+/// the granularity at which the recovery layer snapshots and validates
+/// device state between stages.
+///
+/// # Errors
+/// Propagates infeasible launches (and injected kernel aborts).
+pub fn run_stage(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    stage: &ipt_core::stages::Stage,
+    opts: &GpuOptions,
+    out: &mut PipelineStats,
+) -> Result<(), LaunchError> {
+    match &stage.op {
+        StageOp::Instanced(op) => {
+            let stats = run_instanced(sim, data, flags, op, opts, &mut out.overhead_s)?;
+            out.stages.push(stats);
+        }
+        StageOp::Fused(f) => {
+            // Moving stage: m·n-word super-elements over the (M′,N′)
+            // grid, transposed in flight.
+            let supers = f.rows_outer * f.cols_outer;
+            sim.zero(flags);
+            out.overhead_s += memset_time(sim, Pttwac100::flag_words(supers));
+            let ss = f.rows_inner * f.cols_inner;
+            let k = Pttwac100 {
+                data,
+                flags,
+                instances: 1,
+                rows: f.rows_outer,
+                cols: f.cols_outer,
+                super_size: ss,
+                variant: moving_variant(sim, opts, ss),
+                wg_size: opts.wg_size_100,
+                fuse_tile: Some((f.rows_inner, f.cols_inner)),
+            };
+            out.stages.push(sim.launch(&k)?);
+            // Outer fixed tiles still need internal transposition.
+            if let Some(stats) = run_fused_fixed_tiles(sim, data, f, opts)? {
                 out.stages.push(stats);
-            }
-            StageOp::Fused(f) => {
-                // Moving stage: m·n-word super-elements over the (M′,N′)
-                // grid, transposed in flight.
-                let supers = f.rows_outer * f.cols_outer;
-                sim.zero(flags);
-                out.overhead_s += memset_time(sim, Pttwac100::flag_words(supers));
-                let ss = f.rows_inner * f.cols_inner;
-                let k = Pttwac100 {
-                    data,
-                    flags,
-                    instances: 1,
-                    rows: f.rows_outer,
-                    cols: f.cols_outer,
-                    super_size: ss,
-                    variant: moving_variant(sim, opts, ss),
-                    wg_size: opts.wg_size_100,
-                    fuse_tile: Some((f.rows_inner, f.cols_inner)),
-                };
-                out.stages.push(sim.launch(&k)?);
-                // Outer fixed tiles still need internal transposition.
-                if let Some(stats) = run_fused_fixed_tiles(sim, data, f, opts)? {
-                    out.stages.push(stats);
-                }
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Execute a single instanced elementary transposition on the device

@@ -370,6 +370,7 @@ mod tests {
     use ipt_core::elementary::{FusedTileTranspose, IndexPerm};
     use ipt_core::InstancedTranspose;
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         dev: DeviceSpec,
         instances: usize,

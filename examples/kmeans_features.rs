@@ -23,7 +23,7 @@ const K: usize = 16; // clusters
 fn lloyd_desc_major(data: &Matrix<f32>, centroids: &mut [Vec<f32>]) -> f64 {
     let (n, d) = (data.rows(), data.cols());
     let mut sums = vec![vec![0.0f64; d]; K];
-    let mut counts = vec![0usize; K];
+    let mut counts = [0usize; K];
     let mut sse = 0.0f64;
     for i in 0..n {
         let row = &data.as_slice()[i * d..(i + 1) * d];
@@ -61,8 +61,8 @@ fn component_means_desc_major(data: &Matrix<f32>) -> Vec<f64> {
     let (n, d) = (data.rows(), data.cols());
     let mut means = vec![0.0f64; d];
     for i in 0..n {
-        for j in 0..d {
-            means[j] += f64::from(data.get(i, j));
+        for (j, m) in means.iter_mut().enumerate() {
+            *m += f64::from(data.get(i, j));
         }
     }
     means.iter_mut().for_each(|m| *m /= n as f64);

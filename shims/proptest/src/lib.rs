@@ -1,0 +1,494 @@
+//! Offline shim for [proptest](https://docs.rs/proptest): deterministic
+//! random property testing with the API subset this workspace uses.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the case index and the RNG
+//!   seed; reruns are deterministic (seed = FNV of the test name), so the
+//!   failure reproduces exactly.
+//! * Strategies are samplers: `Strategy::sample` draws a value or returns
+//!   `None` for a filtered-out draw (the runner resamples, with a cap).
+//!
+//! Supported surface: integer range strategies, `Just`, tuples (≤ 6),
+//! `any::<bool>()`, `sample::select`, `prop_map`, `prop_flat_map`,
+//! `prop_filter`, `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, and `ProptestConfig::with_cases`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG (SplitMix64 — small, seedable, good enough for test
+/// case generation).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from raw state.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Deterministic per-test seed: FNV-1a of the test name. Every run of
+    /// the same test walks the same case sequence.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded draw (Lemire); bias is irrelevant for test
+        // generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Outcome of one property-test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the draw does not count toward the budget.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. `sample` returns `None` when a filter rejected the
+/// draw (the runner resamples).
+pub trait Strategy: Sized {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generate a dependent strategy from each value.
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard values failing `pred` (`reason` shown when generation dries
+    /// up).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Box the strategy (API-compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// Sampler closure backing a [`BoxedStrategy`].
+type SampleFn<T> = Box<dyn Fn(&mut TestRng) -> Option<T>>;
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(SampleFn<T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<O::Value> {
+        let mid = self.inner.sample(rng)?;
+        (self.f)(mid).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(&self.pred)
+    }
+}
+
+/// Always the given value (like proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                Some(lo + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$n.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build it.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (like proptest's `any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// `any::<bool>()` support.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32);
+
+/// Collection-based strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly select one of `options` (like proptest's `sample::select`).
+    ///
+    /// # Panics
+    /// Panics at sampling time if `options` is empty.
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            assert!(!self.0.is_empty(), "sample::select on empty options");
+            Some(self.0[rng.below(self.0.len() as u64) as usize].clone())
+        }
+    }
+}
+
+/// The `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use crate::sample;
+}
+
+/// Everything call sites import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds (does not count toward the
+/// case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Syntax matches proptest's:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0usize..10, (a, b) in (0u32..4, 0u32..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( @cfg($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($p:pat in $s:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut done: u32 = 0;
+                let mut attempts: u64 = 0;
+                while done < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= u64::from(cfg.cases) * 50 + 1000,
+                        "proptest shim: {} rejected too many draws ({} attempts for {} cases)",
+                        stringify!($name), attempts, cfg.cases
+                    );
+                    $(
+                        let drawn = match $crate::Strategy::sample(&($s), &mut rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        };
+                        let $p = drawn;
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => done += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest case failed: {} (case {} of {}): {}",
+                            stringify!($name), done, cfg.cases, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (3usize..17).sample(&mut rng).unwrap();
+            assert!((3..17).contains(&v));
+            let w = (5u32..=5).sample(&mut rng).unwrap();
+            assert_eq!(w, 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn combinators_compose(
+            x in (1usize..=6).prop_map(|a| a * 2).prop_filter("even", |v| v % 2 == 0),
+            (a, b) in (0u32..4, 0u32..4),
+            flag in any::<bool>(),
+            pick in prop::sample::select(vec![10usize, 20, 30]),
+        ) {
+            prop_assume!(a + b < 8 || flag);
+            prop_assert!((2..=12).contains(&x));
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_eq!(pick % 10, 0);
+            prop_assert_ne!(pick, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..5).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = v;
+            prop_assert!(i < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

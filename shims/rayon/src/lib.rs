@@ -1,0 +1,180 @@
+//! Offline shim for [rayon](https://docs.rs/rayon): the subset of the
+//! parallel-iterator API this workspace uses, executed **sequentially**.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! real rayon cannot be downloaded. Call sites are written against rayon's
+//! API (`par_iter`, `par_chunks_exact_mut`, `into_par_iter`, `for_each_init`,
+//! `current_num_threads`); this shim satisfies them with plain `Iterator`
+//! delegation. Results are identical — the algorithms in this workspace are
+//! deterministic and order-independent — only wall-clock parallel speedup is
+//! lost. Point `Cargo.toml` back at the registry crate to restore it.
+
+use std::ops::Range;
+
+/// Threads in the (sequential) shim pool: always 1, truthfully reported so
+/// benchmark labels do not overstate CPU rows.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A "parallel" iterator: a newtype over a standard iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// As [`Iterator::map`].
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// As [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// As [`Iterator::for_each`].
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// rayon's `for_each_init`: one init value per "worker" — here a single
+    /// sequential worker, so `init` runs once.
+    pub fn for_each_init<T, INIT: FnMut() -> T, F: FnMut(&mut T, I::Item)>(
+        self,
+        mut init: INIT,
+        mut f: F,
+    ) {
+        let mut state = init();
+        self.0.for_each(|item| f(&mut state, item));
+    }
+
+    /// As [`Iterator::collect`].
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// As [`Iterator::filter`].
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// As [`Iterator::sum`].
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// Types convertible into a [`ParIter`] by value (rayon's
+/// `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator.
+    type Iter: Iterator;
+    /// Convert into the "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> ParIter<Range<usize>> {
+        ParIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-reference parallel iteration over slices (rayon's
+/// `IntoParallelRefIterator`, reachable as the inherent-looking
+/// `.par_iter()`).
+pub trait ParallelSlice<T> {
+    /// As `[T]::iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// As `[T]::chunks`.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// Mutable parallel iteration over slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// As `[T]::iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// As `[T]::chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// As `[T]::chunks_exact_mut`.
+    fn par_chunks_exact_mut(&mut self, size: usize)
+        -> ParIter<std::slice::ChunksExactMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+    fn par_chunks_exact_mut(
+        &mut self,
+        size: usize,
+    ) -> ParIter<std::slice::ChunksExactMut<'_, T>> {
+        ParIter(self.chunks_exact_mut(size))
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here), returning both
+/// results — rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: every trait and function call sites expect.
+pub mod prelude {
+    pub use crate::{
+        current_num_threads, join, IntoParallelIterator, ParIter, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = [1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn chunks_exact_mut_mutates() {
+        let mut v = vec![0u32; 6];
+        v.par_chunks_exact_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn for_each_init_shares_state() {
+        let mut hits = Vec::new();
+        (0..4).into_par_iter().for_each_init(Vec::new, |buf: &mut Vec<usize>, i| {
+            buf.push(i);
+            hits.push(buf.len());
+        });
+        assert_eq!(hits, vec![1, 2, 3, 4], "single sequential worker reuses init state");
+    }
+}

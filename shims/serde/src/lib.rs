@@ -1,0 +1,203 @@
+//! Offline shim for [serde](https://docs.rs/serde): a self-describing value
+//! tree plus a [`Serialize`] trait and derive macro.
+//!
+//! The workspace only ever serializes *to JSON for archival* (experiment row
+//! structs in `ipt-bench`, report types in `gpu-sim`), so instead of serde's
+//! visitor architecture this shim serializes into an owned [`Value`] tree
+//! that `serde_json` (the sibling shim) renders. The derive macro supports
+//! the two shapes the workspace uses: structs with named fields and enums
+//! with unit variants.
+
+// Let the derive macro's generated `::serde::` paths resolve when the
+// derive is used inside this crate (its own tests).
+extern crate self as serde;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (rendered without a decimal point).
+    UInt(u64),
+    /// Signed integer (rendered without a decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Value>),
+    /// Ordered key→value map (field order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Re-export of the derive macro: `#[derive(Serialize)]`.
+pub use serde_derive::Serialize;
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_and_refs() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.to_value(), Value::Arr(vec![Value::UInt(1), Value::UInt(2)]));
+        let t = (&v, "x");
+        assert_eq!(
+            t.to_value(),
+            Value::Arr(vec![v.to_value(), Value::Str("x".into())])
+        );
+    }
+
+    #[test]
+    fn derive_struct_and_unit_enum() {
+        #[derive(Serialize)]
+        struct Row {
+            name: &'static str,
+            gbps: f64,
+            n: usize,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Fast,
+            #[allow(dead_code)]
+            Slow,
+        }
+        let r = Row { name: "bs", gbps: 1.25, n: 7 };
+        assert_eq!(
+            r.to_value(),
+            Value::Obj(vec![
+                ("name".into(), Value::Str("bs".into())),
+                ("gbps".into(), Value::Float(1.25)),
+                ("n".into(), Value::UInt(7)),
+            ])
+        );
+        assert_eq!(Kind::Fast.to_value(), Value::Str("Fast".into()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline shim for serde's derive macro, written against `proc_macro`
+//! directly (no registry access → no `syn`/`quote`).
+//!
+//! Supports exactly the item shapes this workspace derives `Serialize` on:
+//!
+//! * structs with named fields → a JSON object preserving field order,
+//! * enums whose variants are all unit variants → the variant name as a
+//!   JSON string (serde's default representation).
+//!
+//! Anything else (tuple structs, data-carrying enums, generic items) is an
+//! explicit compile error rather than a silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim edition; see crate docs for coverage).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("Serialize shim: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("Serialize shim: expected item name, got {other:?}")),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("Serialize shim: generic item {name} unsupported"))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("Serialize shim: no body found on {name}")),
+        }
+    };
+
+    if kind == "struct" {
+        let fields = parse_named_fields(body)?;
+        if fields.is_empty() {
+            return Err(format!(
+                "Serialize shim: {name} has no named fields (tuple/unit structs unsupported)"
+            ));
+        }
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Obj(vec![{}])\n\
+                 }}\n\
+             }}",
+            entries.join(", ")
+        ))
+    } else {
+        let variants = parse_unit_variants(body, &name)?;
+        if variants.is_empty() {
+            return Err(format!("Serialize shim: enum {name} has no variants"));
+        }
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                 }}\n\
+             }}",
+            arms.join(", ")
+        ))
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional `(crate)` etc.
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("Serialize shim: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "Serialize shim: expected `:` after field {name}, got {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything up to a comma outside `<...>`.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("Serialize shim: expected variant, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "Serialize shim: {enum_name}::{name} is not a unit variant ({other:?}); \
+                     only unit enums are supported"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}

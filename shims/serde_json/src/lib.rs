@@ -1,0 +1,157 @@
+//! Offline shim for [serde_json](https://docs.rs/serde_json): renders the
+//! serde shim's [`serde::Value`] tree as JSON text. Only the two entry
+//! points the workspace uses (`to_string`, `to_string_pretty`) exist.
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the shim's writer is infallible; the type exists
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+///
+/// # Errors
+/// Never fails in the shim; `Result` kept for API compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON (two-space indentation, as the real crate).
+///
+/// # Errors
+/// Never fails in the shim; `Result` kept for API compatibility.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a trailing `.0`.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                // serde_json errors on non-finite; archival output prefers
+                // lossy-but-parseable null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(items) => write_seq(items.iter(), indent, depth, out, '[', ']', |it, o, d| {
+            write_value(it, indent, d, o);
+        }),
+        Value::Obj(entries) => {
+            write_seq(entries.iter(), indent, depth, out, '{', '}', |(k, val), o, d| {
+                write_escaped(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, indent, d, o);
+            });
+        }
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut each: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        each(item, out, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        gbps: f64,
+        hits: Vec<u32>,
+    }
+
+    #[test]
+    fn compact_roundtrip_shape() {
+        let r = Row { name: "a\"b".into(), gbps: 2.0, hits: vec![1, 2] };
+        assert_eq!(
+            to_string(&r).unwrap(),
+            r#"{"name":"a\"b","gbps":2.0,"hits":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let r = Row { name: "x".into(), gbps: 1.5, hits: vec![] };
+        let s = to_string_pretty(&r).unwrap();
+        assert!(s.contains("\n  \"name\": \"x\""), "{s}");
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn slices_of_structs() {
+        let rows = vec![Row { name: "r".into(), gbps: 0.5, hits: vec![3] }];
+        let s = to_string_pretty(&rows).unwrap();
+        assert!(s.starts_with("[\n"), "{s}");
+    }
+}
