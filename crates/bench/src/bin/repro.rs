@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--full] [--device NAME] [--json DIR] [--single-stage]
+//!       [--check] [--baseline DIR] [--tolerance T] [--inject-slowdown PCT]
 //!
 //! experiments:
 //!   fig6          Figure 6  (spreading & padding, 010!)
@@ -17,15 +18,27 @@
 //!   primes        extension (coprime decomposition vs prime-dim fallback)
 //!   multigpu      extension (multi-GPU scaling, paper §8 future work)
 //!   ablation      cost-model ablations (which mechanism drives which result)
+//!   trace         observability showcase (traced 3-stage run → Chrome trace
+//!                 + Prometheus exposition; written next to the JSON archive)
 //!   all           everything above
 //! ```
 //!
 //! Default scale is 1/5-reduced matrices (minutes); `--full` uses the
-//! paper's exact sizes (tens of minutes). `--json DIR` archives rows as
-//! JSON next to the text output.
+//! paper's exact sizes (tens of minutes). `--json DIR` archives each
+//! experiment as a versioned `BenchReport` envelope (schema version, git
+//! revision, device config, seed, scale) next to the text output.
+//!
+//! `--check` is the regression harness: after running, each experiment's
+//! fresh report is compared against the committed baseline in `--baseline
+//! DIR` (default `bench_out`); any throughput metric more than
+//! `--tolerance` (default 0.10) below baseline fails the process with exit
+//! code 1. `--inject-slowdown PCT` artificially slows the fresh metrics —
+//! the self-test proving the harness can fail.
 
+use ipt_bench::check::{check_report, make_report, CheckOutcome, DEFAULT_TOLERANCE};
 use ipt_bench::experiments as ex;
 use ipt_bench::workloads::{device_by_name, Scale};
+use ipt_obs::BenchReport;
 use serde::Serialize;
 use std::io::Write;
 
@@ -36,6 +49,10 @@ struct Args {
     json_dir: Option<String>,
     single_stage: bool,
     include_slow: bool,
+    check: bool,
+    baseline_dir: String,
+    tolerance: f64,
+    inject_slowdown_pct: f64,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +63,10 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut single_stage = false;
     let mut include_slow = false;
+    let mut check = false;
+    let mut baseline_dir = String::from("bench_out");
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut inject_slowdown_pct = 0.0;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -53,14 +74,35 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: repro <experiment> [--full] [--device k20|gtx580|amd|phi] \
                      [--json DIR] [--single-stage] [--slow]\n\
+                     \x20      [--check] [--baseline DIR] [--tolerance T] \
+                     [--inject-slowdown PCT]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation all"
+                     table3 async phi primes multigpu ablation trace all"
                 );
                 std::process::exit(0);
             }
             "--full" => full = true,
             "--single-stage" => single_stage = true,
             "--slow" => include_slow = true,
+            "--check" => check = true,
+            "--baseline" => {
+                i += 1;
+                baseline_dir.clone_from(&argv[i]);
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance wants a number, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--inject-slowdown" => {
+                i += 1;
+                inject_slowdown_pct = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--inject-slowdown wants a percentage, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
             "--device" => {
                 i += 1;
                 device = device_by_name(&argv[i]).unwrap_or_else(|| {
@@ -87,24 +129,89 @@ fn parse_args() -> Args {
         json_dir,
         single_stage,
         include_slow,
+        check,
+        baseline_dir,
+        tolerance,
+        inject_slowdown_pct,
     }
 }
 
-fn archive<T: Serialize>(dir: &Option<String>, name: &str, rows: &T) {
-    let Some(dir) = dir else { return };
-    std::fs::create_dir_all(dir).expect("create json dir");
-    let path = format!("{dir}/{name}.json");
-    let mut f = std::fs::File::create(&path).expect("create json file");
-    let body = serde_json::to_string_pretty(rows).expect("serialise");
-    f.write_all(body.as_bytes()).expect("write json");
+fn write_file(dir: &str, name: &str, body: &str) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = format!("{dir}/{name}");
+    let mut f = std::fs::File::create(&path).expect("create output file");
+    f.write_all(body.as_bytes()).expect("write output file");
     eprintln!("[archived {path}]");
 }
 
+/// Collects each experiment's versioned report: archives it when `--json`
+/// was given, and keeps it for the `--check` comparison.
+struct Sink {
+    json_dir: Option<String>,
+    device: gpu_sim::DeviceSpec,
+    scale: &'static str,
+    keep: bool,
+    reports: Vec<BenchReport>,
+}
+
+impl Sink {
+    fn emit<T: Serialize>(&mut self, name: &str, rows: &T) {
+        let report = make_report(name, &self.device, self.scale, rows);
+        if let Some(dir) = &self.json_dir {
+            let body = serde_json::to_string_pretty(&report).expect("serialise report");
+            write_file(dir, &format!("{name}.json"), &body);
+        }
+        if self.keep {
+            self.reports.push(report);
+        }
+    }
+}
+
+fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
+    let mut failed = false;
+    for fresh in reports {
+        let path = format!("{}/{}.json", args.baseline_dir, fresh.experiment);
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[check] {}: no baseline at {path} ({e})", fresh.experiment);
+                failed = true;
+                continue;
+            }
+        };
+        match check_report(&baseline, fresh, args.tolerance, args.inject_slowdown_pct) {
+            Err(e) => {
+                eprintln!("[check] {e}");
+                failed = true;
+            }
+            Ok(CheckOutcome { experiment, metrics_compared, regressions }) => {
+                if regressions.is_empty() {
+                    eprintln!(
+                        "[check] {experiment}: OK ({metrics_compared} metrics within {:.0}%)",
+                        args.tolerance * 100.0
+                    );
+                } else {
+                    failed = true;
+                    eprintln!(
+                        "[check] {experiment}: {} of {metrics_compared} metrics regressed:",
+                        regressions.len()
+                    );
+                    for r in &regressions {
+                        eprintln!("[check]   {r}");
+                    }
+                }
+            }
+        }
+    }
+    failed
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "trace", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -112,73 +219,97 @@ fn main() {
     }
     let run = |name: &str| args.experiment == name || args.experiment == "all";
     let t0 = std::time::Instant::now();
+    let mut sink = Sink {
+        json_dir: args.json_dir.clone(),
+        device: args.device.clone(),
+        scale: match args.scale {
+            Scale::Full => "full",
+            Scale::Reduced => "reduced",
+        },
+        keep: args.check,
+        reports: Vec::new(),
+    };
 
     if run("fig6") {
         let (rows, summary) = ex::fig6::run(&args.device, args.scale);
         println!("{}", ex::fig6::render(&rows, &summary));
-        archive(&args.json_dir, "fig6", &(&rows, &summary));
+        sink.emit("fig6", &(&rows, &summary));
     }
     if run("sweep010") {
         let rows = ex::sweep010::run(args.scale);
         println!("{}", ex::sweep010::render(&rows));
-        archive(&args.json_dir, "sweep010", &rows);
+        sink.emit("sweep010", &rows);
     }
     if run("sweep100") {
         let rows = ex::sweep100::run(args.scale);
         println!("{}", ex::sweep100::render(&rows));
-        archive(&args.json_dir, "sweep100", &rows);
+        sink.emit("sweep100", &rows);
     }
     if run("fig7") {
         let cells = ex::fig7::run(args.scale);
         println!("{}", ex::fig7::render(&cells));
-        archive(&args.json_dir, "fig7", &cells);
+        sink.emit("fig7", &cells);
     }
     if run("table2") {
         let rows = ex::table2::run(&args.device, args.scale, args.single_stage);
         println!("{}", ex::table2::render(&rows));
-        archive(&args.json_dir, "table2", &rows);
+        sink.emit("table2", &rows);
     }
     if run("dominance") {
         let rows = ex::dominance::run(&args.device, args.scale);
         println!("{}", ex::dominance::render_for(&rows, args.device.name));
-        archive(&args.json_dir, "dominance", &rows);
+        sink.emit("dominance", &rows);
     }
     if run("fig8") {
         let report = ex::fig8::run(args.scale);
         println!("{}", ex::fig8::render(&report));
-        archive(&args.json_dir, "fig8", &report);
+        sink.emit("fig8", &report);
     }
     if run("table3") {
         let (rows, details) = ex::table3::run(&args.device, args.scale, args.include_slow);
         println!("{}", ex::table3::render(&rows, &details));
-        archive(&args.json_dir, "table3", &(&rows, &details));
+        sink.emit("table3", &(&rows, &details));
     }
     if run("async") {
         let (rows, summary) = ex::asyncq::run(&args.device, args.scale);
         println!("{}", ex::asyncq::render(&rows, &summary));
-        archive(&args.json_dir, "async", &(&rows, &summary));
+        sink.emit("async", &(&rows, &summary));
     }
     if run("primes") {
         let rows = ex::primes::run(&args.device);
         println!("{}", ex::primes::render(&rows));
-        archive(&args.json_dir, "primes", &rows);
+        sink.emit("primes", &rows);
     }
     if run("ablation") {
         let rows = ex::ablation::run();
         println!("{}", ex::ablation::render(&rows));
-        archive(&args.json_dir, "ablation", &rows);
+        sink.emit("ablation", &rows);
     }
     if run("multigpu") {
         let (r, c) = ipt_bench::workloads::async_sizes(args.scale)[0];
         let rows = ex::multigpu::run(&args.device, r, c);
         println!("{}", ex::multigpu::render(&rows));
-        archive(&args.json_dir, "multigpu", &rows);
+        sink.emit("multigpu", &rows);
     }
     if run("phi") {
         let report = ex::phi::run(args.scale);
         println!("{}", ex::phi::render(&report));
-        archive(&args.json_dir, "phi", &report);
+        sink.emit("phi", &report);
+    }
+    if run("trace") {
+        // The trace is an artifact pair, not a BenchReport: it bypasses the
+        // sink and the regression check.
+        let report = ex::trace::run(&args.device, args.scale);
+        println!("{}", ex::trace::render(&report));
+        if let Some(dir) = &args.json_dir {
+            write_file(dir, "trace.json", &report.chrome_json);
+            write_file(dir, "metrics.prom", &report.prometheus);
+        }
     }
 
+    let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
+    if failed {
+        std::process::exit(1);
+    }
 }

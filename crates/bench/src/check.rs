@@ -1,0 +1,204 @@
+//! The regression harness behind `repro --check`.
+//!
+//! A check compares a freshly measured [`BenchReport`] against the committed
+//! baseline JSON for the same experiment. Only the `rows` subtree is
+//! compared — provenance carries device constants such as `peak_gbps` that
+//! are configuration, not measurement. The simulator is deterministic, so a
+//! clean tree reproduces the baseline exactly; the tolerance exists for the
+//! day the cost model legitimately moves and for real-hardware backends.
+
+use ipt_obs::{
+    compare_metrics, current_git_rev, extract_metrics, BenchReport, Metric, Provenance,
+    Regression, SCHEMA_VERSION,
+};
+use serde::{Serialize, Value};
+
+/// Default relative tolerance for `repro --check` (10 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Wrap experiment rows in the versioned envelope with this run's
+/// provenance.
+pub fn make_report(
+    experiment: &str,
+    device: &gpu_sim::DeviceSpec,
+    scale: &str,
+    rows: &impl Serialize,
+) -> BenchReport {
+    BenchReport::new(
+        experiment,
+        Provenance {
+            git_rev: current_git_rev(),
+            device: device.to_value(),
+            seed: 0,
+            scale: scale.to_string(),
+        },
+        rows,
+    )
+}
+
+/// The result of checking one experiment.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Experiment name.
+    pub experiment: String,
+    /// How many baseline metrics were compared.
+    pub metrics_compared: usize,
+    /// Every metric that regressed past the tolerance.
+    pub regressions: Vec<Regression>,
+}
+
+impl CheckOutcome {
+    /// Did the experiment pass?
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a fresh report against the committed baseline JSON.
+///
+/// `inject_slowdown_pct` scales every fresh throughput metric down by that
+/// percentage before comparing — the self-test hook proving the harness
+/// actually fails when performance drops (a harness that cannot fail
+/// verifies nothing).
+///
+/// # Errors
+///
+/// Returns a description when the baseline is unparsable, unversioned, has
+/// a mismatched schema version, names a different experiment, or was
+/// generated on different simulated hardware.
+pub fn check_report(
+    baseline_json: &str,
+    fresh: &BenchReport,
+    tolerance: f64,
+    inject_slowdown_pct: f64,
+) -> Result<CheckOutcome, String> {
+    let baseline = serde_json::from_str(baseline_json)
+        .map_err(|e| format!("baseline for {:?} is not valid JSON: {e:?}", fresh.experiment))?;
+    let version = baseline.get("schema_version").and_then(Value::as_u64);
+    if version != Some(SCHEMA_VERSION) {
+        return Err(format!(
+            "baseline for {:?} has schema_version {version:?}, expected {SCHEMA_VERSION}; \
+             regenerate with `repro all --json bench_out`",
+            fresh.experiment
+        ));
+    }
+    let name = baseline.get("experiment").and_then(Value::as_str);
+    if name != Some(&fresh.experiment) {
+        return Err(format!(
+            "baseline names experiment {name:?}, fresh run is {:?}",
+            fresh.experiment
+        ));
+    }
+    let base_dev = baseline
+        .get("provenance")
+        .and_then(|p| p.get("device"))
+        .and_then(|d| d.get("name"))
+        .and_then(Value::as_str);
+    let fresh_dev = fresh.provenance.device.get("name").and_then(Value::as_str);
+    if base_dev != fresh_dev {
+        return Err(format!(
+            "baseline for {:?} was generated on {base_dev:?}, this run simulates {fresh_dev:?}",
+            fresh.experiment
+        ));
+    }
+
+    let base_rows = baseline
+        .get("rows")
+        .ok_or_else(|| format!("baseline for {:?} has no rows", fresh.experiment))?;
+    let base_metrics = extract_metrics(base_rows);
+    let mut fresh_metrics = extract_metrics(&fresh.rows);
+    if inject_slowdown_pct != 0.0 {
+        let factor = 1.0 - inject_slowdown_pct / 100.0;
+        for m in &mut fresh_metrics {
+            m.value *= factor;
+        }
+    }
+    Ok(CheckOutcome {
+        experiment: fresh.experiment.clone(),
+        metrics_compared: base_metrics.len(),
+        regressions: compare_metrics(&base_metrics, &fresh_metrics, tolerance),
+    })
+}
+
+/// Extracted fresh metrics of a report's rows (diagnostics / tests).
+#[must_use]
+pub fn report_metrics(report: &BenchReport) -> Vec<Metric> {
+    extract_metrics(&report.rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        input: String,
+        gbps: f64,
+    }
+
+    fn fresh() -> BenchReport {
+        let rows = vec![
+            Row { input: "1440x600".into(), gbps: 41.5 },
+            Row { input: "2400x360".into(), gbps: 38.2 },
+        ];
+        make_report("table2", &DeviceSpec::tesla_k20(), "reduced", &rows)
+    }
+
+    #[test]
+    fn clean_self_comparison_passes() {
+        let rep = fresh();
+        let baseline = serde_json::to_string_pretty(&rep).unwrap();
+        let out = check_report(&baseline, &rep, DEFAULT_TOLERANCE, 0.0).unwrap();
+        assert_eq!(out.metrics_compared, 2);
+        assert!(out.passed(), "identical reports must not regress: {:?}", out.regressions);
+    }
+
+    #[test]
+    fn synthetic_twenty_percent_slowdown_fails() {
+        let rep = fresh();
+        let baseline = serde_json::to_string_pretty(&rep).unwrap();
+        let out = check_report(&baseline, &rep, DEFAULT_TOLERANCE, 20.0).unwrap();
+        assert!(!out.passed(), "a 20% slowdown must trip a 10% tolerance");
+        assert_eq!(out.regressions.len(), 2, "every throughput metric slowed down");
+        for r in &out.regressions {
+            assert!((r.change - (-0.2)).abs() < 1e-9, "{r}");
+        }
+    }
+
+    #[test]
+    fn unversioned_baseline_is_rejected() {
+        let err = check_report("[{\"gbps\": 10.0}]", &fresh(), DEFAULT_TOLERANCE, 0.0)
+            .unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn device_mismatch_is_rejected() {
+        let rep = fresh();
+        let baseline = serde_json::to_string_pretty(&rep).unwrap();
+        let other = make_report("table2", &DeviceSpec::hd7750(), "reduced", &Vec::<Row>::new());
+        let err = check_report(&baseline, &other, DEFAULT_TOLERANCE, 0.0).unwrap_err();
+        assert!(err.contains("simulates"), "{err}");
+    }
+
+    #[test]
+    fn experiment_mismatch_is_rejected() {
+        let rep = fresh();
+        let baseline = serde_json::to_string_pretty(&rep).unwrap();
+        let other = make_report("fig6", &DeviceSpec::tesla_k20(), "reduced", &Vec::<Row>::new());
+        let err = check_report(&baseline, &other, DEFAULT_TOLERANCE, 0.0).unwrap_err();
+        assert!(err.contains("experiment"), "{err}");
+    }
+
+    #[test]
+    fn provenance_device_constants_are_not_metrics() {
+        // DeviceSpec carries `peak_gbps`/`bandwidth_gbps`; they must not be
+        // compared as measurements.
+        let rep = fresh();
+        let paths: Vec<String> = report_metrics(&rep).into_iter().map(|m| m.path).collect();
+        assert_eq!(paths, vec!["0/gbps", "1/gbps"]);
+    }
+}

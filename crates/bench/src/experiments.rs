@@ -17,6 +17,7 @@ pub mod sweep010;
 pub mod sweep100;
 pub mod table2;
 pub mod table3;
+pub mod trace;
 
 /// Render a uniform text table: header + rows of equal arity.
 #[must_use]

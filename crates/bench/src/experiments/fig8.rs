@@ -8,8 +8,9 @@
 use crate::workloads::{table2_sizes, Scale};
 use gpu_sim::DeviceSpec;
 use ipt_core::TileHeuristic;
-use ipt_gpu::autotune::{exhaustive_search, TilePoint};
+use ipt_gpu::autotune::{exhaustive_search_rec, TilePoint, TuneLog};
 use ipt_gpu::opts::GpuOptions;
+use ipt_obs::NoopRecorder;
 use serde::Serialize;
 
 /// One scatter point.
@@ -34,6 +35,9 @@ pub struct Report {
     pub points: Vec<Point>,
     /// Per device: (name, exhaustive best, pruned-region best, ratio).
     pub recovery: Vec<(String, f64, f64, f64)>,
+    /// Per device: the §7.4 search accounting (considered / measured /
+    /// rejected / pruned, and the chosen tile).
+    pub tune: Vec<(String, TuneLog)>,
 }
 
 fn heuristic(scale: Scale) -> TileHeuristic {
@@ -53,13 +57,16 @@ pub fn run(scale: Scale) -> Report {
     let h = heuristic(scale);
     let mut points = Vec::new();
     let mut recovery = Vec::new();
+    let mut tune = Vec::new();
     for dev in [DeviceSpec::tesla_k20(), DeviceSpec::hd7750()] {
         let opts = GpuOptions::tuned_for(&dev);
         let max_dim = match scale {
             Scale::Full => 256,
             Scale::Reduced => 200,
         };
-        let pts: Vec<TilePoint> = exhaustive_search(&dev, rows, cols, max_dim, &opts);
+        let (pts, log): (Vec<TilePoint>, TuneLog) =
+            exhaustive_search_rec(&dev, rows, cols, max_dim, &opts, &NoopRecorder);
+        tune.push((dev.name.to_string(), log));
         let best = pts.first().map_or(0.0, |p| p.gbps);
         let pruned_best = pts
             .iter()
@@ -88,7 +95,7 @@ pub fn run(scale: Scale) -> Report {
             });
         }
     }
-    Report { points, recovery }
+    Report { points, recovery, tune }
 }
 
 /// Render the text report: top tiles per device + recovery headline.
@@ -125,6 +132,15 @@ pub fn render(report: &Report) -> String {
         out.push_str(&format!(
             "{d}: exhaustive best {best:.2} GB/s, pruned-region best {pruned:.2} GB/s → {:.0}% recovered [paper: >=80%]\n",
             ratio * 100.0
+        ));
+    }
+    for (d, log) in &report.tune {
+        let chosen = log
+            .chosen
+            .map_or_else(|| "none".to_string(), |c| format!("{}x{} @ {:.2} GB/s", c.m, c.n, c.gbps));
+        out.push_str(&format!(
+            "{d}: search considered {} tiles ({} measured, {} infeasible, {} pruned out), chose {chosen}\n",
+            log.considered, log.measured, log.rejected_infeasible, log.pruned_out
         ));
     }
     out

@@ -17,9 +17,9 @@ use serde::Serialize;
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
     /// Mean 3-stage throughput (GB/s).
-    pub three_stage: f64,
+    pub three_stage_gbps: f64,
     /// Mean 4-stage throughput (GB/s).
-    pub four_stage: f64,
+    pub four_stage_gbps: f64,
     /// Ratio (paper: 1.8×).
     pub ratio: f64,
     /// Per-size values (rows, cols, 3-stage, 4-stage).
@@ -48,7 +48,7 @@ pub fn run(scale: Scale) -> Report {
     }
     let mean3 = per_size.iter().map(|x| x.2).sum::<f64>() / per_size.len() as f64;
     let mean4 = per_size.iter().map(|x| x.3).sum::<f64>() / per_size.len() as f64;
-    Report { three_stage: mean3, four_stage: mean4, ratio: mean3 / mean4, per_size }
+    Report { three_stage_gbps: mean3, four_stage_gbps: mean4, ratio: mean3 / mean4, per_size }
 }
 
 /// Render the text report.
@@ -68,7 +68,7 @@ pub fn render(rep: &Report) -> String {
     );
     out.push_str(&format!(
         "\naverages: 3-stage {:.2} GB/s, 4-stage {:.2} GB/s → x{:.2}  [paper: 5.02 vs 2.81, x1.8]\n",
-        rep.three_stage, rep.four_stage, rep.ratio
+        rep.three_stage_gbps, rep.four_stage_gbps, rep.ratio
     ));
     out
 }

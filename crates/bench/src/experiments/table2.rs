@@ -24,17 +24,17 @@ pub struct Row {
     /// Matrix cols.
     pub cols: usize,
     /// 3-stage throughput (GB/s).
-    pub three_stage: f64,
+    pub three_stage_gbps: f64,
     /// 3-stage tile used.
     pub tile3: (usize, usize),
     /// 4-stage throughput (GB/s).
-    pub four_stage: f64,
+    pub four_stage_gbps: f64,
     /// 4-stage + fusion throughput (GB/s).
-    pub four_stage_fused: f64,
+    pub four_stage_fused_gbps: f64,
     /// 4-stage tile used.
     pub tile4: (usize, usize),
     /// Single-stage throughput (GB/s), if measured.
-    pub single_stage: Option<f64>,
+    pub single_stage_gbps: Option<f64>,
 }
 
 fn run_plan_gbps(dev: &DeviceSpec, rows: usize, cols: usize, plan: &StagePlan) -> f64 {
@@ -84,12 +84,12 @@ pub fn run(dev: &DeviceSpec, scale: Scale, with_single_stage: bool) -> Vec<Row> 
             Row {
                 rows,
                 cols,
-                three_stage: run_plan_gbps(dev, rows, cols, &p3),
+                three_stage_gbps: run_plan_gbps(dev, rows, cols, &p3),
                 tile3: (t3.m, t3.n),
-                four_stage: run_plan_gbps(dev, rows, cols, &p4),
-                four_stage_fused: run_plan_gbps(dev, rows, cols, &p4f),
+                four_stage_gbps: run_plan_gbps(dev, rows, cols, &p4),
+                four_stage_fused_gbps: run_plan_gbps(dev, rows, cols, &p4f),
                 tile4: (t4.m, t4.n),
-                single_stage: single,
+                single_stage_gbps: single,
             }
         })
         .collect()
@@ -117,13 +117,13 @@ pub fn render(rows: &[Row]) -> String {
                 .map_or((0.0, 0.0, 0.0), |&(_, _, a, b, c)| (a, b, c));
             vec![
                 format!("{}x{}", r.rows, r.cols),
-                format!("{:.2}", r.three_stage),
+                format!("{:.2}", r.three_stage_gbps),
                 format!("{pr3:.2}"),
-                format!("{:.2}", r.four_stage),
+                format!("{:.2}", r.four_stage_gbps),
                 format!("{pr4:.2}"),
-                format!("{:.2}", r.four_stage_fused),
+                format!("{:.2}", r.four_stage_fused_gbps),
                 format!("{pr4f:.2}"),
-                r.single_stage.map_or("-".into(), |v| format!("{v:.2}")),
+                r.single_stage_gbps.map_or("-".into(), |v| format!("{v:.2}")),
                 format!("({},{})", r.tile3.0, r.tile3.1),
                 format!("({},{})", r.tile4.0, r.tile4.1),
             ]
@@ -137,8 +137,8 @@ pub fn render(rows: &[Row]) -> String {
         ],
         &table,
     );
-    let avg3 = rows.iter().map(|r| r.three_stage).sum::<f64>() / rows.len() as f64;
-    let avg4 = rows.iter().map(|r| r.four_stage).sum::<f64>() / rows.len() as f64;
+    let avg3 = rows.iter().map(|r| r.three_stage_gbps).sum::<f64>() / rows.len() as f64;
+    let avg4 = rows.iter().map(|r| r.four_stage_gbps).sum::<f64>() / rows.len() as f64;
     out.push_str(&format!(
         "\n3-stage/4-stage speedup: x{:.2}  [paper: ~3x]\n",
         avg3 / avg4

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod check;
 pub mod common;
 pub mod experiments;
 pub mod workloads;

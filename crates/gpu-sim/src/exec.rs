@@ -25,6 +25,12 @@ use crate::lanes::{LaneAddrs, LaneVals, LaneWrites, MAX_LANES};
 use crate::mem::{Buffer, GlobalMem, LocalMem};
 use crate::occupancy::{occupancy, KernelResources};
 use crate::report::{KernelStats, TimeBounds};
+use ipt_obs::{Counter, Level, NoopRecorder, Recorder};
+
+/// Per-launch cap on recorded warp spans. Big grids retire millions of
+/// warps; a trace keeps the first `WARP_SPAN_CAP` and counts the rest in
+/// [`Counter::DroppedWarpSpans`] — truncation is visible, never silent.
+pub const WARP_SPAN_CAP: usize = 256;
 
 /// Launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +122,7 @@ struct Counters {
     position_conflicts: u64,
     lock_conflicts: u64,
     bank_conflicts: u64,
+    claim_retries: u64,
     barriers: u64,
     warp_steps: u64,
     local_port_cycles: f64,
@@ -183,6 +190,14 @@ impl WarpCtx<'_> {
     /// Account pure-ALU work on the warp's dependent chain.
     pub fn alu(&mut self, cycles: f64) {
         *self.chain_cycles += cycles;
+    }
+
+    /// Note one failed flag claim: a lane raced for a cycle's start flag and
+    /// lost (the PTTWAC claim protocol, §5.1), so it must fetch a new start.
+    /// Pure bookkeeping — the atomic's cost was already accounted by the
+    /// `atom_or` that lost.
+    pub fn note_claim_retry(&mut self) {
+        self.counters.claim_retries += 1;
     }
 
     /// Account the cost of an *intra-step* work-group barrier without
@@ -580,6 +595,33 @@ pub fn launch_with_faults<K: Kernel>(
     kernel: &K,
     fault: Option<&FaultPlan>,
 ) -> Result<KernelStats, LaunchError> {
+    launch_traced(dev, global, kernel, fault, &NoopRecorder, 0.0)
+}
+
+/// [`launch_with_faults`] instrumented with a [`Recorder`].
+///
+/// `t0_s` is the launch's start on the cumulative DES clock (seconds); the
+/// kernel span, sampled per-warp spans, and every typed counter land on the
+/// recorder under the kernel's name. With [`NoopRecorder`] this
+/// monomorphizes to exactly the uninstrumented engine — [`launch`] and
+/// [`launch_with_faults`] are thin wrappers over this function.
+///
+/// Per-warp spans are a *sample*: the first [`WARP_SPAN_CAP`] retired warps
+/// get a span (start `t0_s`, duration = that warp's dependent-chain cycles
+/// at the device clock — warps run concurrently, so they share the start);
+/// the remainder are counted in [`Counter::DroppedWarpSpans`].
+///
+/// # Errors
+/// [`LaunchError::Infeasible`] for infeasible launches,
+/// [`LaunchError::Aborted`] when the fault plan kills the kernel.
+pub fn launch_traced<K: Kernel, R: Recorder>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    fault: Option<&FaultPlan>,
+    rec: &R,
+    t0_s: f64,
+) -> Result<KernelStats, LaunchError> {
     if let Some(f) = fault {
         f.set_context(&kernel.name());
     }
@@ -626,6 +668,11 @@ pub fn launch_with_faults<K: Kernel>(
         active.push(make_wg(next_wg));
         next_wg += 1;
     }
+
+    // Sampled per-warp spans: (wg_id, warp_id, chain_cycles) of the first
+    // WARP_SPAN_CAP retired warps.
+    let mut warp_samples: Vec<(usize, usize, f64)> = Vec::new();
+    let mut dropped_warp_spans: u64 = 0;
 
     let mut rounds: u64 = 0;
     while !active.is_empty() {
@@ -694,9 +741,16 @@ pub fn launch_with_faults<K: Kernel>(
         while i < active.len() {
             if active[i].warps.iter().all(|w| w.status == WarpStatus::Done) {
                 let mut wg = active.swap_remove(i);
-                for w in &wg.warps {
+                for (wi, w) in wg.warps.iter().enumerate() {
                     total_chain += w.chain_cycles;
                     max_chain = max_chain.max(w.chain_cycles);
+                    if rec.enabled() {
+                        if warp_samples.len() < WARP_SPAN_CAP {
+                            warp_samples.push((wg.wg_id, wi, w.chain_cycles));
+                        } else {
+                            dropped_warp_spans += 1;
+                        }
+                    }
                 }
                 if next_wg < grid.num_wgs {
                     // Reuse the retired WG's local memory allocation (grids
@@ -742,7 +796,7 @@ pub fn launch_with_faults<K: Kernel>(
     let local_port_s = counters.local_port_cycles / dev.num_sms as f64 / clock_hz;
     let bounds = TimeBounds { bandwidth_s, latency_s, serial_s, local_port_s };
 
-    Ok(KernelStats {
+    let stats = KernelStats {
         name: kernel.name(),
         num_wgs: grid.num_wgs,
         wg_size: grid.wg_size,
@@ -759,9 +813,34 @@ pub fn launch_with_faults<K: Kernel>(
         position_conflicts: counters.position_conflicts,
         lock_conflicts: counters.lock_conflicts,
         bank_conflicts: counters.bank_conflicts,
+        claim_retries: counters.claim_retries,
         barriers: counters.barriers,
         warp_steps: counters.warp_steps,
         total_chain_cycles: total_chain,
         max_chain_cycles: max_chain,
-    })
+    };
+
+    if rec.enabled() {
+        stats.record(rec, t0_s);
+        let t0_us = t0_s * 1e6;
+        for (i, &(wg_id, warp_id, chain)) in warp_samples.iter().enumerate() {
+            // Warps run concurrently: all sampled spans share the launch
+            // start; duration is the warp's own dependent chain. Spread
+            // across 8 display tracks so overlaps stay readable.
+            let track = Level::Warp.base_track() + (i % 8) as u32;
+            rec.span(
+                Level::Warp,
+                &format!("wg{wg_id}.w{warp_id}"),
+                t0_us,
+                chain / clock_hz * 1e6,
+                track,
+                &[("chain_cycles", chain)],
+            );
+        }
+        if dropped_warp_spans > 0 {
+            rec.add(&stats.name, Counter::DroppedWarpSpans, dropped_warp_spans);
+        }
+    }
+
+    Ok(stats)
 }

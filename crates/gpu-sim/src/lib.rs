@@ -33,10 +33,12 @@ pub mod report;
 pub mod sim;
 
 pub use device::{Arch, DeviceSpec, PcieSpec};
-pub use exec::{launch_with_faults, Grid, Kernel, LaunchError, Step, WarpCtx};
+pub use exec::{
+    launch_traced, launch_with_faults, Grid, Kernel, LaunchError, Step, WarpCtx, WARP_SPAN_CAP,
+};
 pub use fault::{AtomicTamper, FaultKind, FaultPlan, FaultRecord, StepFault};
 pub use lanes::{LaneAddrs, LaneVals, LaneWrites, Lanes, MAX_LANES};
-pub use mem::{Buffer, GlobalMem, LocalMem};
+pub use mem::{Buffer, GlobalMem, LocalMem, MemTraffic, TrafficSnapshot};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
 pub use queue::{
     simulate_engines, simulate_queues, simulate_queues_dep, try_simulate_engines,

@@ -9,8 +9,13 @@
 //! * [`LocalMem`] — one work-group's scratchpad, plain words (the engine
 //!   serialises warps of a work-group, mirroring the hardware's private
 //!   scratchpad semantics).
+//! * [`MemTraffic`] — host↔device traffic accounting (upload / download /
+//!   memset bytes), kept as atomics so [`crate::sim::Sim`]'s shared-ref
+//!   upload/download API stays `Sync`.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use ipt_obs::{Counter, Recorder};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Word-addressed global memory.
 pub struct GlobalMem {
@@ -161,6 +166,64 @@ impl LocalMem {
     }
 }
 
+/// Host↔device traffic meters (bytes). Interior-mutable so the simulator's
+/// `&self` upload/download methods can account without breaking `Sync`.
+#[derive(Debug, Default)]
+pub struct MemTraffic {
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+    memset_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`MemTraffic`], serializable into reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TrafficSnapshot {
+    /// Host→device bytes uploaded.
+    pub h2d_bytes: u64,
+    /// Device→host bytes downloaded.
+    pub d2h_bytes: u64,
+    /// Device-side memset bytes (flag-buffer clears).
+    pub memset_bytes: u64,
+}
+
+impl MemTraffic {
+    /// Account a host→device upload.
+    pub fn add_h2d(&self, bytes: u64) {
+        self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account a device→host download.
+    pub fn add_d2h(&self, bytes: u64) {
+        self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account a device-side memset.
+    pub fn add_memset(&self, bytes: u64) {
+        self.memset_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    #[must_use]
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            memset_bytes: self.memset_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replay the current totals onto `rec` under `scope`.
+    pub fn record<R: Recorder>(&self, rec: &R, scope: &str) {
+        if !rec.enabled() {
+            return;
+        }
+        let snap = self.snapshot();
+        rec.add(scope, Counter::H2dBytes, snap.h2d_bytes);
+        rec.add(scope, Counter::D2hBytes, snap.d2h_bytes);
+        rec.add(scope, Counter::MemsetBytes, snap.memset_bytes);
+    }
+}
+
 /// Reinterpret an f32 as the u32 bit pattern words travel as.
 #[inline]
 #[must_use]
@@ -232,5 +295,24 @@ mod tests {
         for v in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE] {
             assert_eq!(bits_f32(f32_bits(v)), v);
         }
+    }
+
+    #[test]
+    fn traffic_accumulates_and_records() {
+        use ipt_obs::{Counter, TraceRecorder};
+        let t = MemTraffic::default();
+        t.add_h2d(100);
+        t.add_h2d(28);
+        t.add_d2h(64);
+        t.add_memset(16);
+        let snap = t.snapshot();
+        assert_eq!(snap.h2d_bytes, 128);
+        assert_eq!(snap.d2h_bytes, 64);
+        assert_eq!(snap.memset_bytes, 16);
+        let rec = TraceRecorder::new();
+        t.record(&rec, "sim");
+        assert_eq!(rec.counter("sim", Counter::H2dBytes), 128);
+        assert_eq!(rec.counter("sim", Counter::D2hBytes), 64);
+        assert_eq!(rec.counter("sim", Counter::MemsetBytes), 16);
     }
 }

@@ -175,4 +175,92 @@ mod tests {
         assert_eq!(o.warps_per_sm, 64);
         assert!((o.occupancy - 1.0).abs() < 1e-9);
     }
+
+    // ---- hand-computed pins for every paper device configuration ----
+    // Each case works the arithmetic out in the comment; a change to the
+    // calculator or a device preset that shifts any of these numbers is a
+    // deliberate, reviewed event, not drift.
+
+    #[test]
+    fn pin_gtx580_register_limited() {
+        // GTX 580, wg=192, 22 regs/thread, no smem (the §7.2 sweet spot):
+        //   warps/wg   = 192/32 = 6
+        //   by_warps   = 48/6   = 8
+        //   by_wgs     = 8
+        //   by_regs    = 32768 / (22×192 = 4224) = 7
+        // → 7 WGs (registers), 42 warps, occupancy 42/48 = 0.875.
+        let o = occupancy(
+            &DeviceSpec::gtx580(),
+            &KernelResources { wg_size: 192, regs_per_thread: 22, local_mem_per_wg: 0 },
+        );
+        assert_eq!(o.wgs_per_sm, 7);
+        assert_eq!(o.warps_per_sm, 42);
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!((o.occupancy - 0.875).abs() < 1e-12, "occ={}", o.occupancy);
+    }
+
+    #[test]
+    fn pin_k20_wg_slot_limited() {
+        // Tesla K20, wg=64, 16 regs/thread:
+        //   warps/wg = 2, by_warps = 64/2 = 32, by_wgs = 16,
+        //   by_regs  = 65536 / (16×64 = 1024) = 64
+        // → 16 WGs (WG slots), 32 warps, occupancy 32/64 = 0.5.
+        let o = occupancy(
+            &DeviceSpec::tesla_k20(),
+            &KernelResources { wg_size: 64, regs_per_thread: 16, local_mem_per_wg: 0 },
+        );
+        assert_eq!(o.wgs_per_sm, 16);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, Limiter::WgSlots);
+        assert!((o.occupancy - 0.5).abs() < 1e-12, "occ={}", o.occupancy);
+    }
+
+    #[test]
+    fn pin_hd7750_local_mem_limited() {
+        // HD 7750, wg=256 (the AMD max), 16 regs/thread, 16 KB LDS/wg:
+        //   wavefronts/wg = 256/64 = 4, by_warps = 40/4 = 10, by_wgs = 16,
+        //   by_regs = 65536 / (16×256 = 4096) = 16,
+        //   by_smem = 65536 / 16384 = 4
+        // → 4 WGs (local memory), 16 wavefronts, occupancy 16/40 = 0.4.
+        let o = occupancy(
+            &DeviceSpec::hd7750(),
+            &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 16 * 1024 },
+        );
+        assert_eq!(o.wgs_per_sm, 4);
+        assert_eq!(o.warps_per_sm, 16);
+        assert_eq!(o.limiter, Limiter::LocalMem);
+        assert!((o.occupancy - 0.4).abs() < 1e-12, "occ={}", o.occupancy);
+    }
+
+    #[test]
+    fn pin_xeon_phi_warp_slot_limited() {
+        // Xeon Phi, wg=256, registers effectively unlimited:
+        //   warps/wg = 256/16 = 16, by_warps = 32/16 = 2, by_wgs = 4
+        // → 2 WGs (warp slots), 32 warps, occupancy 32/32 = 1.0.
+        let o = occupancy(
+            &DeviceSpec::xeon_phi(),
+            &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 0 },
+        );
+        assert_eq!(o.wgs_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, Limiter::WarpSlots);
+        assert!((o.occupancy - 1.0).abs() < 1e-12, "occ={}", o.occupancy);
+    }
+
+    #[test]
+    fn pin_gtx580_smem_vs_register_tiebreak() {
+        // GTX 580, wg=256, 16 regs/thread, 12 KB smem/wg:
+        //   warps/wg = 8, by_warps = 48/8 = 6, by_wgs = 8,
+        //   by_regs  = 32768 / 4096 = 8,
+        //   by_smem  = 49152 / 12288 = 4
+        // → 4 WGs (local memory), 32 warps, occupancy 32/48 = 2/3.
+        let o = occupancy(
+            &DeviceSpec::gtx580(),
+            &KernelResources { wg_size: 256, regs_per_thread: 16, local_mem_per_wg: 12 * 1024 },
+        );
+        assert_eq!(o.wgs_per_sm, 4);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, Limiter::LocalMem);
+        assert!((o.occupancy - 2.0 / 3.0).abs() < 1e-12, "occ={}", o.occupancy);
+    }
 }

@@ -105,6 +105,38 @@ impl Timeline {
         self.spans.iter().filter(|s| s.engine == engine).map(|s| s.end_s - s.start_s).sum()
     }
 
+    /// Replay the timeline onto a recorder: one queue-level span per
+    /// scheduled command (shifted by `t0_s` onto the cumulative DES clock,
+    /// one display track per engine) plus a per-engine busy-fraction gauge.
+    /// `engine_names` label the gauges (missing names fall back to `e<N>`).
+    pub fn record<R: ipt_obs::Recorder>(&self, rec: &R, t0_s: f64, engine_names: &[&str]) {
+        if !rec.enabled() || self.spans.is_empty() {
+            return;
+        }
+        use ipt_obs::Level;
+        for s in &self.spans {
+            rec.span(
+                Level::Queue,
+                &s.label,
+                (t0_s + s.start_s) * 1e6,
+                (s.end_s - s.start_s) * 1e6,
+                Level::Queue.base_track() + s.engine as u32,
+                &[("queue", s.queue as f64), ("index", s.index as f64)],
+            );
+        }
+        let engines = self.spans.iter().map(|s| s.engine).max().unwrap_or(0) + 1;
+        let active_s = (self.total_s - self.setup_s).max(f64::MIN_POSITIVE);
+        for e in 0..engines {
+            let fallback = format!("e{e}");
+            let name = engine_names.get(e).copied().unwrap_or(&fallback);
+            rec.gauge(
+                &format!("queue:{name}"),
+                "engine_busy_fraction",
+                self.engine_busy(e) / active_s,
+            );
+        }
+    }
+
     /// Render the timeline as an ASCII Gantt chart, one lane per engine,
     /// `width` character columns covering `[0, total_s]`. `engine_names`
     /// label the lanes (missing names fall back to `e<N>`).

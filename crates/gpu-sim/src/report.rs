@@ -1,7 +1,10 @@
 //! Kernel execution reports: what happened (functional counters) and the
-//! derived simulated time.
+//! derived simulated time — plus the bridge that replays a finished
+//! report onto an [`ipt_obs::Recorder`] (kernel span, typed counters,
+//! gauges).
 
 use crate::occupancy::Occupancy;
+use ipt_obs::{Counter, Level, Recorder};
 use serde::Serialize;
 
 /// The four candidate bounds of the time model; the simulated kernel time is
@@ -82,6 +85,9 @@ pub struct KernelStats {
     pub lock_conflicts: u64,
     /// Same-bank different-word collisions (§5.1.2).
     pub bank_conflicts: u64,
+    /// Failed flag claims (a lane lost a cycle to another owner; PTTWAC
+    /// claim protocol, §5.1).
+    pub claim_retries: u64,
     /// Barriers executed (work-group granularity).
     pub barriers: u64,
     /// Total warp-steps executed (engine rounds × active warps).
@@ -109,6 +115,58 @@ impl KernelStats {
     #[must_use]
     pub fn throughput_gbps(&self, matrix_bytes: f64) -> f64 {
         2.0 * matrix_bytes / self.time_s / 1e9
+    }
+
+    /// Replay every functional counter onto `rec` under this kernel's name.
+    pub fn record_counters<R: Recorder>(&self, rec: &R) {
+        if !rec.enabled() {
+            return;
+        }
+        let s = self.name.as_str();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        {
+            rec.add(s, Counter::DramBytes, self.dram_bytes.max(0.0).round() as u64);
+            rec.add(s, Counter::UsefulBytes, self.useful_bytes.max(0.0).round() as u64);
+        }
+        rec.add(s, Counter::GldTransactions, self.gld_transactions);
+        rec.add(s, Counter::GstTransactions, self.gst_transactions);
+        rec.add(s, Counter::LocalAtomics, self.local_atomics);
+        rec.add(s, Counter::GlobalAtomics, self.global_atomics);
+        rec.add(s, Counter::PositionConflicts, self.position_conflicts);
+        rec.add(s, Counter::LockConflicts, self.lock_conflicts);
+        rec.add(s, Counter::BankConflicts, self.bank_conflicts);
+        rec.add(s, Counter::ClaimRetries, self.claim_retries);
+        rec.add(s, Counter::Barriers, self.barriers);
+        rec.add(s, Counter::WarpSteps, self.warp_steps);
+    }
+
+    /// Replay the whole report onto `rec`: a kernel-level span starting at
+    /// `t0_s` (cumulative DES seconds), every counter, and the occupancy /
+    /// coalescing gauges.
+    pub fn record<R: Recorder>(&self, rec: &R, t0_s: f64) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.span(
+            Level::Kernel,
+            &self.name,
+            t0_s * 1e6,
+            self.time_s * 1e6,
+            Level::Kernel.base_track(),
+            &[
+                ("num_wgs", self.num_wgs as f64),
+                ("wg_size", self.wg_size as f64),
+                ("occupancy", self.occupancy.occupancy),
+                ("coalescing", self.coalescing_efficiency()),
+                ("bandwidth_s", self.bounds.bandwidth_s),
+                ("latency_s", self.bounds.latency_s),
+                ("serial_s", self.bounds.serial_s),
+                ("local_port_s", self.bounds.local_port_s),
+            ],
+        );
+        self.record_counters(rec);
+        rec.gauge(&self.name, "occupancy", self.occupancy.occupancy);
+        rec.gauge(&self.name, "coalescing_efficiency", self.coalescing_efficiency());
     }
 }
 

@@ -2,10 +2,11 @@
 //! allocator, typed upload/download, and kernel launch.
 
 use crate::device::DeviceSpec;
-use crate::exec::{launch_with_faults, Kernel, LaunchError};
+use crate::exec::{launch_traced, launch_with_faults, Kernel, LaunchError};
 use crate::fault::{FaultPlan, FaultRecord};
-use crate::mem::{Buffer, GlobalMem};
+use crate::mem::{Buffer, GlobalMem, MemTraffic, TrafficSnapshot};
 use crate::report::KernelStats;
+use ipt_obs::Recorder;
 
 /// One simulated accelerator: device model + on-board memory.
 pub struct Sim {
@@ -13,13 +14,20 @@ pub struct Sim {
     mem: GlobalMem,
     cursor: usize,
     fault: Option<FaultPlan>,
+    traffic: MemTraffic,
 }
 
 impl Sim {
     /// Create a simulator with `capacity_words` of on-board memory.
     #[must_use]
     pub fn new(device: DeviceSpec, capacity_words: usize) -> Self {
-        Self { device, mem: GlobalMem::new(capacity_words), cursor: 0, fault: None }
+        Self {
+            device,
+            mem: GlobalMem::new(capacity_words),
+            cursor: 0,
+            fault: None,
+            traffic: MemTraffic::default(),
+        }
     }
 
     /// Convenience: memory sized to hold `words` plus `slack_words`.
@@ -104,6 +112,7 @@ impl Sim {
     /// Panics if `data.len() > buf.len`.
     pub fn upload_u32(&self, buf: Buffer, data: &[u32]) {
         assert!(data.len() <= buf.len);
+        self.traffic.add_h2d(data.len() as u64 * 4);
         for (i, &v) in data.iter().enumerate() {
             self.mem.write(buf.base + i, v);
         }
@@ -112,6 +121,7 @@ impl Sim {
     /// Upload f32 data (as bit patterns) into `buf`.
     pub fn upload_f32(&self, buf: Buffer, data: &[f32]) {
         assert!(data.len() <= buf.len);
+        self.traffic.add_h2d(data.len() as u64 * 4);
         for (i, &v) in data.iter().enumerate() {
             self.mem.write(buf.base + i, v.to_bits());
         }
@@ -120,20 +130,34 @@ impl Sim {
     /// Download `buf` as u32.
     #[must_use]
     pub fn download_u32(&self, buf: Buffer) -> Vec<u32> {
+        self.traffic.add_d2h(buf.len as u64 * 4);
         (0..buf.len).map(|i| self.mem.read(buf.base + i)).collect()
     }
 
     /// Download `buf` as f32.
     #[must_use]
     pub fn download_f32(&self, buf: Buffer) -> Vec<f32> {
+        self.traffic.add_d2h(buf.len as u64 * 4);
         (0..buf.len).map(|i| f32::from_bits(self.mem.read(buf.base + i))).collect()
     }
 
     /// Zero a buffer (host-side initialisation of flag arrays).
     pub fn zero(&self, buf: Buffer) {
+        self.traffic.add_memset(buf.len as u64 * 4);
         for i in 0..buf.len {
             self.mem.write(buf.base + i, 0);
         }
+    }
+
+    /// Host↔device traffic meters accumulated so far.
+    #[must_use]
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.traffic.snapshot()
+    }
+
+    /// Replay the traffic meters onto a recorder under `scope`.
+    pub fn record_traffic<R: Recorder>(&self, rec: &R, scope: &str) {
+        self.traffic.record(rec, scope);
     }
 
     /// Launch a kernel. When a fault plan is armed, its fault is injected
@@ -144,6 +168,20 @@ impl Sim {
     /// [`LaunchError::Aborted`] when an armed fault plan kills the kernel.
     pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<KernelStats, LaunchError> {
         launch_with_faults(&self.device, &self.mem, kernel, self.fault.as_ref())
+    }
+
+    /// [`Sim::launch`] instrumented with a [`Recorder`]; `t0_s` is the
+    /// launch's start on the cumulative DES clock.
+    ///
+    /// # Errors
+    /// Same as [`Sim::launch`].
+    pub fn launch_rec<K: Kernel, R: Recorder>(
+        &self,
+        kernel: &K,
+        rec: &R,
+        t0_s: f64,
+    ) -> Result<KernelStats, LaunchError> {
+        launch_traced(&self.device, &self.mem, kernel, self.fault.as_ref(), rec, t0_s)
     }
 }
 

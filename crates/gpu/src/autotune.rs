@@ -10,6 +10,8 @@ use gpu_sim::{DeviceSpec, Sim};
 use ipt_core::stages::{StagePlan, TileConfig};
 use ipt_core::tiles::{all_tiles, TileHeuristic};
 use ipt_core::Matrix;
+use ipt_obs::{Counter, NoopRecorder, Recorder};
+use serde::Serialize;
 
 /// One measured tile configuration.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +20,89 @@ pub struct TilePoint {
     pub tile: TileConfig,
     /// Simulated device-side throughput (paper convention), GB/s.
     pub gbps: f64,
+}
+
+/// The winning tile, in serialisable form (for [`TuneLog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TileChoice {
+    /// Tile rows `m`.
+    pub m: usize,
+    /// Tile cols `n`.
+    pub n: usize,
+    /// Measured device-side throughput, GB/s.
+    pub gbps: f64,
+}
+
+/// What an autotuning search did — how many candidates the §7.4 pruning
+/// kept, dropped, or found infeasible, and which tile won. Serialises into
+/// `BenchReport` rows so pruning effectiveness is auditable after the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TuneLog {
+    /// Candidates actually measured (the pruned-in / capped-in set).
+    pub considered: usize,
+    /// Of the considered, how many produced a feasible measurement.
+    pub measured: usize,
+    /// Of the considered, how many were infeasible on the device.
+    pub rejected_infeasible: usize,
+    /// Divisor tiles excluded before measurement (the pruning's savings).
+    pub pruned_out: usize,
+    /// The winner, if any candidate measured.
+    pub chosen: Option<TileChoice>,
+}
+
+impl TuneLog {
+    fn finish<R: Recorder>(mut self, best: Option<&TilePoint>, rec: &R, scope: &str) -> Self {
+        self.chosen = best.map(|p| TileChoice { m: p.tile.m, n: p.tile.n, gbps: p.gbps });
+        rec.add(scope, Counter::AutotuneConsidered, self.considered as u64);
+        rec.add(scope, Counter::AutotuneRejectedInfeasible, self.rejected_infeasible as u64);
+        rec.add(scope, Counter::AutotunePruned, self.pruned_out as u64);
+        if let Some(c) = &self.chosen {
+            rec.gauge(scope, "chosen_gbps", c.gbps);
+            rec.event(0.0, "autotune_chosen", &format!("{scope}: ({}, {}) at {:.3} GB/s", c.m, c.n, c.gbps));
+        }
+        self
+    }
+}
+
+/// Count the full divisor-tile universe the searches select from.
+fn tile_universe(rows: usize, cols: usize) -> usize {
+    all_tiles(rows, cols).iter().filter(|t| t.m > 1 && t.n > 1).count()
+}
+
+/// Measure `candidates`, recording one gauge per measured tile and one
+/// counter tick per infeasible rejection.
+#[allow(clippy::too_many_arguments)]
+fn measure_candidates<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    candidates: &[TileConfig],
+    opts: &GpuOptions,
+    rec: &R,
+    scope: &str,
+    log: &mut TuneLog,
+) -> Vec<TilePoint> {
+    let mut out = Vec::with_capacity(candidates.len());
+    for &t in candidates {
+        log.considered += 1;
+        match measure_tile(dev, rows, cols, t, opts) {
+            Some(p) => {
+                log.measured += 1;
+                if rec.enabled() {
+                    rec.gauge(&format!("{scope}:{}x{}", t.m, t.n), "gbps", p.gbps);
+                }
+                out.push(p);
+            }
+            None => {
+                log.rejected_infeasible += 1;
+                if rec.enabled() {
+                    rec.event(0.0, "autotune_infeasible", &format!("{scope}: ({}, {})", t.m, t.n));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
+    out
 }
 
 /// Measure the 3-stage throughput of one tile on a fresh simulator.
@@ -52,13 +137,33 @@ pub fn exhaustive_search(
     max_dim: usize,
     opts: &GpuOptions,
 ) -> Vec<TilePoint> {
-    let mut out: Vec<TilePoint> = all_tiles(rows, cols)
+    exhaustive_search_rec(dev, rows, cols, max_dim, opts, &NoopRecorder).0
+}
+
+/// [`exhaustive_search`] instrumented with a [`Recorder`], returning the
+/// [`TuneLog`] alongside the measurements. `pruned_out` counts divisor
+/// tiles the `max_dim` cap excluded.
+#[must_use]
+pub fn exhaustive_search_rec<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    max_dim: usize,
+    opts: &GpuOptions,
+    rec: &R,
+) -> (Vec<TilePoint>, TuneLog) {
+    let candidates: Vec<TileConfig> = all_tiles(rows, cols)
         .into_iter()
         .filter(|t| t.m > 1 && t.n > 1 && t.m <= max_dim && t.n <= max_dim)
-        .filter_map(|t| measure_tile(dev, rows, cols, t, opts))
         .collect();
-    out.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
-    out
+    let mut log = TuneLog {
+        pruned_out: tile_universe(rows, cols).saturating_sub(candidates.len()),
+        ..TuneLog::default()
+    };
+    let scope = "autotune:exhaustive";
+    let out = measure_candidates(dev, rows, cols, &candidates, opts, rec, scope, &mut log);
+    let log = log.finish(out.first(), rec, scope);
+    (out, log)
 }
 
 /// Measure only the §7.4 pruned candidates. Sorted by descending
@@ -71,13 +176,30 @@ pub fn pruned_search(
     heuristic: &TileHeuristic,
     opts: &GpuOptions,
 ) -> Vec<TilePoint> {
-    let mut out: Vec<TilePoint> = heuristic
-        .pruned_candidates(rows, cols)
-        .into_iter()
-        .filter_map(|t| measure_tile(dev, rows, cols, t, opts))
-        .collect();
-    out.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
-    out
+    pruned_search_rec(dev, rows, cols, heuristic, opts, &NoopRecorder).0
+}
+
+/// [`pruned_search`] instrumented with a [`Recorder`], returning the
+/// [`TuneLog`] alongside the measurements. `pruned_out` counts divisor
+/// tiles the §7.4 heuristic refused to measure — the pruning's savings.
+#[must_use]
+pub fn pruned_search_rec<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    heuristic: &TileHeuristic,
+    opts: &GpuOptions,
+    rec: &R,
+) -> (Vec<TilePoint>, TuneLog) {
+    let candidates = heuristic.pruned_candidates(rows, cols);
+    let mut log = TuneLog {
+        pruned_out: tile_universe(rows, cols).saturating_sub(candidates.len()),
+        ..TuneLog::default()
+    };
+    let scope = "autotune:pruned";
+    let out = measure_candidates(dev, rows, cols, &candidates, opts, rec, scope, &mut log);
+    let log = log.finish(out.first(), rec, scope);
+    (out, log)
 }
 
 #[cfg(test)]
@@ -117,6 +239,35 @@ mod tests {
             pruned_best >= 0.8 * best,
             "pruned {pruned_best} vs exhaustive {best}"
         );
+    }
+
+    #[test]
+    fn tune_log_accounts_for_every_candidate() {
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let rec = ipt_obs::TraceRecorder::new();
+        let h = TileHeuristic { shared_capacity_words: 3600, preferred_lo: 30, preferred_hi: 100 };
+        let (pts, log) = pruned_search_rec(&dev, ROWS, COLS, &h, &opts, &rec);
+        assert_eq!(log.considered, log.measured + log.rejected_infeasible);
+        assert_eq!(log.measured, pts.len());
+        assert!(log.pruned_out > 0, "the §7.4 heuristic must actually prune");
+        let chosen = log.chosen.expect("some candidate must measure");
+        assert_eq!(chosen.gbps, pts[0].gbps);
+        assert_eq!(
+            rec.counter("autotune:pruned", Counter::AutotuneConsidered),
+            log.considered as u64
+        );
+        assert_eq!(
+            rec.counter("autotune:pruned", Counter::AutotunePruned),
+            log.pruned_out as u64
+        );
+        // One throughput gauge per measured candidate.
+        let gauges = rec.gauges();
+        let measured_gauges = gauges
+            .iter()
+            .filter(|(scope, name, _)| scope.starts_with("autotune:pruned:") && *name == "gbps")
+            .count();
+        assert_eq!(measured_gauges, log.measured);
     }
 
     #[test]

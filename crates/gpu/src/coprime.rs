@@ -27,6 +27,22 @@ pub struct CoprimeRowScramble {
     pub cols: usize,
     /// Work-items per work-group.
     pub wg_size: usize,
+    /// `M⁻¹ mod N`, precomputed once at construction — the single
+    /// `ipt_core::coprime::minv_for` call for the whole launch (a real
+    /// kernel receives it as a launch parameter, not per-thread work).
+    minv: usize,
+}
+
+impl CoprimeRowScramble {
+    /// Build the kernel, precomputing the modular inverse from
+    /// `ipt_core::coprime` — the one source of truth for the mathematics.
+    ///
+    /// # Panics
+    /// Panics if `rows` and `cols` are not coprime.
+    #[must_use]
+    pub fn new(data: Buffer, rows: usize, cols: usize, wg_size: usize) -> Self {
+        Self { data, rows, cols, wg_size, minv: minv_for(rows, cols) }
+    }
 }
 
 /// Per-warp state: which row (grid-stride), phase, and word cursor.
@@ -94,10 +110,9 @@ impl Kernel for CoprimeRowScramble {
             _ => {
                 // Permuted write-back (local gather, coalesced global write).
                 if w0 < n {
-                    let minv = minv_for(self.rows, n);
                     let addrs = LaneAddrs::from_fn(ctx.lanes, |l| {
                         let q_out = w0 + l;
-                        (q_out < n).then(|| phase1_src_col(st.row, q_out, self.rows, n, minv))
+                        (q_out < n).then(|| phase1_src_col(st.row, q_out, self.rows, n, self.minv))
                     });
                     let vals = ctx.local_read(&addrs);
                     ctx.alu(6.0); // modular index arithmetic
@@ -246,7 +261,7 @@ pub fn transpose_coprime_on_device(
     wg_size: usize,
 ) -> Result<gpu_sim::PipelineStats, gpu_sim::LaunchError> {
     assert!(ipt_core::coprime::is_coprime_shape(rows, cols), "coprime dimensions required");
-    let s1 = sim.launch(&CoprimeRowScramble { data, rows, cols, wg_size })?;
+    let s1 = sim.launch(&CoprimeRowScramble::new(data, rows, cols, wg_size))?;
     let s2 = sim.launch(&CoprimeColShuffle { data, rows, cols, wg_size })?;
     Ok(gpu_sim::PipelineStats { stages: vec![s1, s2], overhead_s: 0.0 })
 }
@@ -324,7 +339,7 @@ mod tests {
         let mut sim = Sim::new(DeviceSpec::tesla_k20(), r * c + 8);
         let buf = sim.alloc(r * c);
         sim.upload_u32(buf, Matrix::iota(r, c).as_slice());
-        let s1 = sim.launch(&CoprimeRowScramble { data: buf, rows: r, cols: c, wg_size: 256 }).unwrap();
+        let s1 = sim.launch(&CoprimeRowScramble::new(buf, r, c, 256)).unwrap();
         assert!(s1.coalescing_efficiency() > 0.9, "{}", s1.coalescing_efficiency());
     }
 }

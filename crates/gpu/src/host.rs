@@ -22,6 +22,7 @@ use gpu_sim::{
 };
 use ipt_core::stages::{StageOp, StagePlan, TileConfig};
 use ipt_core::{InstancedTranspose, Matrix};
+use ipt_obs::Recorder;
 
 /// Result of a host-side (virtual in-place) transposition.
 #[derive(Debug, Clone)]
@@ -37,6 +38,26 @@ pub struct HostReport {
     pub kernels: PipelineStats,
     /// Number of command queues used.
     pub queues: usize,
+}
+
+impl HostReport {
+    /// Emit this report into a [`Recorder`]: the DES timeline (one span per
+    /// queue command, one display track per engine, busy-fraction gauges),
+    /// every device-side kernel's counters, and end-to-end gauges. `t0_s`
+    /// offsets the timeline on the recorder's global clock.
+    pub fn record<R: Recorder>(&self, rec: &R, t0_s: f64) {
+        if !rec.enabled() {
+            return;
+        }
+        self.timeline.record(rec, t0_s, &["copy H2D", "copy D2H", "compute"]);
+        for st in &self.kernels.stages {
+            st.record_counters(rec);
+        }
+        rec.gauge("host", "effective_gbps", self.effective_gbps);
+        rec.gauge("host", "total_s", self.total_s);
+        #[allow(clippy::cast_precision_loss)]
+        rec.gauge("host", "queues", self.queues as f64);
+    }
 }
 
 fn matrix_bytes(rows: usize, cols: usize) -> f64 {

@@ -37,7 +37,10 @@ pub mod pttwac010;
 pub mod pttwac100;
 pub mod recover;
 
-pub use autotune::{exhaustive_search, measure_tile, pruned_search, TilePoint};
+pub use autotune::{
+    exhaustive_search, exhaustive_search_rec, measure_tile, pruned_search, pruned_search_rec,
+    TileChoice, TilePoint, TuneLog,
+};
 pub use bs::BsKernel;
 pub use coprime::{transpose_coprime_on_device, CoprimeColShuffle, CoprimeRowScramble};
 pub use host::{
@@ -47,7 +50,11 @@ pub use host::{
 pub use multi::{run_multi_gpu, LinkTopology, MultiReport};
 pub use oop::OopTranspose;
 pub use opts::{FlagLayout, GpuOptions, Variant100};
-pub use pipeline::{plan_flag_words, run_plan, run_stage, scale_plan_words, select_kernel, transpose_on_device, transpose_on_device_f64, StageKernel};
+pub use pipeline::{
+    plan_flag_words, run_plan, run_plan_rec, run_stage, run_stage_rec, scale_plan_words,
+    select_kernel, transpose_on_device, transpose_on_device_f64, transpose_on_device_rec,
+    StageKernel, MAX_CYCLE_SCAN,
+};
 pub use recover::{
     host_transpose, multiset_checksum, run_plan_validated, transpose_with_recovery, verify_exact,
     RecoveryPath, RecoveryPolicy, RecoveryReport, StageRetryInfo, TransposeError, VerifyError,

@@ -59,6 +59,39 @@ pub struct MultiReport {
     pub kernel_s_per_device: Vec<f64>,
 }
 
+impl MultiReport {
+    /// Emit this report into a [`Recorder`](ipt_obs::Recorder): the DES
+    /// timeline (engines named `dev<N> compute` / `H2D link` / `D2H link`)
+    /// plus per-device kernel-time and end-to-end gauges. `t0_s` offsets
+    /// the timeline on the recorder's global clock.
+    pub fn record<R: ipt_obs::Recorder>(&self, rec: &R, t0_s: f64) {
+        if !rec.enabled() {
+            return;
+        }
+        let mut names: Vec<String> =
+            (0..self.devices).map(|d| format!("dev{d} compute")).collect();
+        match self.link {
+            LinkTopology::Shared => {
+                names.push("H2D link".into());
+                names.push("D2H link".into());
+            }
+            LinkTopology::Private => {
+                for d in 0..self.devices {
+                    names.push(format!("dev{d} H2D"));
+                    names.push(format!("dev{d} D2H"));
+                }
+            }
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.timeline.record(rec, t0_s, &refs);
+        for (d, s) in self.kernel_s_per_device.iter().enumerate() {
+            rec.gauge(&format!("multi:dev{d}"), "kernel_s", *s);
+        }
+        rec.gauge("multi", "effective_gbps", self.effective_gbps);
+        rec.gauge("multi", "total_s", self.total_s);
+    }
+}
+
 /// Run the multi-GPU scheme with `d_count` identical devices.
 ///
 /// # Errors

@@ -17,8 +17,14 @@ use crate::opts::{GpuOptions, Variant100};
 use crate::pttwac010::Pttwac010;
 use crate::pttwac100::Pttwac100;
 use gpu_sim::{Buffer, KernelStats, LaunchError, PipelineStats, Sim};
-use ipt_core::stages::{StageOp, StagePlan};
+use ipt_core::stages::{Stage, StageOp, StagePlan};
 use ipt_core::{InstancedTranspose, TransposePerm};
+use ipt_obs::{Level, NoopRecorder, Recorder};
+
+/// Largest permutation (`rows × cols`) whose cycle structure is enumerated
+/// into the trace's cycle-length histogram; bigger stages skip the scan
+/// (it is `O(rows × cols)` analysis work, not kernel work).
+pub const MAX_CYCLE_SCAN: usize = 1 << 20;
 
 /// Which kernel the selector chose for a stage (exposed for tests and the
 /// experiment harness).
@@ -95,11 +101,74 @@ pub fn run_plan(
     plan: &StagePlan,
     opts: &GpuOptions,
 ) -> Result<PipelineStats, LaunchError> {
+    run_plan_rec(sim, data, flags, plan, opts, &NoopRecorder, 0.0)
+}
+
+/// [`run_plan`] instrumented with a [`Recorder`]: an algorithm-level span
+/// covering the whole plan, one stage-level span per stage (both on the
+/// cumulative DES clock starting at `t0_s`), kernel spans and counters from
+/// the engine, and each instanced stage's permutation cycle-length
+/// histogram (stages over [`MAX_CYCLE_SCAN`] elements skip the scan).
+///
+/// With [`NoopRecorder`] this is exactly [`run_plan`].
+///
+/// # Errors
+/// Propagates infeasible launches.
+pub fn run_plan_rec<R: Recorder>(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    rec: &R,
+    t0_s: f64,
+) -> Result<PipelineStats, LaunchError> {
     let mut out = PipelineStats::default();
     for stage in &plan.stages {
-        run_stage(sim, data, flags, stage, opts, &mut out)?;
+        let before_s = out.time_s();
+        run_stage_rec(sim, data, flags, stage, opts, &mut out, rec, t0_s + before_s)?;
+        if rec.enabled() {
+            let code = stage.code.to_string();
+            rec.span(
+                Level::Stage,
+                &code,
+                (t0_s + before_s) * 1e6,
+                (out.time_s() - before_s) * 1e6,
+                Level::Stage.base_track(),
+                &[("total_len", stage.op.total_len() as f64)],
+            );
+            record_stage_cycles(rec, &format!("stage:{code}"), stage);
+        }
+    }
+    if rec.enabled() {
+        rec.span(
+            Level::Algorithm,
+            plan.name,
+            t0_s * 1e6,
+            out.time_s() * 1e6,
+            Level::Algorithm.base_track(),
+            &[("rows", plan.rows as f64), ("cols", plan.cols as f64)],
+        );
     }
     Ok(out)
+}
+
+/// Record the cycle-length histogram of an instanced stage's permutation
+/// (the parallelism/imbalance structure of §4): every cycle of the
+/// `rows × cols` transposition, weighted by the instance count.
+fn record_stage_cycles<R: Recorder>(rec: &R, scope: &str, stage: &Stage) {
+    let StageOp::Instanced(op) = &stage.op else {
+        return;
+    };
+    let supers = op.rows * op.cols;
+    if supers <= 1 || supers > MAX_CYCLE_SCAN {
+        return;
+    }
+    let perm = TransposePerm::new(op.rows, op.cols);
+    for (_, len) in perm.leaders() {
+        #[allow(clippy::cast_possible_truncation)]
+        rec.cycles(scope, len as usize, op.instances as u64);
+    }
 }
 
 /// Execute one stage of a plan, appending its kernel stats (one entry, or
@@ -117,9 +186,28 @@ pub fn run_stage(
     opts: &GpuOptions,
     out: &mut PipelineStats,
 ) -> Result<(), LaunchError> {
+    run_stage_rec(sim, data, flags, stage, opts, out, &NoopRecorder, 0.0)
+}
+
+/// [`run_stage`] instrumented with a [`Recorder`]; `t0_s` is the stage's
+/// start on the cumulative DES clock.
+///
+/// # Errors
+/// Propagates infeasible launches (and injected kernel aborts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_stage_rec<R: Recorder>(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    stage: &ipt_core::stages::Stage,
+    opts: &GpuOptions,
+    out: &mut PipelineStats,
+    rec: &R,
+    t0_s: f64,
+) -> Result<(), LaunchError> {
     match &stage.op {
         StageOp::Instanced(op) => {
-            let stats = run_instanced(sim, data, flags, op, opts, &mut out.overhead_s)?;
+            let stats = run_instanced(sim, data, flags, op, opts, &mut out.overhead_s, rec, t0_s)?;
             out.stages.push(stats);
         }
         StageOp::Fused(f) => {
@@ -127,7 +215,8 @@ pub fn run_stage(
             // grid, transposed in flight.
             let supers = f.rows_outer * f.cols_outer;
             sim.zero(flags);
-            out.overhead_s += memset_time(sim, Pttwac100::flag_words(supers));
+            let ms = memset_time(sim, Pttwac100::flag_words(supers));
+            out.overhead_s += ms;
             let ss = f.rows_inner * f.cols_inner;
             let k = Pttwac100 {
                 data,
@@ -140,9 +229,11 @@ pub fn run_stage(
                 wg_size: opts.wg_size_100,
                 fuse_tile: Some((f.rows_inner, f.cols_inner)),
             };
-            out.stages.push(sim.launch(&k)?);
+            let moving = sim.launch_rec(&k, rec, t0_s + ms)?;
+            let after_moving_s = t0_s + ms + moving.time_s;
+            out.stages.push(moving);
             // Outer fixed tiles still need internal transposition.
-            if let Some(stats) = run_fused_fixed_tiles(sim, data, f, opts)? {
+            if let Some(stats) = run_fused_fixed_tiles(sim, data, f, opts, rec, after_moving_s)? {
                 out.stages.push(stats);
             }
         }
@@ -165,7 +256,8 @@ pub fn run_instanced_public(
     opts: &GpuOptions,
 ) -> Result<KernelStats, LaunchError> {
     let mut overhead = 0.0;
-    let mut stats = run_instanced(sim, data, flags, op, opts, &mut overhead)?;
+    let mut stats =
+        run_instanced(sim, data, flags, op, opts, &mut overhead, &NoopRecorder, 0.0)?;
     stats.time_s += overhead;
     Ok(stats)
 }
@@ -179,13 +271,16 @@ fn moving_variant(sim: &Sim, opts: &GpuOptions, super_size: usize) -> Variant100
     opts.variant100.resolve(super_size, sim.device().simd_width)
 }
 
-fn run_instanced(
+#[allow(clippy::too_many_arguments)]
+fn run_instanced<R: Recorder>(
     sim: &Sim,
     data: Buffer,
     flags: Buffer,
     op: &InstancedTranspose,
     opts: &GpuOptions,
     overhead_s: &mut f64,
+    rec: &R,
+    t0_s: f64,
 ) -> Result<KernelStats, LaunchError> {
     // Degenerate stages (1×1 grids) move nothing.
     if op.rows * op.cols <= 1 || (op.rows == 1 || op.cols == 1) {
@@ -193,22 +288,30 @@ fn run_instanced(
         return Ok(noop_stats(op));
     }
     match select_kernel(sim, op, opts) {
-        StageKernel::Bs => sim.launch(&BsKernel {
-            data,
-            instances: op.instances,
-            rows: op.rows,
-            cols: op.cols,
-            super_size: op.super_size,
-            wg_size: opts.wg_size,
-        }),
-        StageKernel::Pttwac010 => sim.launch(&Pttwac010 {
-            data,
-            instances: op.instances,
-            rows: op.rows,
-            cols: op.cols,
-            wg_size: opts.wg_size,
-            flags: opts.flags,
-        }),
+        StageKernel::Bs => sim.launch_rec(
+            &BsKernel {
+                data,
+                instances: op.instances,
+                rows: op.rows,
+                cols: op.cols,
+                super_size: op.super_size,
+                wg_size: opts.wg_size,
+            },
+            rec,
+            t0_s,
+        ),
+        StageKernel::Pttwac010 => sim.launch_rec(
+            &Pttwac010 {
+                data,
+                instances: op.instances,
+                rows: op.rows,
+                cols: op.cols,
+                wg_size: opts.wg_size,
+                flags: opts.flags,
+            },
+            rec,
+            t0_s,
+        ),
         StageKernel::Pttwac100 => {
             let needed = Pttwac100::flag_words(op.instances * op.rows * op.cols);
             assert!(
@@ -218,18 +321,23 @@ fn run_instanced(
                 flags.len
             );
             sim.zero(flags);
-            *overhead_s += memset_time(sim, needed);
-            sim.launch(&Pttwac100 {
-                data,
-                flags,
-                instances: op.instances,
-                rows: op.rows,
-                cols: op.cols,
-                super_size: op.super_size,
-                variant: moving_variant(sim, opts, op.super_size),
-                wg_size: opts.wg_size_100,
-                fuse_tile: None,
-            })
+            let ms = memset_time(sim, needed);
+            *overhead_s += ms;
+            sim.launch_rec(
+                &Pttwac100 {
+                    data,
+                    flags,
+                    instances: op.instances,
+                    rows: op.rows,
+                    cols: op.cols,
+                    super_size: op.super_size,
+                    variant: moving_variant(sim, opts, op.super_size),
+                    wg_size: opts.wg_size_100,
+                    fuse_tile: None,
+                },
+                rec,
+                t0_s + ms,
+            )
         }
     }
 }
@@ -264,6 +372,7 @@ fn noop_stats(op: &InstancedTranspose) -> KernelStats {
         position_conflicts: 0,
         lock_conflicts: 0,
         bank_conflicts: 0,
+        claim_retries: 0,
         barriers: 0,
         warp_steps: 0,
         total_chain_cycles: 0.0,
@@ -274,11 +383,13 @@ fn noop_stats(op: &InstancedTranspose) -> KernelStats {
 /// Transpose the outer fixed tiles of a fused stage with a BS pass over
 /// just those tiles. Returns `None` when the tiles fit nothing (no fixed
 /// tiles beyond trivial cases are exercised — there are always at least 2).
-fn run_fused_fixed_tiles(
+fn run_fused_fixed_tiles<R: Recorder>(
     sim: &Sim,
     data: Buffer,
     f: &ipt_core::elementary::FusedTileTranspose,
     opts: &GpuOptions,
+    rec: &R,
+    t0_s: f64,
 ) -> Result<Option<KernelStats>, LaunchError> {
     let perm = TransposePerm::new(f.rows_outer, f.cols_outer);
     let tile = f.rows_inner * f.cols_inner;
@@ -290,19 +401,25 @@ fn run_fused_fixed_tiles(
     // because there are only gcd(M′N′−1, M′−1)+1 ≈ a handful of them, launch
     // one BS kernel per fixed tile and merge the stats.
     let mut merged: Option<KernelStats> = None;
+    let mut t_cursor = t0_s;
     for t in 0..f.rows_outer * f.cols_outer {
         if perm.dest(t) != t {
             continue;
         }
         let sub = data.slice(t * tile, tile);
-        let stats = sim.launch(&BsKernel {
-            data: sub,
-            instances: 1,
-            rows: f.rows_inner,
-            cols: f.cols_inner,
-            super_size: 1,
-            wg_size: opts.wg_size.min(tile.next_multiple_of(32)),
-        })?;
+        let stats = sim.launch_rec(
+            &BsKernel {
+                data: sub,
+                instances: 1,
+                rows: f.rows_inner,
+                cols: f.cols_inner,
+                super_size: 1,
+                wg_size: opts.wg_size.min(tile.next_multiple_of(32)),
+            },
+            rec,
+            t_cursor,
+        )?;
+        t_cursor += stats.time_s;
         merged = Some(match merged {
             None => stats,
             Some(mut acc) => {
@@ -334,12 +451,35 @@ pub fn transpose_on_device(
     plan: &StagePlan,
     opts: &GpuOptions,
 ) -> Result<PipelineStats, LaunchError> {
+    transpose_on_device_rec(sim, host_data, rows, cols, plan, opts, &NoopRecorder, 0.0)
+}
+
+/// [`transpose_on_device`] instrumented with a [`Recorder`]: everything
+/// [`run_plan_rec`] emits plus the host↔device traffic meters.
+///
+/// # Errors
+/// Propagates infeasible launches.
+///
+/// # Panics
+/// Panics on an incorrect transposition, like [`transpose_on_device`].
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_on_device_rec<R: Recorder>(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    rec: &R,
+    t0_s: f64,
+) -> Result<PipelineStats, LaunchError> {
     assert_eq!(host_data.len(), rows * cols);
     let data = sim.alloc(rows * cols);
     let flags = sim.alloc(plan_flag_words(plan).max(1));
     sim.upload_u32(data, host_data);
-    let stats = run_plan(sim, data, flags, plan, opts)?;
+    let stats = run_plan_rec(sim, data, flags, plan, opts, rec, t0_s)?;
     let result = sim.download_u32(data);
+    sim.record_traffic(rec, "sim");
     // Verify against the definitional permutation.
     let perm = TransposePerm::new(rows, cols);
     for (k, &v) in host_data.iter().enumerate() {

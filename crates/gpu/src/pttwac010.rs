@@ -175,6 +175,10 @@ impl Kernel for Pttwac010 {
                         s.active = true;
                         s.pos = p;
                         s.carried = vals.get(l);
+                    } else {
+                        // Another lane already started (or finished) this
+                        // cycle — the candidate claim was lost.
+                        ctx.note_claim_retry();
                     }
                 }
             }
@@ -202,6 +206,7 @@ impl Kernel for Pttwac010 {
                     won[l] = old.get(l) & bitmask == 0;
                     if !won[l] {
                         st.lanes[l].active = false;
+                        ctx.note_claim_retry();
                     }
                 }
             }

@@ -213,6 +213,7 @@ impl Kernel for Pttwac100 {
             let old = ctx.global_read(self.flags, &addr);
             ctx.alu(4.0);
             if (old.get(0) >> fb) & 1 == 1 {
+                ctx.note_claim_retry();
                 return Step::Continue; // already moved by another chain
             }
             // Read the start super-element into the carried buffer.
@@ -231,6 +232,7 @@ impl Kernel for Pttwac100 {
         let old = ctx.global_atomic_or(self.flags, &claim);
         ctx.alu(8.0); // Eq.(1) and flag addressing
         if (old.get(0) >> fb) & 1 == 1 {
+            ctx.note_claim_retry();
             st.active = false; // chain owned elsewhere; grab a new start
             return Step::Continue;
         }

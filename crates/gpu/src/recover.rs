@@ -230,6 +230,28 @@ impl RecoveryReport {
             && self.scheme_retries == 0
             && self.faults.is_empty()
     }
+
+    /// Emit this report into a [`Recorder`](ipt_obs::Recorder): retry
+    /// counters under the `recovery` scope, one instant event per injected
+    /// fault that fired, and the penalty/path as gauges. `ts_us` places the
+    /// fault events on the recorder's global clock.
+    pub fn record<R: ipt_obs::Recorder>(&self, rec: &R, ts_us: f64) {
+        if !rec.enabled() {
+            return;
+        }
+        use ipt_obs::Counter;
+        rec.add("recovery", Counter::FaultsInjected, self.faults.len() as u64);
+        rec.add("recovery", Counter::StageRetries, self.stage_retries as u64);
+        rec.add("recovery", Counter::TransferRetries, self.transfer_retries as u64);
+        rec.add("recovery", Counter::SchemeRetries, self.scheme_retries as u64);
+        rec.gauge("recovery", "penalty_s", self.penalty_s);
+        for f in &self.faults {
+            rec.event(ts_us, "fault", &format!("{:?} at {}: {}", f.kind, f.site, f.detail));
+        }
+        if let Some(e) = &self.primary_error {
+            rec.event(ts_us, "primary_path_abandoned", e);
+        }
+    }
 }
 
 /// Order-independent multiset checksum: wrapping sum + xor of all words.

@@ -1,0 +1,118 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! object form (`{"traceEvents": [...]}`) loadable in `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev). Spans become complete (`"X"`)
+//! events with DES timestamps in **microseconds**; recorder events become
+//! global instant (`"i"`) events; display tracks get thread-name metadata
+//! so the hierarchy reads algorithm → stage → kernel → warp → DES engines
+//! top to bottom.
+
+use crate::recorder::{Level, TraceRecorder};
+use serde::Value;
+use std::collections::BTreeMap;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+/// Render the recorder's spans and events as a Chrome trace JSON string.
+#[must_use]
+pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
+    let spans = rec.spans();
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 16);
+
+    // Thread-name metadata: one per distinct track, named after the most
+    // informative level seen on it.
+    let mut track_levels: BTreeMap<u32, Level> = BTreeMap::new();
+    for sp in &spans {
+        track_levels.entry(sp.track).or_insert(sp.level);
+    }
+    for (&track, &level) in &track_levels {
+        let name = match level {
+            Level::Algorithm => "algorithm".to_string(),
+            Level::Stage => "stages".to_string(),
+            Level::Kernel => "kernel launches".to_string(),
+            Level::Warp => format!("warps #{}", track.saturating_sub(Level::Warp.base_track())),
+            Level::Queue => {
+                format!("DES engine {}", track.saturating_sub(Level::Queue.base_track()))
+            }
+        };
+        events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(u64::from(track))),
+            ("args", obj(vec![("name", Value::Str(name))])),
+        ]));
+    }
+
+    for sp in &spans {
+        let args = Value::Obj(
+            sp.args.iter().map(|(k, v)| (k.clone(), Value::Float(*v))).collect(),
+        );
+        events.push(obj(vec![
+            ("name", Value::Str(sp.name.clone())),
+            ("cat", s(sp.level.cat())),
+            ("ph", s("X")),
+            ("ts", Value::Float(sp.start_us)),
+            ("dur", Value::Float(sp.dur_us)),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(u64::from(sp.track))),
+            ("args", args),
+        ]));
+    }
+
+    for ev in rec.events() {
+        events.push(obj(vec![
+            ("name", Value::Str(ev.name.clone())),
+            ("cat", s("event")),
+            ("ph", s("i")),
+            ("s", s("g")),
+            ("ts", Value::Float(ev.ts_us)),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("detail", Value::Str(ev.detail.clone()))])),
+        ]));
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    serde_json::to_string_pretty(&root).expect("infallible shim serializer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn trace_is_valid_json_with_complete_events() {
+        let r = TraceRecorder::new();
+        r.span(Level::Algorithm, "3-stage", 0.0, 100.0, 0, &[]);
+        r.span(Level::Stage, "100!", 0.0, 60.0, 1, &[("gbps", 12.0)]);
+        r.span(Level::Kernel, "PTTWAC100", 0.0, 60.0, 2, &[]);
+        r.span(Level::Warp, "wg0.w0", 0.0, 1.0, 8, &[]);
+        r.event(5.0, "fault", "injected");
+        let json = chrome_trace_json(&r);
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        let evs = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        // 4 spans + 1 instant + 4 thread-name metadata.
+        assert_eq!(evs.len(), 9);
+        let complete: Vec<&Value> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 4);
+        for e in &complete {
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+            assert!(e.get("dur").and_then(Value::as_f64).is_some());
+        }
+    }
+}

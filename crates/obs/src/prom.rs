@@ -1,0 +1,157 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Renders a [`TraceRecorder`]'s counters, gauges, and cycle-length
+//! histograms in the [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! counters as `ipt_<name>_total{scope="..."}`, gauges as
+//! `ipt_<name>{scope="..."}`, and each scope's cycle-length histogram as a
+//! cumulative `ipt_cycle_length_bucket{scope="...",le="..."}` series with
+//! `_sum` / `_count`. Scope labels are escaped per the format rules.
+
+use crate::recorder::TraceRecorder;
+use std::fmt::Write as _;
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_value(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Render the recorder's aggregates in Prometheus text exposition format.
+#[must_use]
+pub fn prometheus_text(rec: &TraceRecorder) -> String {
+    let mut out = String::new();
+
+    // Counters, grouped by metric stem so each gets one TYPE header.
+    let counters = rec.counters();
+    let mut last_stem = "";
+    for (scope, counter, value) in &counters {
+        let stem = counter.name();
+        if stem != last_stem {
+            let _ = writeln!(out, "# TYPE ipt_{stem}_total counter");
+            last_stem = stem;
+        }
+        let _ = writeln!(
+            out,
+            "ipt_{stem}_total{{scope=\"{}\"}} {value}",
+            escape_label(scope)
+        );
+    }
+
+    // Gauges.
+    let gauges = rec.gauges();
+    let mut last_name = "";
+    for (scope, name, value) in &gauges {
+        if *name != last_name {
+            let _ = writeln!(out, "# TYPE ipt_{name} gauge");
+            last_name = name;
+        }
+        let _ = writeln!(
+            out,
+            "ipt_{name}{{scope=\"{}\"}} {}",
+            escape_label(scope),
+            fmt_value(*value)
+        );
+    }
+
+    // Cycle-length histogram, one cumulative series per scope. The recorder
+    // keys are already sorted (scope, len) ascending, so a running group
+    // walk suffices.
+    let hist = rec.cycle_histogram();
+    if !hist.is_empty() {
+        let _ = writeln!(out, "# TYPE ipt_cycle_length histogram");
+        let mut i = 0;
+        while i < hist.len() {
+            let scope = hist[i].0.clone();
+            let esc = escape_label(&scope);
+            let mut cum = 0u64;
+            let mut sum = 0u64;
+            while i < hist.len() && hist[i].0 == scope {
+                let (_, len, count) = &hist[i];
+                cum += count;
+                sum += *count * (*len as u64);
+                let _ = writeln!(
+                    out,
+                    "ipt_cycle_length_bucket{{scope=\"{esc}\",le=\"{len}\"}} {cum}"
+                );
+                i += 1;
+            }
+            let _ = writeln!(
+                out,
+                "ipt_cycle_length_bucket{{scope=\"{esc}\",le=\"+Inf\"}} {cum}"
+            );
+            let _ = writeln!(out, "ipt_cycle_length_sum{{scope=\"{esc}\"}} {sum}");
+            let _ = writeln!(out, "ipt_cycle_length_count{{scope=\"{esc}\"}} {cum}");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counter, Recorder};
+
+    #[test]
+    fn counters_gauges_and_histogram_render() {
+        let r = TraceRecorder::new();
+        r.add("PTTWAC010", Counter::LockConflicts, 12);
+        r.add("PTTWAC010", Counter::BankConflicts, 3);
+        r.add("BS", Counter::Barriers, 4);
+        r.gauge("PTTWAC010", "occupancy", 0.75);
+        r.cycles("stage:010!", 1, 10);
+        r.cycles("stage:010!", 5, 2);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE ipt_lock_conflicts_total counter"), "{text}");
+        assert!(
+            text.contains("ipt_lock_conflicts_total{scope=\"PTTWAC010\"} 12"),
+            "{text}"
+        );
+        assert!(text.contains("ipt_barriers_total{scope=\"BS\"} 4"), "{text}");
+        assert!(text.contains("ipt_occupancy{scope=\"PTTWAC010\"} 0.75"), "{text}");
+        // Histogram is cumulative: le=1 → 10, le=5 → 12, +Inf → 12.
+        assert!(
+            text.contains("ipt_cycle_length_bucket{scope=\"stage:010!\",le=\"1\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ipt_cycle_length_bucket{scope=\"stage:010!\",le=\"5\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ipt_cycle_length_bucket{scope=\"stage:010!\",le=\"+Inf\"} 12"),
+            "{text}"
+        );
+        // sum = 1*10 + 5*2 = 20, count = 12.
+        assert!(text.contains("ipt_cycle_length_sum{scope=\"stage:010!\"} 20"), "{text}");
+        assert!(text.contains("ipt_cycle_length_count{scope=\"stage:010!\"} 12"), "{text}");
+    }
+
+    #[test]
+    fn empty_recorder_renders_empty() {
+        assert!(prometheus_text(&TraceRecorder::new()).is_empty());
+    }
+
+    #[test]
+    fn scope_labels_are_escaped() {
+        let r = TraceRecorder::new();
+        r.gauge("a\"b\\c", "g", 1.0);
+        let text = prometheus_text(&r);
+        assert!(text.contains(r#"ipt_g{scope="a\"b\\c"} 1"#), "{text}");
+    }
+}

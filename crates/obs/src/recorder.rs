@@ -1,0 +1,446 @@
+//! The [`Recorder`] trait, its zero-cost [`NoopRecorder`], and the
+//! collecting [`TraceRecorder`].
+//!
+//! ## Design
+//!
+//! The simulator computes durations *after* an activity completes (the
+//! four-bound time model needs the whole launch), so spans are recorded as
+//! **completed intervals** with explicit start/duration in simulated
+//! microseconds rather than via begin/end calls. Orchestrators (the
+//! pipeline, the DES queue scheduler) thread a cumulative time base through
+//! the layers, which keeps every timestamp on the single DES clock.
+//!
+//! Hot paths are generic over `R: Recorder` and gate argument marshalling on
+//! [`Recorder::enabled`]; with [`NoopRecorder`] (`enabled() == false`,
+//! empty inline bodies) the instrumentation monomorphizes to nothing.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Hierarchy level of a span (also the Chrome-trace category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Level {
+    /// A whole staged algorithm (e.g. one 3-stage plan execution).
+    Algorithm,
+    /// One stage of a plan (one elementary transposition).
+    Stage,
+    /// One kernel launch on the simulated device.
+    Kernel,
+    /// One warp scheduling slice (sampled; see `DroppedWarpSpans`).
+    Warp,
+    /// One DES command-queue span (transfer or kernel on an engine).
+    Queue,
+}
+
+impl Level {
+    /// Category string for exporters.
+    #[must_use]
+    pub fn cat(self) -> &'static str {
+        match self {
+            Level::Algorithm => "algorithm",
+            Level::Stage => "stage",
+            Level::Kernel => "kernel",
+            Level::Warp => "warp",
+            Level::Queue => "queue",
+        }
+    }
+
+    /// Default display track (Chrome `tid`) for this level; warp and queue
+    /// spans add their own offsets on top.
+    #[must_use]
+    pub fn base_track(self) -> u32 {
+        match self {
+            Level::Algorithm => 0,
+            Level::Stage => 1,
+            Level::Kernel => 2,
+            Level::Warp => 8,
+            Level::Queue => 100,
+        }
+    }
+}
+
+/// Typed counters — the closed set of quantities the paper's analysis uses.
+/// A closed enum (vs. free-form strings) keeps hot-path increments
+/// allocation-free and makes exporter names stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Counter {
+    /// Intra-warp same-word atomic collisions (§5.1.1).
+    PositionConflicts,
+    /// Same-lock different-word local-atomic collisions (§5.1.2).
+    LockConflicts,
+    /// Same-bank different-word collisions (§5.1.2).
+    BankConflicts,
+    /// Failed flag claims (a lane lost a cycle to another owner and had to
+    /// fetch a new start) — the PTTWAC claim-protocol retry count.
+    ClaimRetries,
+    /// Local atomic operations, lane granularity.
+    LocalAtomics,
+    /// Global atomic operations, lane granularity.
+    GlobalAtomics,
+    /// DRAM bytes moved by kernels (whole transactions).
+    DramBytes,
+    /// Bytes the kernels asked for (4 × active lanes).
+    UsefulBytes,
+    /// Global load transactions.
+    GldTransactions,
+    /// Global store transactions.
+    GstTransactions,
+    /// Work-group barriers executed.
+    Barriers,
+    /// Warp scheduling slices executed.
+    WarpSteps,
+    /// Host→device bytes (uploads).
+    H2dBytes,
+    /// Device→host bytes (downloads).
+    D2hBytes,
+    /// Device-side memset bytes (flag clears).
+    MemsetBytes,
+    /// Injected faults that fired.
+    FaultsInjected,
+    /// Stage-granular recovery retries.
+    StageRetries,
+    /// DES transfer resubmissions.
+    TransferRetries,
+    /// Whole-scheme recovery retries.
+    SchemeRetries,
+    /// Autotune candidate tiles considered (measured or pruned).
+    AutotuneConsidered,
+    /// Autotune candidates rejected as infeasible by measurement.
+    AutotuneRejectedInfeasible,
+    /// Autotune candidates pruned before measurement (§7.4 heuristic).
+    AutotunePruned,
+    /// Warp spans dropped by the per-launch sampling cap (no silent caps:
+    /// truncation is itself counted).
+    DroppedWarpSpans,
+}
+
+impl Counter {
+    /// Stable exporter name (Prometheus metric stem).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PositionConflicts => "position_conflicts",
+            Counter::LockConflicts => "lock_conflicts",
+            Counter::BankConflicts => "bank_conflicts",
+            Counter::ClaimRetries => "claim_retries",
+            Counter::LocalAtomics => "local_atomics",
+            Counter::GlobalAtomics => "global_atomics",
+            Counter::DramBytes => "dram_bytes",
+            Counter::UsefulBytes => "useful_bytes",
+            Counter::GldTransactions => "gld_transactions",
+            Counter::GstTransactions => "gst_transactions",
+            Counter::Barriers => "barriers",
+            Counter::WarpSteps => "warp_steps",
+            Counter::H2dBytes => "h2d_bytes",
+            Counter::D2hBytes => "d2h_bytes",
+            Counter::MemsetBytes => "memset_bytes",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::StageRetries => "stage_retries",
+            Counter::TransferRetries => "transfer_retries",
+            Counter::SchemeRetries => "scheme_retries",
+            Counter::AutotuneConsidered => "autotune_considered",
+            Counter::AutotuneRejectedInfeasible => "autotune_rejected_infeasible",
+            Counter::AutotunePruned => "autotune_pruned",
+            Counter::DroppedWarpSpans => "dropped_warp_spans",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanRec {
+    /// Hierarchy level.
+    pub level: Level,
+    /// Display name.
+    pub name: String,
+    /// Start, simulated microseconds on the DES clock.
+    pub start_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Display track (Chrome `tid`).
+    pub track: u32,
+    /// Numeric annotations (occupancy, GB/s, …).
+    pub args: Vec<(String, f64)>,
+}
+
+/// One instantaneous event (fault fired, retry, autotune decision…).
+#[derive(Debug, Clone, Serialize)]
+pub struct EventRec {
+    /// Timestamp, simulated microseconds (0 when the producer has no
+    /// timeline, e.g. post-hoc recovery reports).
+    pub ts_us: f64,
+    /// Event name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The instrumentation sink the stack is generic over.
+pub trait Recorder {
+    /// False for disabled recorders: hot paths may skip building arguments.
+    fn enabled(&self) -> bool;
+
+    /// Record one completed span.
+    fn span(
+        &self,
+        level: Level,
+        name: &str,
+        start_us: f64,
+        dur_us: f64,
+        track: u32,
+        args: &[(&'static str, f64)],
+    );
+
+    /// Add `delta` to the typed counter `counter` under `scope` (a kernel
+    /// or stage name).
+    fn add(&self, scope: &str, counter: Counter, delta: u64);
+
+    /// Record a point-in-time value (occupancy, queue busy fraction, …).
+    fn gauge(&self, scope: &str, name: &'static str, value: f64);
+
+    /// Add `count` cycles of length `len` to `scope`'s permutation
+    /// cycle-length histogram.
+    fn cycles(&self, scope: &str, len: usize, count: u64);
+
+    /// Record an instantaneous event.
+    fn event(&self, ts_us: f64, name: &'static str, detail: &str);
+}
+
+/// The zero-cost disabled recorder: every method is an empty `#[inline]`
+/// body, so instrumented hot paths monomorphize to the uninstrumented code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn span(&self, _: Level, _: &str, _: f64, _: f64, _: u32, _: &[(&'static str, f64)]) {}
+    #[inline(always)]
+    fn add(&self, _: &str, _: Counter, _: u64) {}
+    #[inline(always)]
+    fn gauge(&self, _: &str, _: &'static str, _: f64) {}
+    #[inline(always)]
+    fn cycles(&self, _: &str, _: usize, _: u64) {}
+    #[inline(always)]
+    fn event(&self, _: f64, _: &'static str, _: &str) {}
+}
+
+#[derive(Default)]
+struct TraceData {
+    spans: Vec<SpanRec>,
+    counters: BTreeMap<(String, Counter), u64>,
+    gauges: BTreeMap<(String, &'static str), f64>,
+    cycle_hist: BTreeMap<(String, usize), u64>,
+    events: Vec<EventRec>,
+}
+
+/// The collecting recorder behind the exporters. Interior-mutable
+/// (`Mutex`) so it can be shared by reference through the launch plumbing;
+/// contention is irrelevant at trace volumes.
+#[derive(Default)]
+pub struct TraceRecorder {
+    inner: Mutex<TraceData>,
+    on: bool,
+}
+
+impl TraceRecorder {
+    /// An enabled recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Mutex::default(), on: true }
+    }
+
+    /// A *disabled* collecting recorder: every emission is dropped. Used by
+    /// tests to assert that instrumented paths emit nothing when disabled
+    /// (the monomorphized-noop guarantee, observable).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: Mutex::default(), on: false }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceData> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Snapshot of all recorded spans.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRec> {
+        self.lock().spans.clone()
+    }
+
+    /// Snapshot of all recorded events.
+    #[must_use]
+    pub fn events(&self) -> Vec<EventRec> {
+        self.lock().events.clone()
+    }
+
+    /// Value of one counter under one scope (0 when never touched).
+    #[must_use]
+    pub fn counter(&self, scope: &str, counter: Counter) -> u64 {
+        self.lock().counters.get(&(scope.to_string(), counter)).copied().unwrap_or(0)
+    }
+
+    /// Sum of one counter over all scopes.
+    #[must_use]
+    pub fn total(&self, counter: Counter) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .filter(|((_, c), _)| *c == counter)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All `(scope, counter, value)` triples, sorted.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, Counter, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|((s, c), v)| (s.clone(), *c, *v))
+            .collect()
+    }
+
+    /// All `(scope, gauge-name, value)` triples, sorted.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, &'static str, f64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|((s, n), v)| (s.clone(), *n, *v))
+            .collect()
+    }
+
+    /// Cycle-length histogram: `(scope, length, count)` triples, sorted.
+    #[must_use]
+    pub fn cycle_histogram(&self) -> Vec<(String, usize, u64)> {
+        self.lock()
+            .cycle_hist
+            .iter()
+            .map(|((s, l), v)| (s.clone(), *l, *v))
+            .collect()
+    }
+
+    /// True when nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let d = self.lock();
+        d.spans.is_empty()
+            && d.counters.is_empty()
+            && d.gauges.is_empty()
+            && d.cycle_hist.is_empty()
+            && d.events.is_empty()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        self.on
+    }
+
+    fn span(
+        &self,
+        level: Level,
+        name: &str,
+        start_us: f64,
+        dur_us: f64,
+        track: u32,
+        args: &[(&'static str, f64)],
+    ) {
+        if !self.on {
+            return;
+        }
+        self.lock().spans.push(SpanRec {
+            level,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            track,
+            args: args.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    fn add(&self, scope: &str, counter: Counter, delta: u64) {
+        if !self.on || delta == 0 {
+            return;
+        }
+        *self.lock().counters.entry((scope.to_string(), counter)).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, scope: &str, name: &'static str, value: f64) {
+        if !self.on {
+            return;
+        }
+        self.lock().gauges.insert((scope.to_string(), name), value);
+    }
+
+    fn cycles(&self, scope: &str, len: usize, count: u64) {
+        if !self.on || count == 0 {
+            return;
+        }
+        *self.lock().cycle_hist.entry((scope.to_string(), len)).or_insert(0) += count;
+    }
+
+    fn event(&self, ts_us: f64, name: &'static str, detail: &str) {
+        if !self.on {
+            return;
+        }
+        self.lock().events.push(EventRec {
+            ts_us,
+            name: name.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        // Calls are accepted and do nothing (compile-time no-ops).
+        r.span(Level::Kernel, "k", 0.0, 1.0, 2, &[("x", 1.0)]);
+        r.add("k", Counter::PositionConflicts, 3);
+        r.gauge("k", "occupancy", 0.5);
+        r.cycles("k", 4, 2);
+        r.event(0.0, "fault", "detail");
+    }
+
+    #[test]
+    fn trace_recorder_collects() {
+        let r = TraceRecorder::new();
+        assert!(r.enabled() && r.is_empty());
+        r.span(Level::Stage, "100!", 0.0, 10.0, 1, &[("gbps", 42.0)]);
+        r.add("k", Counter::LockConflicts, 5);
+        r.add("k", Counter::LockConflicts, 2);
+        r.gauge("k", "occupancy", 0.75);
+        r.cycles("k", 3, 7);
+        r.event(1.5, "fault", "drop");
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.counter("k", Counter::LockConflicts), 7);
+        assert_eq!(r.total(Counter::LockConflicts), 7);
+        assert_eq!(r.gauges(), vec![("k".to_string(), "occupancy", 0.75)]);
+        assert_eq!(r.cycle_histogram(), vec![("k".to_string(), 3, 7)]);
+        assert_eq!(r.events().len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_recorder_emits_nothing() {
+        let r = TraceRecorder::disabled();
+        assert!(!r.enabled());
+        r.span(Level::Warp, "w", 0.0, 1.0, 9, &[]);
+        r.add("k", Counter::BankConflicts, 10);
+        r.gauge("k", "g", 1.0);
+        r.cycles("k", 2, 2);
+        r.event(0.0, "e", "d");
+        assert!(r.is_empty());
+    }
+}

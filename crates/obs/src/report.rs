@@ -1,0 +1,291 @@
+//! Versioned benchmark-report schema and the regression comparison behind
+//! `repro --check`.
+//!
+//! Every archived `bench_out/*.json` is a [`BenchReport`] envelope:
+//! a `schema_version`, the experiment name, [`Provenance`] (git revision,
+//! full simulated-device configuration, seed, scale), and the experiment's
+//! rows as a free-form value tree. The regression harness re-runs an
+//! experiment, extracts throughput metrics ([`extract_metrics`]) from both
+//! the committed baseline and the fresh report, and flags every
+//! higher-is-better metric that dropped by more than the tolerance
+//! ([`compare_metrics`]).
+
+use serde::{Serialize, Value};
+
+/// Current report schema version. Bump on breaking layout changes; the
+/// checker refuses to compare mismatched versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Where a report came from: enough to reproduce it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Provenance {
+    /// `git rev-parse --short HEAD` at generation time (`"unknown"` outside
+    /// a work tree).
+    pub git_rev: String,
+    /// Full simulated-device configuration the run used (the serialized
+    /// `DeviceSpec`), so a baseline is only ever compared against runs of
+    /// the same simulated hardware.
+    pub device: Value,
+    /// RNG seed of the run (0 for deterministic experiments).
+    pub seed: u64,
+    /// Workload scale preset (`"smoke"`, `"paper"`, …).
+    pub scale: String,
+}
+
+/// The versioned envelope every archived benchmark JSON uses.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Experiment name (`fig6`, `table2`, …).
+    pub experiment: String,
+    /// Reproduction provenance.
+    pub provenance: Provenance,
+    /// Experiment rows, exactly the value tree the experiment produced.
+    pub rows: Value,
+}
+
+impl BenchReport {
+    /// Wrap experiment rows in the versioned envelope.
+    pub fn new(experiment: &str, provenance: Provenance, rows: &impl Serialize) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            experiment: experiment.to_string(),
+            provenance,
+            rows: rows.to_value(),
+        }
+    }
+}
+
+/// Best-effort current git revision (short), `"unknown"` when git or the
+/// work tree is unavailable.
+#[must_use]
+pub fn current_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One comparable metric extracted from a report: a throughput-style
+/// higher-is-better quantity, addressed by its path in the value tree.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Metric {
+    /// Slash-joined path from the report root (array indices as numbers),
+    /// e.g. `rows/3/gbps`.
+    pub path: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, Serialize)]
+pub struct Regression {
+    /// Metric path (see [`Metric::path`]).
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value (`NaN` when the metric disappeared).
+    pub fresh: f64,
+    /// Relative change, `(fresh - baseline) / baseline` (negative = slower).
+    pub change: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.fresh.is_nan() {
+            write!(f, "{}: metric missing (baseline {:.3})", self.path, self.baseline)
+        } else {
+            write!(
+                f,
+                "{}: {:.3} -> {:.3} ({:+.1}%)",
+                self.path,
+                self.baseline,
+                self.fresh,
+                self.change * 100.0
+            )
+        }
+    }
+}
+
+/// Walk a report's value tree and collect every higher-is-better
+/// throughput metric: numeric leaves whose key contains `gbps` or
+/// `speedup`.
+///
+/// Paths are stable across runs because the serializer preserves field and
+/// row order, so a path identifies the same logical measurement in the
+/// baseline and the fresh report.
+#[must_use]
+pub fn extract_metrics(report: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    walk(report, "", &mut out);
+    out
+}
+
+fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
+    match v {
+        Value::Obj(entries) => {
+            for (k, val) in entries {
+                let child = if path.is_empty() { k.clone() } else { format!("{path}/{k}") };
+                if k.contains("gbps") || k.contains("speedup") {
+                    if let Some(x) = val.as_f64() {
+                        out.push(Metric { path: child, value: x });
+                        continue;
+                    }
+                }
+                walk(val, &child, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let child = if path.is_empty() { i.to_string() } else { format!("{path}/{i}") };
+                walk(item, &child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare fresh metrics against a baseline with a relative tolerance.
+///
+/// Returns every regression: a metric that dropped below
+/// `baseline * (1 - tolerance)`, or that exists in the baseline but not in
+/// the fresh report (shape drift is a failure, not a silent skip).
+/// Improvements and new metrics never fail the check.
+#[must_use]
+pub fn compare_metrics(baseline: &[Metric], fresh: &[Metric], tolerance: f64) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.path == b.path) {
+            None => regressions.push(Regression {
+                path: b.path.clone(),
+                baseline: b.value,
+                fresh: f64::NAN,
+                change: f64::NAN,
+            }),
+            Some(f) => {
+                if b.value > 0.0 && f.value < b.value * (1.0 - tolerance) {
+                    regressions.push(Regression {
+                        path: b.path.clone(),
+                        baseline: b.value,
+                        fresh: f.value,
+                        change: (f.value - b.value) / b.value,
+                    });
+                }
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_rows(gbps: &[f64]) -> Value {
+        Value::Arr(
+            gbps.iter()
+                .map(|&g| {
+                    Value::Obj(vec![
+                        ("input".to_string(), Value::Str("4096x512".to_string())),
+                        ("gbps".to_string(), Value::Float(g)),
+                        ("lock_conflicts".to_string(), Value::UInt(17)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn extracts_only_gbps_keys_with_paths() {
+        let v = Value::Obj(vec![
+            ("rows".to_string(), report_rows(&[10.0, 20.0])),
+            (
+                "summary".to_string(),
+                Value::Obj(vec![("effective_gbps".to_string(), Value::Float(15.0))]),
+            ),
+        ]);
+        let m = extract_metrics(&v);
+        assert_eq!(
+            m,
+            vec![
+                Metric { path: "rows/0/gbps".into(), value: 10.0 },
+                Metric { path: "rows/1/gbps".into(), value: 20.0 },
+                Metric { path: "summary/effective_gbps".into(), value: 15.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let m = extract_metrics(&report_rows(&[10.0, 20.0, 0.5]));
+        assert!(compare_metrics(&m, &m, 0.1).is_empty());
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_fails_at_ten_percent_tolerance() {
+        let base = extract_metrics(&report_rows(&[10.0, 20.0]));
+        let slow = extract_metrics(&report_rows(&[10.0, 16.0])); // -20% on row 1
+        let regs = compare_metrics(&base, &slow, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "1/gbps");
+        assert!((regs[0].change - (-0.2)).abs() < 1e-12);
+        assert!(regs[0].to_string().contains("-20.0%"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_jitter_and_improvements_pass() {
+        let base = extract_metrics(&report_rows(&[10.0]));
+        let jitter = extract_metrics(&report_rows(&[9.5])); // -5%
+        assert!(compare_metrics(&base, &jitter, 0.1).is_empty());
+        let faster = extract_metrics(&report_rows(&[14.0]));
+        assert!(compare_metrics(&base, &faster, 0.1).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression() {
+        let base = extract_metrics(&report_rows(&[10.0, 20.0]));
+        let fewer = extract_metrics(&report_rows(&[10.0]));
+        let regs = compare_metrics(&base, &fewer, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].fresh.is_nan());
+        assert!(regs[0].to_string().contains("missing"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn envelope_serializes_with_version_and_provenance() {
+        let rep = BenchReport::new(
+            "fig6",
+            Provenance {
+                git_rev: "abc123".into(),
+                device: Value::Obj(vec![("name".into(), Value::Str("gtx580".into()))]),
+                seed: 0,
+                scale: "smoke".into(),
+            },
+            &report_rows(&[10.0]),
+        );
+        let v = rep.to_value();
+        assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(v.get("experiment").and_then(Value::as_str), Some("fig6"));
+        let prov = v.get("provenance").expect("provenance");
+        assert_eq!(
+            prov.get("device").and_then(|d| d.get("name")).and_then(Value::as_str),
+            Some("gtx580")
+        );
+        // Round-trip through the serializer and parser.
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let back = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.get("rows").and_then(Value::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        let m = extract_metrics(&back);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].path, "rows/0/gbps");
+    }
+}

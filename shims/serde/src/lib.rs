@@ -33,6 +33,74 @@ pub enum Value {
     Obj(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Member of an object by key (`None` on non-objects / missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries of an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric payload as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer payload.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
 /// Serialize into the [`Value`] data model.
 pub trait Serialize {
     /// Build the value tree for `self`.
@@ -153,6 +221,26 @@ impl Serialize for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Arr(vec![Value::Float(1.5), Value::Int(-2)])),
+            ("s".into(), Value::Str("hi".into())),
+            ("t".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(3.0));
+        let arr = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.5));
+        assert_eq!(arr[1].as_f64(), Some(-2.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("t").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_object().map(<[_]>::len), Some(4));
+        assert_eq!(Value::Null.get("x"), None);
+    }
 
     #[test]
     fn primitives() {
