@@ -20,7 +20,10 @@
 //!   ablation      cost-model ablations (which mechanism drives which result)
 //!   trace         observability showcase (traced 3-stage run → Chrome trace
 //!                 + Prometheus exposition; written next to the JSON archive)
-//!   all           everything above
+//!   races         schedule-exploration campaign: seeded PCT sweep
+//!                 (`--schedules N --seed S`) + bounded exhaustive pass +
+//!                 planted-bug catch; exits 1 on any failing schedule
+//!   all           everything above except `races`
 //! ```
 //!
 //! Default scale is 1/5-reduced matrices (minutes); `--full` uses the
@@ -53,6 +56,8 @@ struct Args {
     baseline_dir: String,
     tolerance: f64,
     inject_slowdown_pct: f64,
+    schedules: usize,
+    seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +72,8 @@ fn parse_args() -> Args {
     let mut baseline_dir = String::from("bench_out");
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut inject_slowdown_pct = 0.0;
+    let mut schedules = 64usize;
+    let mut seed = 0xA11CE_u64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -75,9 +82,9 @@ fn parse_args() -> Args {
                     "usage: repro <experiment> [--full] [--device k20|gtx580|amd|phi] \
                      [--json DIR] [--single-stage] [--slow]\n\
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
-                     [--inject-slowdown PCT]\n\
+                     [--inject-slowdown PCT] [--schedules N] [--seed S]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation trace all"
+                     table3 async phi primes multigpu ablation trace races all"
                 );
                 std::process::exit(0);
             }
@@ -100,6 +107,20 @@ fn parse_args() -> Args {
                 i += 1;
                 inject_slowdown_pct = argv[i].parse().unwrap_or_else(|_| {
                     eprintln!("--inject-slowdown wants a percentage, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--schedules" => {
+                i += 1;
+                schedules = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--schedules wants a count, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--seed wants a u64, got {:?}", argv[i]);
                     std::process::exit(2);
                 });
             }
@@ -133,6 +154,8 @@ fn parse_args() -> Args {
         baseline_dir,
         tolerance,
         inject_slowdown_pct,
+        schedules,
+        seed,
     }
 }
 
@@ -211,7 +234,7 @@ fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "trace", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -296,6 +319,19 @@ fn main() {
         println!("{}", ex::phi::render(&report));
         sink.emit("phi", &report);
     }
+    // `races` is deliberately not part of `all`: it is a correctness
+    // campaign with its own pass/fail verdict and (in CI) a much larger
+    // schedule count, not a throughput measurement.
+    let mut races_failed = false;
+    if args.experiment == "races" {
+        let report = ex::races::run(args.seed, args.schedules);
+        println!("{}", ex::races::render(&report));
+        if let Some(dir) = &args.json_dir {
+            let body = serde_json::to_string_pretty(&report).expect("serialise races report");
+            write_file(dir, "races.json", &body);
+        }
+        races_failed = !report.passed();
+    }
     if run("trace") {
         // The trace is an artifact pair, not a BenchReport: it bypasses the
         // sink and the regression check.
@@ -309,7 +345,7 @@ fn main() {
 
     let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
-    if failed {
+    if failed || races_failed {
         std::process::exit(1);
     }
 }

@@ -31,6 +31,7 @@ pub fn make_report(
             device: device.to_value(),
             seed: 0,
             scale: scale.to_string(),
+            schedule: "round-robin".to_string(),
         },
         rows,
     )

@@ -27,7 +27,7 @@ pub fn run_010(
     let buf = sim.alloc(op.total_len());
     let data: Vec<u32> = (0..op.total_len() as u32).collect();
     sim.upload_u32(buf, &data);
-    let k = Pttwac010 { data: buf, instances, rows: m, cols: n, wg_size, flags };
+    let k = Pttwac010 { data: buf, instances, rows: m, cols: n, wg_size, flags, backoff: None };
     let stats = sim.launch(&k).expect("feasible 010 launch");
     let mut want = data;
     op.apply_seq(&mut want);
@@ -67,6 +67,7 @@ pub fn run_100(
         variant: variant.resolve(super_size, dev.simd_width),
         wg_size,
         fuse_tile: None,
+        backoff: None,
     };
     let stats = sim.launch(&k).expect("feasible 100 launch");
     let op = InstancedTranspose::new(1, rows, cols, super_size);

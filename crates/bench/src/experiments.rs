@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod multigpu;
 pub mod phi;
 pub mod primes;
+pub mod races;
 pub mod sweep010;
 pub mod sweep100;
 pub mod table2;

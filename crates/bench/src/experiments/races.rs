@@ -1,0 +1,322 @@
+//! `races` — the schedule-exploration campaign behind the nightly CI
+//! `races` job: seeded PCT sweeps over both claim protocols, a bounded
+//! exhaustive pass on a tiny tile, and the planted-bug demonstration
+//! proving the explorer can actually catch a claim race (a race hunter
+//! that cannot find a known bug verifies nothing).
+//!
+//! Unlike the measurement experiments this one has a pass/fail verdict:
+//! any sweep or exhaustive failure — or a missed planted bug — makes
+//! [`Report::passed`] false, and `repro` exits nonzero. The JSON artifact
+//! carries every failing schedule's reproducer (PCT sub-seed or minimized
+//! decision trace) so CI uploads are directly replayable.
+
+use gpu_sim::sched::ExploreConfig;
+use ipt_gpu::{explore_case, pct_sweep, tiny_device, RaceTarget};
+use serde::Serialize;
+
+/// PCT priority-change depth used by every sweep in the campaign.
+pub const PCT_DEPTH: usize = 3;
+
+/// One failing schedule, in the artifact format CI uploads.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureRow {
+    /// Sweep failures: index of the schedule within the sweep (0 for
+    /// exhaustive failures).
+    pub index: usize,
+    /// Sweep failures: the PCT sub-seed that replays the schedule (0 for
+    /// exhaustive failures).
+    pub seed: u64,
+    /// Exhaustive failures: the minimized decision trace (empty for sweep
+    /// failures — their reproducer is the seed).
+    pub trace: Vec<usize>,
+    /// Preemptions the minimized trace performs.
+    pub preemptions: usize,
+    /// What went wrong (launch error or first corrupted element).
+    pub detail: String,
+}
+
+/// One seeded PCT sweep over a race case.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Kernel under test (`pttwac010`, `pttwac100`).
+    pub target: String,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile cols.
+    pub cols: usize,
+    /// Work-group size.
+    pub wg_size: usize,
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Claim retries summed over the sweep — contention evidence.
+    pub claim_retries: u64,
+    /// Failing schedules with their reproducer seeds.
+    pub failures: Vec<FailureRow>,
+}
+
+/// One bounded exhaustive exploration of a race case.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExhaustiveRow {
+    /// Kernel under test.
+    pub target: String,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile cols.
+    pub cols: usize,
+    /// Work-group size.
+    pub wg_size: usize,
+    /// Preemption budget the explorer ran with.
+    pub preemption_budget: usize,
+    /// Schedules executed (including minimization re-runs).
+    pub explored: usize,
+    /// True when the schedule cap cut the frontier short.
+    pub truncated: bool,
+    /// Longest decision sequence observed.
+    pub max_decisions: usize,
+    /// Distinct minimized failing schedules.
+    pub failures: Vec<FailureRow>,
+}
+
+/// The whole campaign: what `repro races --json DIR` archives.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Campaign base seed; sweep schedule *i* uses `mix64(base_seed, i)`.
+    pub base_seed: u64,
+    /// Schedule-provenance label (mirrors `SchedPolicy::label` style).
+    pub schedule: String,
+    /// Seeded PCT sweeps, one per claim protocol.
+    pub sweeps: Vec<SweepRow>,
+    /// Bounded exhaustive passes, one per claim protocol.
+    pub exhaustive: Vec<ExhaustiveRow>,
+    /// Did the explorer catch the planted split-claim TOCTOU bug?
+    pub broken_caught: bool,
+    /// The minimized schedules that falsify the planted bug.
+    pub broken_minimized: Vec<FailureRow>,
+}
+
+impl Report {
+    /// The campaign verdict: every real-kernel schedule passed *and* the
+    /// planted bug was caught.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.sweeps.iter().all(|s| s.failures.is_empty())
+            && self.exhaustive.iter().all(|e| e.failures.is_empty())
+            && self.broken_caught
+    }
+}
+
+/// The two real-kernel race cases every stage of the campaign drives:
+/// `(target, rows, cols, wg_size)` on the [`tiny_device`].
+const CASES: [(RaceTarget, usize, usize, usize); 2] =
+    [(RaceTarget::P010, 4, 6, 8), (RaceTarget::P100, 4, 6, 4)];
+
+/// Run the full campaign: `schedules` PCT runs per case derived from
+/// `base_seed`, a bounded exhaustive pass per case, and the planted-bug
+/// demonstration.
+#[must_use]
+pub fn run(base_seed: u64, schedules: usize) -> Report {
+    let mut report = Report {
+        base_seed,
+        schedule: format!("pct(base={base_seed},d={PCT_DEPTH})+exhaustive"),
+        sweeps: run_sweeps(base_seed, schedules),
+        exhaustive: Vec::new(),
+        broken_caught: false,
+        broken_minimized: Vec::new(),
+    };
+    report.exhaustive = run_exhaustive();
+    let broken = run_broken_demo();
+    report.broken_caught = !broken.is_empty();
+    report.broken_minimized = broken;
+    report
+}
+
+/// The seeded PCT sweeps alone (factored out so tests can stay cheap).
+#[must_use]
+pub fn run_sweeps(base_seed: u64, schedules: usize) -> Vec<SweepRow> {
+    let dev = tiny_device();
+    CASES
+        .iter()
+        .map(|&(target, rows, cols, wg)| {
+            let out = pct_sweep(&dev, target, rows, cols, wg, base_seed, schedules, PCT_DEPTH);
+            SweepRow {
+                target: target.label().to_string(),
+                rows,
+                cols,
+                wg_size: wg,
+                schedules: out.runs,
+                claim_retries: out.claim_retries,
+                failures: out
+                    .failures
+                    .into_iter()
+                    .map(|f| FailureRow {
+                        index: f.index,
+                        seed: f.seed,
+                        trace: Vec::new(),
+                        preemptions: 0,
+                        detail: f.detail,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// The bounded exhaustive passes alone.
+#[must_use]
+pub fn run_exhaustive() -> Vec<ExhaustiveRow> {
+    let dev = tiny_device();
+    let cfg = ExploreConfig { preemption_budget: 3, max_schedules: 700, max_failures: 4 };
+    CASES
+        .iter()
+        .map(|&(target, rows, cols, wg)| {
+            let out = explore_case(&dev, target, rows, cols, wg, &cfg);
+            ExhaustiveRow {
+                target: target.label().to_string(),
+                rows,
+                cols,
+                wg_size: wg,
+                preemption_budget: cfg.preemption_budget,
+                explored: out.explored,
+                truncated: out.truncated,
+                max_decisions: out.max_decisions,
+                failures: out
+                    .failures
+                    .into_iter()
+                    .map(|f| FailureRow {
+                        index: 0,
+                        seed: 0,
+                        trace: f.trace,
+                        preemptions: f.preemptions,
+                        detail: f.detail,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// The planted-bug demonstration: explore [`BrokenPttwac010`] and return
+/// the minimized failing schedules. Empty means the explorer missed it —
+/// a campaign failure.
+///
+/// [`BrokenPttwac010`]: ipt_gpu::BrokenPttwac010
+#[must_use]
+pub fn run_broken_demo() -> Vec<FailureRow> {
+    let cfg = ExploreConfig { preemption_budget: 3, max_schedules: 2000, max_failures: 2 };
+    explore_case(&tiny_device(), RaceTarget::Broken010, 3, 2, 8, &cfg)
+        .failures
+        .into_iter()
+        .map(|f| FailureRow {
+            index: 0,
+            seed: 0,
+            trace: f.trace,
+            preemptions: f.preemptions,
+            detail: f.detail,
+        })
+        .collect()
+}
+
+/// Render the campaign as a text digest.
+#[must_use]
+pub fn render(r: &Report) -> String {
+    let mut rows = Vec::new();
+    for s in &r.sweeps {
+        rows.push(vec![
+            "pct sweep".to_string(),
+            s.target.clone(),
+            format!("{}x{}", s.rows, s.cols),
+            s.schedules.to_string(),
+            s.claim_retries.to_string(),
+            s.failures.len().to_string(),
+        ]);
+    }
+    for e in &r.exhaustive {
+        rows.push(vec![
+            format!("exhaustive(b={})", e.preemption_budget),
+            e.target.clone(),
+            format!("{}x{}", e.rows, e.cols),
+            e.explored.to_string(),
+            "-".to_string(),
+            e.failures.len().to_string(),
+        ]);
+    }
+    let mut out = crate::experiments::text_table(
+        &format!("races: schedule exploration (base seed {})", r.base_seed),
+        &["stage", "kernel", "tile", "schedules", "claim-retries", "failures"],
+        &rows,
+    );
+    if r.broken_caught {
+        let f = &r.broken_minimized[0];
+        out.push_str(&format!(
+            "planted TOCTOU bug: CAUGHT (minimized trace {:?}, {} preemption(s): {})\n",
+            f.trace, f.preemptions, f.detail
+        ));
+    } else {
+        out.push_str("planted TOCTOU bug: MISSED — the explorer found no failing schedule\n");
+    }
+    out.push_str(if r.passed() { "verdict: PASS\n" } else { "verdict: FAIL\n" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> Report {
+        Report {
+            base_seed: 7,
+            schedule: "pct(base=7,d=3)+exhaustive".into(),
+            sweeps: run_sweeps(7, 2),
+            exhaustive: Vec::new(),
+            broken_caught: true,
+            broken_minimized: vec![FailureRow {
+                index: 0,
+                seed: 0,
+                trace: vec![1, 0],
+                preemptions: 1,
+                detail: "corrupt element 2".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn small_sweep_passes_and_renders() {
+        let r = tiny_report();
+        assert_eq!(r.sweeps.len(), 2);
+        assert!(r.passed(), "{:?}", r.sweeps);
+        let text = render(&r);
+        assert!(text.contains("pttwac010"), "{text}");
+        assert!(text.contains("CAUGHT"), "{text}");
+        assert!(text.contains("verdict: PASS"), "{text}");
+    }
+
+    #[test]
+    fn missed_planted_bug_fails_the_campaign() {
+        let mut r = tiny_report();
+        r.broken_caught = false;
+        r.broken_minimized.clear();
+        assert!(!r.passed());
+        assert!(render(&r).contains("verdict: FAIL"));
+    }
+
+    #[test]
+    fn sweep_failure_fails_the_campaign() {
+        let mut r = tiny_report();
+        r.sweeps[0].failures.push(FailureRow {
+            index: 3,
+            seed: 99,
+            trace: Vec::new(),
+            preemptions: 0,
+            detail: "corrupt element 0".into(),
+        });
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn report_serializes_with_reproducers() {
+        let r = tiny_report();
+        let json = serde_json::to_string_pretty(&r).expect("serialize");
+        assert!(json.contains("base_seed"), "{json}");
+        assert!(json.contains("\"trace\""), "{json}");
+    }
+}

@@ -7,24 +7,32 @@
 //!
 //! 1. computes occupancy and admits as many work-groups as the device can
 //!    hold resident (`wgs_per_sm × num_sms`),
-//! 2. round-robins over all resident warps, one `step` each per round —
-//!    this is what makes cross-work-group coordination (the global atomic
+//! 2. schedules resident warps one `step` (scheduling slice) at a time —
+//!    by default the historic round-robin order (each live warp once per
+//!    round, canonical work-group/warp order), or under any
+//!    [`Scheduler`](crate::sched::Scheduler) via [`launch_configured`],
+//!    which is what makes cross-work-group coordination (the global atomic
 //!    claims of `100!`) behave like real concurrent hardware rather than
-//!    like a serial loop,
+//!    like a serial loop — and what lets the schedule-exploration engine
+//!    drive adversarial interleavings through the same code path,
 //! 3. retires finished work-groups and admits pending ones,
 //! 4. aggregates functional counters and dependent-chain cycles into a
 //!    [`KernelStats`] with the four-bound time model (bandwidth, latency,
 //!    serial, local-port).
 //!
-//! Execution is deterministic: a fixed round-robin order, no host threads
-//! inside one launch.
+//! Execution is deterministic: a fixed schedule per scheduler + seed, no
+//! host threads inside one launch. An optional
+//! [`Watchdog`](crate::sched::Watchdog) bounds per-warp and total slices,
+//! converting livelocks and lost-wakeup hangs into
+//! [`LaunchError::Stalled`].
 
 use crate::device::DeviceSpec;
-use crate::fault::{AtomicTamper, FaultPlan, StepFault};
+use crate::fault::{AtomicTamper, FaultPlan, FaultSource, StepFault};
 use crate::lanes::{LaneAddrs, LaneVals, LaneWrites, MAX_LANES};
 use crate::mem::{Buffer, GlobalMem, LocalMem};
 use crate::occupancy::{occupancy, KernelResources};
 use crate::report::{KernelStats, TimeBounds};
+use crate::sched::{Pick, Scheduler, Watchdog, WarpId};
 use ipt_obs::{Counter, Level, NoopRecorder, Recorder};
 
 /// Per-launch cap on recorded warp spans. Big grids retire millions of
@@ -95,6 +103,20 @@ pub enum LaunchError {
         /// Warp steps completed before the abort.
         after_steps: u64,
     },
+    /// A liveness watchdog tripped: one warp exceeded its scheduling-slice
+    /// budget (or the launch exceeded its total budget) without finishing —
+    /// a claim-loop livelock, a lost wakeup, or a starved schedule. Device
+    /// memory may hold a partially transposed state, exactly like
+    /// [`LaunchError::Aborted`].
+    Stalled {
+        /// Kernel display name.
+        kernel: String,
+        /// Global warp index of the offending warp
+        /// (`wg_id × warps_per_wg + warp_id`).
+        lane: usize,
+        /// Scheduling slices that warp had executed when the watchdog fired.
+        steps: u64,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -103,6 +125,13 @@ impl std::fmt::Display for LaunchError {
             LaunchError::Infeasible { why } => write!(f, "kernel launch infeasible: {why}"),
             LaunchError::Aborted { kernel, after_steps } => {
                 write!(f, "kernel `{kernel}` aborted after {after_steps} warp steps")
+            }
+            LaunchError::Stalled { kernel, lane, steps } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` stalled: warp lane {lane} exceeded its watchdog \
+                     budget after {steps} slices"
+                )
             }
         }
     }
@@ -146,7 +175,7 @@ pub struct WarpCtx<'a> {
     local: &'a mut LocalMem,
     counters: &'a mut Counters,
     chain_cycles: &'a mut f64,
-    fault: Option<&'a FaultPlan>,
+    fault: Option<&'a dyn FaultSource>,
 }
 
 /// Scratch for distinct-count computations (≤ 64 entries, stack only).
@@ -560,6 +589,7 @@ struct WarpRt<S> {
     state: S,
     status: WarpStatus,
     chain_cycles: f64,
+    steps: u64,
 }
 
 struct WgRt<S> {
@@ -595,7 +625,7 @@ pub fn launch_with_faults<K: Kernel>(
     kernel: &K,
     fault: Option<&FaultPlan>,
 ) -> Result<KernelStats, LaunchError> {
-    launch_traced(dev, global, kernel, fault, &NoopRecorder, 0.0)
+    launch_traced(dev, global, kernel, fault.map(|f| f as &dyn FaultSource), &NoopRecorder, 0.0)
 }
 
 /// [`launch_with_faults`] instrumented with a [`Recorder`].
@@ -618,10 +648,57 @@ pub fn launch_traced<K: Kernel, R: Recorder>(
     dev: &DeviceSpec,
     global: &GlobalMem,
     kernel: &K,
-    fault: Option<&FaultPlan>,
+    fault: Option<&dyn FaultSource>,
     rec: &R,
     t0_s: f64,
 ) -> Result<KernelStats, LaunchError> {
+    launch_configured(
+        dev,
+        global,
+        kernel,
+        LaunchConfig { fault, sched: None, watchdog: None },
+        rec,
+        t0_s,
+    )
+}
+
+/// Optional engine extensions for one launch.
+///
+/// The default configuration (all `None`) is exactly the historic engine:
+/// round-robin schedule, no faults, no watchdog.
+#[derive(Default)]
+pub struct LaunchConfig<'a> {
+    /// Fault source consulted at every injection site — a single-shot
+    /// [`FaultPlan`] or a sustained [`ChaosPlan`](crate::fault::ChaosPlan).
+    pub fault: Option<&'a dyn FaultSource>,
+    /// Warp scheduler. `None` uses the built-in round-robin fast path,
+    /// which is bit-identical to scheduling with
+    /// [`RoundRobin`](crate::sched::RoundRobin).
+    pub sched: Option<&'a mut dyn Scheduler>,
+    /// Liveness watchdog converting hung launches into
+    /// [`LaunchError::Stalled`].
+    pub watchdog: Option<Watchdog>,
+}
+
+/// The fully configurable engine entry: [`launch_traced`] plus an optional
+/// [`Scheduler`] controlling the warp interleaving and an optional
+/// [`Watchdog`] bounding progress.
+///
+/// # Errors
+/// [`LaunchError::Infeasible`] for infeasible launches,
+/// [`LaunchError::Aborted`] when the fault source kills the kernel,
+/// [`LaunchError::Stalled`] when the watchdog trips.
+#[allow(clippy::too_many_lines)]
+pub fn launch_configured<K: Kernel, R: Recorder>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    mut cfg: LaunchConfig<'_>,
+    rec: &R,
+    t0_s: f64,
+) -> Result<KernelStats, LaunchError> {
+    let fault = cfg.fault;
+    let watchdog = cfg.watchdog;
     if let Some(f) = fault {
         f.set_context(&kernel.name());
     }
@@ -656,6 +733,7 @@ pub fn launch_traced<K: Kernel, R: Recorder>(
                     state: kernel.init(wg_id, w),
                     status: WarpStatus::Running,
                     chain_cycles: 0.0,
+                    steps: 0,
                 })
                 .collect(),
             local: LocalMem::new(kernel.local_mem_words(dev)),
@@ -674,64 +752,156 @@ pub fn launch_traced<K: Kernel, R: Recorder>(
     let mut warp_samples: Vec<(usize, usize, f64)> = Vec::new();
     let mut dropped_warp_spans: u64 = 0;
 
-    let mut rounds: u64 = 0;
-    while !active.is_empty() {
-        rounds += 1;
-        // One scheduling round: each live warp steps once.
-        for wg in active.iter_mut() {
-            for w in 0..wg.warps.len() {
-                if wg.warps[w].status != WarpStatus::Running {
-                    continue;
+    // One warp scheduling slice: warp-step accounting, watchdog, fault
+    // hooks, the kernel step itself, and status bookkeeping. Returns
+    // whether the slice performed a coordination touchpoint (atomic or
+    // barrier) — the preemption points schedule exploration keys on.
+    let step_one =
+        |wg: &mut WgRt<K::State>, w: usize, counters: &mut Counters| -> Result<bool, LaunchError> {
+            let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
+            counters.warp_steps += 1;
+            wg.warps[w].steps += 1;
+            if let Some(wd) = watchdog {
+                if wg.warps[w].steps > wd.max_steps_per_warp
+                    || counters.warp_steps > wd.max_total_steps
+                {
+                    return Err(LaunchError::Stalled {
+                        kernel: kernel.name(),
+                        lane: wg.wg_id * warps_per_wg + w,
+                        steps: wg.warps[w].steps,
+                    });
                 }
-                let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
-                counters.warp_steps += 1;
-                if let Some(f) = fault {
-                    match f.on_warp_step(wg.wg_id, w) {
-                        StepFault::None => {}
-                        StepFault::Abort => {
-                            return Err(LaunchError::Aborted {
-                                kernel: kernel.name(),
-                                after_steps: counters.warp_steps,
-                            })
-                        }
-                        StepFault::CorruptLocal(garbage) => {
-                            let len = wg.local.len();
-                            if len > 0 {
-                                wg.local.write(f.corrupt_index(len), garbage);
-                            }
+            }
+            if let Some(f) = fault {
+                match f.on_warp_step(wg.wg_id, w) {
+                    StepFault::None => {}
+                    StepFault::Abort => {
+                        return Err(LaunchError::Aborted {
+                            kernel: kernel.name(),
+                            after_steps: counters.warp_steps,
+                        })
+                    }
+                    StepFault::CorruptLocal(garbage) => {
+                        let len = wg.local.len();
+                        if len > 0 {
+                            wg.local.write(f.corrupt_index(len), garbage);
                         }
                     }
                 }
-                let warp = &mut wg.warps[w];
-                let mut ctx = WarpCtx {
-                    wg_id: wg.wg_id,
-                    warp_id: w,
-                    lanes,
-                    wg_size: grid.wg_size,
-                    num_wgs: grid.num_wgs,
-                    dev,
-                    global,
-                    local: &mut wg.local,
-                    counters: &mut counters,
-                    chain_cycles: &mut warp.chain_cycles,
-                    fault,
-                };
-                match kernel.step(&mut warp.state, &mut ctx) {
-                    Step::Continue => {}
-                    Step::Barrier => warp.status = WarpStatus::AtBarrier,
-                    Step::Done => warp.status = WarpStatus::Done,
+            }
+            let touch_before = counters.local_atomics + counters.global_atomics + counters.barriers;
+            let warp = &mut wg.warps[w];
+            let mut ctx = WarpCtx {
+                wg_id: wg.wg_id,
+                warp_id: w,
+                lanes,
+                wg_size: grid.wg_size,
+                num_wgs: grid.num_wgs,
+                dev,
+                global,
+                local: &mut wg.local,
+                counters: &mut *counters,
+                chain_cycles: &mut warp.chain_cycles,
+                fault,
+            };
+            let step = kernel.step(&mut warp.state, &mut ctx);
+            match step {
+                Step::Continue => {}
+                Step::Barrier => warp.status = WarpStatus::AtBarrier,
+                Step::Done => warp.status = WarpStatus::Done,
+            }
+            let touched = step == Step::Barrier
+                || counters.local_atomics + counters.global_atomics + counters.barriers
+                    != touch_before;
+            Ok(touched)
+        };
+
+    // Barrier release: no warp of the group still running → all waiters
+    // resume. Safe to check after every slice — it only fires once the
+    // group's last running warp stops.
+    let release = |wg: &mut WgRt<K::State>, counters: &mut Counters| {
+        if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
+            let waiting = wg.warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
+            if waiting > 0 {
+                counters.barriers += 1;
+                for w in wg.warps.iter_mut() {
+                    if w.status == WarpStatus::AtBarrier {
+                        w.status = WarpStatus::Running;
+                        w.chain_cycles += dev.lat_barrier;
+                    }
                 }
             }
-            // Barrier release: no warp still running → all waiters resume.
-            if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
-                let waiting = wg.warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
-                if waiting > 0 {
-                    counters.barriers += 1;
-                    for w in wg.warps.iter_mut() {
-                        if w.status == WarpStatus::AtBarrier {
-                            w.status = WarpStatus::Running;
-                            w.chain_cycles += dev.lat_barrier;
+        }
+    };
+
+    let mut rounds: u64 = 0;
+    while !active.is_empty() {
+        rounds += 1;
+        match cfg.sched.as_deref_mut() {
+            // Fast path: the historic schedule — each live warp steps once
+            // per round, canonical (work-group slot, warp index) order.
+            None => {
+                for wg in active.iter_mut() {
+                    for w in 0..wg.warps.len() {
+                        if wg.warps[w].status != WarpStatus::Running {
+                            continue;
                         }
+                        step_one(wg, w, &mut counters)?;
+                    }
+                    release(wg, &mut counters);
+                }
+            }
+            // Scheduled path: snapshot the round's runnable warps, then let
+            // the scheduler step or defer each. A warp released from a
+            // barrier mid-round is not in the snapshot and resumes next
+            // round — the same semantics as the fast path. Every pending
+            // warp stays Running until its own slice (releases only affect
+            // AtBarrier warps), so the snapshot never goes stale.
+            Some(sched) => {
+                let mut pending: Vec<(usize, usize)> = Vec::new();
+                let mut ids: Vec<WarpId> = Vec::new();
+                for (slot, wg) in active.iter().enumerate() {
+                    for w in 0..wg.warps.len() {
+                        if wg.warps[w].status == WarpStatus::Running {
+                            pending.push((slot, w));
+                            ids.push(WarpId { wg: wg.wg_id, warp: w });
+                        }
+                    }
+                }
+                sched.begin_round(&ids);
+                let mut stepped_any = false;
+                while !pending.is_empty() {
+                    let (idx, do_step) = match sched.pick(&ids) {
+                        Pick::Step(i) => (i.min(pending.len() - 1), true),
+                        Pick::Skip(i) => (i.min(pending.len() - 1), false),
+                    };
+                    let (slot, w) = pending.remove(idx);
+                    let id = ids.remove(idx);
+                    if !do_step {
+                        continue;
+                    }
+                    let touched = step_one(&mut active[slot], w, &mut counters)?;
+                    stepped_any = true;
+                    sched.note_step(id, touched);
+                    release(&mut active[slot], &mut counters);
+                }
+                if !stepped_any {
+                    // Forced progress: a scheduler that defers every warp
+                    // cannot hang the launch — the first runnable warp in
+                    // canonical order steps anyway.
+                    let mut forced = None;
+                    'find: for (slot, wg) in active.iter().enumerate() {
+                        for w in 0..wg.warps.len() {
+                            if wg.warps[w].status == WarpStatus::Running {
+                                forced = Some((slot, w, wg.wg_id));
+                                break 'find;
+                            }
+                        }
+                    }
+                    if let Some((slot, w, wg_id)) = forced {
+                        let touched = step_one(&mut active[slot], w, &mut counters)?;
+                        sched.note_step(WarpId { wg: wg_id, warp: w }, touched);
+                        release(&mut active[slot], &mut counters);
                     }
                 }
             }
@@ -763,6 +933,7 @@ pub fn launch_traced<K: Kernel, R: Recorder>(
                                 state: kernel.init(next_wg, w),
                                 status: WarpStatus::Running,
                                 chain_cycles: 0.0,
+                                steps: 0,
                             })
                             .collect(),
                         local: wg.local,

@@ -1,10 +1,19 @@
 //! Deterministic fault injection for the simulator.
 //!
-//! A [`FaultPlan`] is seeded, armed on a [`crate::Sim`] (or passed to the
-//! command-queue DES), and fires **exactly one** fault when its event
-//! countdown reaches zero. Every fault is tagged with a [`FaultRecord`]
-//! naming the site it fired at, so tests can assert both *that* and *where*
-//! injection happened, and campaigns are reproducible from the seed alone.
+//! Two injection sources implement the [`FaultSource`] trait the engine
+//! consults at every injection site:
+//!
+//! * [`FaultPlan`] — seeded, armed on a [`crate::Sim`] (or passed to the
+//!   command-queue DES), fires **exactly one** fault when its event
+//!   countdown reaches zero.
+//! * [`ChaosPlan`] — a sustained chaos campaign: a rate-driven multi-fault
+//!   stream that keeps injecting (up to a cap) for as long as the run
+//!   lasts, designed to compose with adversarial schedules from
+//!   [`crate::sched`].
+//!
+//! Every fault is tagged with a [`FaultRecord`] naming the site it fired
+//! at, so tests can assert both *that* and *where* injection happened, and
+//! campaigns are reproducible from the seed alone.
 //!
 //! Modelled fault classes (chosen to stress the transposition pipeline's
 //! correctness mechanisms — the PTTWAC claim protocols, the barrier
@@ -30,8 +39,32 @@
 //! [`LocalMem::or`]: crate::mem::LocalMem::or
 //! [`GlobalMem::atomic_or`]: crate::mem::GlobalMem::atomic_or
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Anything the engine can consult for fault injection: the single-shot
+/// [`FaultPlan`] and the sustained [`ChaosPlan`] both implement it, so the
+/// execution engine and the command-queue DES take `Option<&dyn
+/// FaultSource>` and stay agnostic of the campaign style.
+pub trait FaultSource: Sync {
+    /// Name the execution context (kernel name, scheme) for subsequent
+    /// records.
+    fn set_context(&self, ctx: &str);
+    /// Consult at a local atomic OR (one call per warp instruction).
+    /// `Some` means: tamper with the first active lane.
+    fn on_local_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper>;
+    /// Consult at a global atomic OR (one call per warp instruction).
+    fn on_global_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper>;
+    /// Consult at a warp-step boundary.
+    fn on_warp_step(&self, wg_id: usize, warp_id: usize) -> StepFault;
+    /// Word index to corrupt inside a scratchpad of `len` words.
+    fn corrupt_index(&self, len: usize) -> usize;
+    /// Consult when the DES schedules an H2D (`h2d = true`) or D2H
+    /// transfer; true means this transfer fails transiently.
+    fn on_transfer(&self, h2d: bool, queue: usize, index: usize) -> bool;
+    /// Records of every fired fault so far.
+    fn records(&self) -> Vec<FaultRecord>;
+}
 
 /// The class of fault a plan injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,7 +137,9 @@ pub struct FaultRecord {
 }
 
 /// SplitMix64 — the same tiny deterministic generator the test shims use.
-fn splitmix(state: &mut u64) -> u64 {
+/// Public so downstream crates derive jitter and sub-seeds from one
+/// top-level campaign seed.
+pub fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -323,6 +358,256 @@ impl FaultPlan {
     }
 }
 
+impl FaultSource for FaultPlan {
+    fn set_context(&self, ctx: &str) {
+        FaultPlan::set_context(self, ctx);
+    }
+    fn on_local_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        FaultPlan::on_local_atomic(self, wg_id, warp_id)
+    }
+    fn on_global_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        FaultPlan::on_global_atomic(self, wg_id, warp_id)
+    }
+    fn on_warp_step(&self, wg_id: usize, warp_id: usize) -> StepFault {
+        FaultPlan::on_warp_step(self, wg_id, warp_id)
+    }
+    fn corrupt_index(&self, len: usize) -> usize {
+        FaultPlan::corrupt_index(self, len)
+    }
+    fn on_transfer(&self, h2d: bool, queue: usize, index: usize) -> bool {
+        FaultPlan::on_transfer(self, h2d, queue, index)
+    }
+    fn records(&self) -> Vec<FaultRecord> {
+        FaultPlan::records(self)
+    }
+}
+
+/// Per-site-class fault rates of a [`ChaosPlan`], probabilities per
+/// consultation in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability a local atomic OR is tampered (drop/duplicate, seeded).
+    pub local_atomic_rate: f64,
+    /// Probability a global atomic OR is tampered.
+    pub global_atomic_rate: f64,
+    /// Probability a warp step corrupts one local-memory word.
+    pub corrupt_rate: f64,
+    /// Probability a warp step aborts the kernel. Keep tiny (or zero):
+    /// every abort costs the recovery path a full retry.
+    pub abort_rate: f64,
+    /// Probability a DES transfer fails transiently.
+    pub transfer_rate: f64,
+    /// Hard cap on injected faults per arming (campaigns stay bounded).
+    pub max_faults: usize,
+}
+
+impl ChaosConfig {
+    /// A mild sustained campaign: frequent enough to exercise every retry
+    /// path over a pipeline run, bounded enough that recovery converges.
+    #[must_use]
+    pub fn mild() -> Self {
+        Self {
+            local_atomic_rate: 0.002,
+            global_atomic_rate: 0.002,
+            corrupt_rate: 0.0005,
+            abort_rate: 0.0,
+            transfer_rate: 0.01,
+            max_faults: 16,
+        }
+    }
+
+    /// A harsh campaign: order-of-magnitude higher pressure plus rare
+    /// aborts — the fallback chain's stress profile.
+    #[must_use]
+    pub fn harsh() -> Self {
+        Self {
+            local_atomic_rate: 0.02,
+            global_atomic_rate: 0.02,
+            corrupt_rate: 0.005,
+            abort_rate: 0.0002,
+            transfer_rate: 0.05,
+            max_faults: 64,
+        }
+    }
+}
+
+/// A seeded, sustained, rate-driven chaos campaign.
+///
+/// Unlike the single-shot [`FaultPlan`], a chaos plan keeps firing: every
+/// consultation advances a global event counter, and a pure hash of
+/// `(seed, event, site class)` decides whether that event is faulted — so
+/// the exact same faults fire at the exact same events regardless of host
+/// threading, and composing the campaign with any deterministic schedule
+/// is itself deterministic. Injection stops at
+/// [`ChaosConfig::max_faults`].
+#[derive(Debug)]
+pub struct ChaosPlan {
+    seed: u64,
+    cfg: ChaosConfig,
+    events: AtomicU64,
+    injected: AtomicU64,
+    context: Mutex<String>,
+    log: Mutex<Vec<FaultRecord>>,
+}
+
+/// Site classes hashed into the firing decision (distinct streams per
+/// class so rates are independent).
+#[derive(Debug, Clone, Copy)]
+enum ChaosSite {
+    LocalAtomic,
+    GlobalAtomic,
+    WarpStep,
+    Transfer,
+}
+
+impl ChaosPlan {
+    /// A campaign with the given seed and rates.
+    #[must_use]
+    pub fn new(seed: u64, cfg: ChaosConfig) -> Self {
+        Self {
+            seed,
+            cfg,
+            events: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            context: Mutex::new(String::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The campaign seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The campaign's rate configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// How many faults have been injected since the last (re)arming.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Reset counters and log for a fresh campaign pass with the same seed.
+    pub fn rearm(&self) {
+        self.events.store(0, Ordering::SeqCst);
+        self.injected.store(0, Ordering::SeqCst);
+        if let Ok(mut l) = self.log.lock() {
+            l.clear();
+        }
+    }
+
+    /// Deterministic draw for one event at one site class. Returns the raw
+    /// hash when the event fires (for secondary choices), `None` otherwise.
+    fn draw(&self, site: ChaosSite, rate: f64) -> Option<u64> {
+        let event = self.events.fetch_add(1, Ordering::SeqCst);
+        if rate <= 0.0 || self.injected.load(Ordering::SeqCst) >= self.cfg.max_faults as u64 {
+            return None;
+        }
+        let mut s = self
+            .seed
+            .wrapping_add((event + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ ((site as u64) << 56);
+        let h = splitmix(&mut s);
+        // 53-bit uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < rate {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            Some(splitmix(&mut s))
+        } else {
+            None
+        }
+    }
+
+    fn record(&self, kind: FaultKind, detail: String) {
+        let site = self.context.lock().map(|c| c.clone()).unwrap_or_default();
+        if let Ok(mut l) = self.log.lock() {
+            l.push(FaultRecord { kind, site, detail });
+        }
+    }
+}
+
+impl FaultSource for ChaosPlan {
+    fn set_context(&self, ctx: &str) {
+        if let Ok(mut c) = self.context.lock() {
+            c.clear();
+            c.push_str(ctx);
+        }
+    }
+
+    fn on_local_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        let h = self.draw(ChaosSite::LocalAtomic, self.cfg.local_atomic_rate)?;
+        let (tamper, kind) = if h & 1 == 0 {
+            (AtomicTamper::Drop, FaultKind::DropLocalAtomic)
+        } else {
+            (AtomicTamper::Duplicate, FaultKind::DuplicateLocalAtomic)
+        };
+        self.record(kind, format!("chaos local atomic ({tamper:?}) at wg={wg_id} warp={warp_id}"));
+        Some(tamper)
+    }
+
+    fn on_global_atomic(&self, wg_id: usize, warp_id: usize) -> Option<AtomicTamper> {
+        let h = self.draw(ChaosSite::GlobalAtomic, self.cfg.global_atomic_rate)?;
+        let (tamper, kind) = if h & 1 == 0 {
+            (AtomicTamper::Drop, FaultKind::DropGlobalAtomic)
+        } else {
+            (AtomicTamper::Duplicate, FaultKind::DuplicateGlobalAtomic)
+        };
+        self.record(kind, format!("chaos global atomic ({tamper:?}) at wg={wg_id} warp={warp_id}"));
+        Some(tamper)
+    }
+
+    fn on_warp_step(&self, wg_id: usize, warp_id: usize) -> StepFault {
+        if let Some(_h) = self.draw(ChaosSite::WarpStep, self.cfg.abort_rate) {
+            self.record(
+                FaultKind::AbortKernel,
+                format!("chaos abort at wg={wg_id} warp={warp_id}"),
+            );
+            return StepFault::Abort;
+        }
+        if let Some(h) = self.draw(ChaosSite::WarpStep, self.cfg.corrupt_rate) {
+            let garbage = (h as u32) | 1;
+            self.record(
+                FaultKind::CorruptLocalWord,
+                format!("chaos local corruption {garbage:#x} at wg={wg_id} warp={warp_id}"),
+            );
+            return StepFault::CorruptLocal(garbage);
+        }
+        StepFault::None
+    }
+
+    fn corrupt_index(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            // Keyed on the event counter so successive corruptions scatter.
+            let mut s = self.seed ^ self.events.load(Ordering::SeqCst);
+            (splitmix(&mut s) % len as u64) as usize
+        }
+    }
+
+    fn on_transfer(&self, h2d: bool, queue: usize, index: usize) -> bool {
+        let Some(_h) = self.draw(ChaosSite::Transfer, self.cfg.transfer_rate) else {
+            return false;
+        };
+        let (dir, kind) =
+            if h2d { ("H2D", FaultKind::FailH2D) } else { ("D2H", FaultKind::FailD2H) };
+        self.record(
+            kind,
+            format!("chaos {dir} transfer failure (queue {queue}, command {index})"),
+        );
+        true
+    }
+
+    fn records(&self) -> Vec<FaultRecord> {
+        self.log.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +683,91 @@ mod tests {
         let p = FaultPlan::exact(7, FaultKind::CorruptLocalWord, 0, u64::MAX - 3);
         assert!(p.corrupt_index(10) < 10);
         assert_eq!(p.corrupt_index(0), 0);
+    }
+
+    /// Drive a fixed consultation sequence against a chaos plan, returning
+    /// the injected count and the record log.
+    fn drive_chaos(plan: &ChaosPlan, rounds: usize) -> (u64, Vec<FaultRecord>) {
+        for i in 0..rounds {
+            let _ = plan.on_local_atomic(i % 3, i % 2);
+            let _ = plan.on_global_atomic(i % 3, i % 2);
+            let _ = plan.on_warp_step(i % 3, i % 2);
+            let _ = plan.on_transfer(i % 2 == 0, 0, i);
+        }
+        (plan.injected(), plan.records())
+    }
+
+    #[test]
+    fn chaos_same_seed_same_stream() {
+        let a = ChaosPlan::new(42, ChaosConfig::harsh());
+        let b = ChaosPlan::new(42, ChaosConfig::harsh());
+        let (na, ra) = drive_chaos(&a, 500);
+        let (nb, rb) = drive_chaos(&b, 500);
+        assert!(na > 0, "harsh rates over 2000 consultations must fire");
+        assert_eq!(na, nb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn chaos_different_seed_different_stream() {
+        let a = ChaosPlan::new(1, ChaosConfig::harsh());
+        let b = ChaosPlan::new(2, ChaosConfig::harsh());
+        let (_, ra) = drive_chaos(&a, 500);
+        let (_, rb) = drive_chaos(&b, 500);
+        assert_ne!(ra, rb, "distinct seeds should produce distinct fault streams");
+    }
+
+    #[test]
+    fn chaos_respects_max_faults_cap() {
+        let cfg = ChaosConfig {
+            local_atomic_rate: 1.0,
+            global_atomic_rate: 1.0,
+            corrupt_rate: 0.0,
+            abort_rate: 0.0,
+            transfer_rate: 1.0,
+            max_faults: 5,
+        };
+        let p = ChaosPlan::new(3, cfg);
+        let (n, recs) = drive_chaos(&p, 100);
+        assert_eq!(n, 5);
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn chaos_rearm_resets_and_replays() {
+        let p = ChaosPlan::new(77, ChaosConfig::harsh());
+        let (n1, r1) = drive_chaos(&p, 200);
+        p.rearm();
+        assert_eq!(p.injected(), 0);
+        assert!(p.records().is_empty());
+        let (n2, r2) = drive_chaos(&p, 200);
+        assert_eq!(n1, n2, "rearmed campaign replays identically");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn chaos_zero_rates_never_fire() {
+        let cfg = ChaosConfig {
+            local_atomic_rate: 0.0,
+            global_atomic_rate: 0.0,
+            corrupt_rate: 0.0,
+            abort_rate: 0.0,
+            transfer_rate: 0.0,
+            max_faults: 100,
+        };
+        let p = ChaosPlan::new(9, cfg);
+        let (n, recs) = drive_chaos(&p, 300);
+        assert_eq!(n, 0);
+        assert!(recs.is_empty());
+        assert_eq!(p.on_warp_step(0, 0), StepFault::None);
+    }
+
+    #[test]
+    fn chaos_context_lands_in_records() {
+        let p = ChaosPlan::new(11, ChaosConfig::harsh());
+        FaultSource::set_context(&p, "pttwac_100");
+        let (_, recs) = drive_chaos(&p, 400);
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.site == "pttwac_100"));
     }
 }

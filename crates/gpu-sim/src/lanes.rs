@@ -90,6 +90,18 @@ impl<T: Copy + Default> Lanes<T> {
     pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
         self.as_slice().iter().copied().enumerate()
     }
+
+    /// True when `pred` holds for at least one lane.
+    #[must_use]
+    pub fn any(&self, mut pred: impl FnMut(T) -> bool) -> bool {
+        self.as_slice().iter().any(|&v| pred(v))
+    }
+
+    /// Number of lanes for which `pred` holds.
+    #[must_use]
+    pub fn count_where(&self, mut pred: impl FnMut(T) -> bool) -> usize {
+        self.as_slice().iter().filter(|&&v| pred(v)).count()
+    }
 }
 
 /// Per-lane `Option<usize>` address vector: `None` = inactive lane.
@@ -144,5 +156,14 @@ mod tests {
     #[should_panic]
     fn oversize_panics() {
         let _ = Lanes::splat(65, 0u32);
+    }
+
+    #[test]
+    fn any_and_count_where() {
+        let l = Lanes::from_fn(5, |i| i as u32);
+        assert!(l.any(|v| v == 4));
+        assert!(!l.any(|v| v > 4));
+        assert_eq!(l.count_where(|v| v % 2 == 0), 3);
+        assert_eq!(Lanes::<u32>::splat(0, 0).count_where(|_| true), 0);
     }
 }

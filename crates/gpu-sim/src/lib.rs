@@ -30,13 +30,18 @@ pub mod mem;
 pub mod occupancy;
 pub mod queue;
 pub mod report;
+pub mod sched;
 pub mod sim;
 
 pub use device::{Arch, DeviceSpec, PcieSpec};
 pub use exec::{
-    launch_traced, launch_with_faults, Grid, Kernel, LaunchError, Step, WarpCtx, WARP_SPAN_CAP,
+    launch_configured, launch_traced, launch_with_faults, Grid, Kernel, LaunchConfig, LaunchError,
+    Step, WarpCtx, WARP_SPAN_CAP,
 };
-pub use fault::{AtomicTamper, FaultKind, FaultPlan, FaultRecord, StepFault};
+pub use fault::{
+    AtomicTamper, ChaosConfig, ChaosPlan, FaultKind, FaultPlan, FaultRecord, FaultSource,
+    StepFault,
+};
 pub use lanes::{LaneAddrs, LaneVals, LaneWrites, Lanes, MAX_LANES};
 pub use mem::{Buffer, GlobalMem, LocalMem, MemTraffic, TrafficSnapshot};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
@@ -45,4 +50,8 @@ pub use queue::{
     try_simulate_queues_dep, Cmd, ECmd, QCmd, QueueError, Span, Timeline,
 };
 pub use report::{KernelStats, PipelineStats, TimeBounds};
-pub use sim::Sim;
+pub use sched::{
+    explore, ExploreConfig, ExploreOutcome, PctScheduler, Pick, RoundRobin, ScheduleFailure,
+    Scheduler, TraceScheduler, Watchdog, WarpId,
+};
+pub use sim::{SchedPolicy, Sim};

@@ -14,7 +14,7 @@
 //! is why throughput degrades for large `Q` (§7.6).
 
 use crate::device::DeviceSpec;
-use crate::fault::FaultPlan;
+use crate::fault::FaultSource;
 use serde::Serialize;
 
 /// One queued command.
@@ -235,7 +235,8 @@ pub enum QueueError {
     Deadlock,
     /// An injected transient transfer fault killed a copy command. The
     /// schedule up to the failure is discarded; retrying the whole schedule
-    /// succeeds (the fault is single-shot).
+    /// succeeds for a single-shot plan (a sustained chaos campaign may fire
+    /// again, so callers bound their retries).
     TransferFault {
         /// Queue of the failed transfer.
         queue: usize,
@@ -281,18 +282,18 @@ pub fn simulate_queues_dep(dev: &DeviceSpec, queues: &[Vec<QCmd>]) -> Timeline {
 }
 
 /// [`simulate_queues_dep`] returning typed errors, with optional transfer
-/// fault injection: when `fault` is armed with an H2D/D2H failure, the
-/// matching transfer command errors out instead of completing, and the
-/// caller decides how to retry (re-simulating succeeds — the fault is
-/// single-shot).
+/// fault injection: when `fault` fires an H2D/D2H failure, the matching
+/// transfer command errors out instead of completing, and the caller
+/// decides how to retry (re-simulating a single-shot plan succeeds; a
+/// chaos campaign keeps drawing, so callers bound their retries).
 ///
 /// # Errors
 /// [`QueueError::BadDependency`] / [`QueueError::Deadlock`] on malformed
-/// schedules; [`QueueError::TransferFault`] when the fault plan fires.
+/// schedules; [`QueueError::TransferFault`] when the fault source fires.
 pub fn try_simulate_queues_dep(
     dev: &DeviceSpec,
     queues: &[Vec<QCmd>],
-    fault: Option<&FaultPlan>,
+    fault: Option<&dyn FaultSource>,
 ) -> Result<Timeline, QueueError> {
     let setup_s = dev.queue_create_overhead_s * queues.len() as f64;
     let mut engine_free = [setup_s; 3];

@@ -1,0 +1,634 @@
+//! Deterministic schedule exploration: pluggable warp schedulers, a
+//! liveness watchdog, and a bounded exhaustive interleaving explorer.
+//!
+//! The execution engine's atomicity unit is one [`Kernel::step`] scheduling
+//! slice: a slice runs to completion before any other warp observes its
+//! effects, so the space of interleavings is exactly the space of *warp
+//! step orders*. A [`Scheduler`] controls that order. Each engine round the
+//! scheduler is shown the runnable warps and repeatedly picks one to
+//! [`Pick::Step`] or [`Pick::Skip`] (defer until the next round); deferral
+//! is what lets a scheduler run one warp for many consecutive slices while
+//! the rest starve — the unfair schedules that expose claim-protocol races.
+//!
+//! Three schedulers ship:
+//!
+//! * [`RoundRobin`] — steps every runnable warp once per round in canonical
+//!   (work-group slot, warp index) order, reproducing the engine's historic
+//!   fixed schedule bit for bit.
+//! * [`PctScheduler`] — PCT-style randomized priorities (Burckhardt et al.):
+//!   the highest-priority runnable warp runs; at `depth` seeded *change
+//!   points*, counted in coordination touchpoints (atomics, barriers), the
+//!   running warp's priority drops below everyone else's. Same seed, same
+//!   schedule.
+//! * [`TraceScheduler`] — replays an explicit decision trace and records
+//!   every decision it makes, the replay substrate for [`explore`].
+//!
+//! [`explore`] drives repeated deterministic re-executions over decision
+//! traces: starting from the empty trace it branches at decision points
+//! that immediately follow a coordination touchpoint (a sleep-set-style
+//! pruning — slices that touch no shared coordination state commute, so
+//! preempting between them cannot change the outcome) and bounds the
+//! number of *preemptions* (picking a warp other than the one that could
+//! have continued) per schedule. Failing schedules are minimized by prefix
+//! shrinking before they are reported.
+//!
+//! [`Kernel::step`]: crate::exec::Kernel::step
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Identity of a live warp as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WarpId {
+    /// Work-group id (the launch-wide id, not the residency slot).
+    pub wg: usize,
+    /// Warp index within the work-group.
+    pub warp: usize,
+}
+
+/// One scheduling choice over the round's remaining runnable warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// Step the warp at this index of the pending slice now.
+    Step(usize),
+    /// Defer the warp at this index to the next round without stepping it.
+    Skip(usize),
+}
+
+/// A pluggable warp scheduler.
+///
+/// Contract: each engine round, [`Scheduler::begin_round`] is called once
+/// with the runnable snapshot, then [`Scheduler::pick`] repeatedly with the
+/// still-undecided remainder until it is empty. Out-of-range indices are
+/// clamped by the engine. A round in which every warp was skipped makes no
+/// progress; the engine then force-steps the first runnable warp so a
+/// scheduler bug cannot hang a launch.
+pub trait Scheduler {
+    /// Short label for provenance (`"round-robin"`, `"pct(seed=7,depth=3)"`).
+    fn name(&self) -> String;
+    /// A new engine round begins with these runnable warps.
+    fn begin_round(&mut self, runnable: &[WarpId]) {
+        let _ = runnable;
+    }
+    /// Choose what to do with one warp of the non-empty `pending` slice.
+    fn pick(&mut self, pending: &[WarpId]) -> Pick;
+    /// Feedback after a warp stepped. `touched` is true when the slice
+    /// performed a coordination event (atomic, barrier) — the preemption
+    /// points PCT and the explorer key on.
+    fn note_step(&mut self, id: WarpId, touched: bool) {
+        let _ = (id, touched);
+    }
+}
+
+/// The engine's historic schedule: every runnable warp steps once per
+/// round, in canonical order. Bit-identical to the unscheduled fast path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn pick(&mut self, _pending: &[WarpId]) -> Pick {
+        Pick::Step(0)
+    }
+}
+
+/// SplitMix64 over an explicit state — re-exported seed mixer used by every
+/// seeded component in this module so schedules derive from one top seed.
+#[must_use]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded PCT-style randomized-priority scheduler.
+///
+/// Each warp gets a random base priority (all above `depth`); the
+/// highest-priority runnable warp runs every round and everyone else is
+/// deferred. `depth` change points are drawn over a touchpoint horizon; when
+/// the global touchpoint counter crosses the k-th change point, the warp
+/// that just stepped has its priority dropped to `depth - k` — below every
+/// base priority and every earlier change, forcing a preemption exactly at
+/// a coordination event. Deterministic in the seed.
+#[derive(Debug)]
+pub struct PctScheduler {
+    seed: u64,
+    depth: usize,
+    horizon: u64,
+    priorities: HashMap<WarpId, u64>,
+    change_points: Vec<u64>,
+    next_change: usize,
+    touches: u64,
+    stepped_this_round: bool,
+}
+
+impl PctScheduler {
+    /// Default touchpoint horizon change points are drawn over.
+    pub const DEFAULT_HORIZON: u64 = 4096;
+
+    /// A PCT scheduler with `depth` priority-change points over the default
+    /// horizon.
+    #[must_use]
+    pub fn new(seed: u64, depth: usize) -> Self {
+        Self::with_horizon(seed, depth, Self::DEFAULT_HORIZON)
+    }
+
+    /// A PCT scheduler whose change points are drawn over the first
+    /// `horizon` coordination touchpoints.
+    #[must_use]
+    pub fn with_horizon(seed: u64, depth: usize, horizon: u64) -> Self {
+        let horizon = horizon.max(1);
+        let mut change_points: Vec<u64> =
+            (0..depth).map(|k| mix64(seed, 0xC0FF_EE00 + k as u64) % horizon).collect();
+        change_points.sort_unstable();
+        Self {
+            seed,
+            depth,
+            horizon,
+            priorities: HashMap::new(),
+            change_points,
+            next_change: 0,
+            touches: 0,
+            stepped_this_round: false,
+        }
+    }
+
+    fn priority(&mut self, id: WarpId) -> u64 {
+        let seed = self.seed;
+        let depth = self.depth;
+        *self.priorities.entry(id).or_insert_with(|| {
+            // Base priorities all sit above the change-point band [0, depth).
+            depth as u64 + 1 + (mix64(seed, ((id.wg as u64) << 20) | id.warp as u64) >> 16)
+        })
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn name(&self) -> String {
+        format!("pct(seed={},depth={},horizon={})", self.seed, self.depth, self.horizon)
+    }
+
+    fn begin_round(&mut self, _runnable: &[WarpId]) {
+        self.stepped_this_round = false;
+    }
+
+    fn pick(&mut self, pending: &[WarpId]) -> Pick {
+        if self.stepped_this_round {
+            return Pick::Skip(0);
+        }
+        self.stepped_this_round = true;
+        let mut best = 0usize;
+        let mut best_p = 0u64;
+        for (i, &id) in pending.iter().enumerate() {
+            let p = self.priority(id);
+            if i == 0 || p > best_p {
+                best = i;
+                best_p = p;
+            }
+        }
+        Pick::Step(best)
+    }
+
+    fn note_step(&mut self, id: WarpId, touched: bool) {
+        if !touched {
+            return;
+        }
+        self.touches += 1;
+        while self.next_change < self.change_points.len()
+            && self.touches > self.change_points[self.next_change]
+        {
+            // Drop the running warp below everything: base priorities are
+            // > depth, and successive changes assign depth-1, depth-2, …
+            let low = (self.depth - 1 - self.next_change) as u64;
+            self.priorities.insert(id, low);
+            self.next_change += 1;
+        }
+    }
+}
+
+/// One recorded scheduling decision of a [`TraceScheduler`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// How many runnable warps there were to choose from.
+    pub n_choices: usize,
+    /// Index (into the round's runnable snapshot) actually taken.
+    pub taken: usize,
+    /// Index of the previously stepped warp if it was still runnable —
+    /// taking anything else is a *preemption*.
+    pub continuing: Option<usize>,
+    /// Whether the step immediately before this decision performed a
+    /// coordination touchpoint (always true for the first decision).
+    /// Only branchable decisions are worth exploring: preempting between
+    /// two slices that touch no coordination state commutes.
+    pub branchable: bool,
+}
+
+/// Count the preemptions a decision sequence performed.
+#[must_use]
+pub fn preemption_count(decisions: &[Decision]) -> usize {
+    decisions.iter().filter(|d| d.continuing.is_some_and(|c| c != d.taken)).count()
+}
+
+/// Replays an explicit decision trace (one entry per engine round: the
+/// index of the warp to run) and records every decision. Past the end of
+/// the trace it defaults to continuing the previously stepped warp when
+/// still runnable, else the first runnable warp — the zero-preemption
+/// baseline the explorer branches from.
+#[derive(Debug)]
+pub struct TraceScheduler {
+    trace: Vec<usize>,
+    decisions: Vec<Decision>,
+    stepped_this_round: bool,
+    last: Option<WarpId>,
+    last_touched: bool,
+}
+
+impl TraceScheduler {
+    /// A scheduler replaying `trace` (empty = pure default schedule).
+    #[must_use]
+    pub fn new(trace: &[usize]) -> Self {
+        Self {
+            trace: trace.to_vec(),
+            decisions: Vec::new(),
+            stepped_this_round: false,
+            last: None,
+            last_touched: false,
+        }
+    }
+
+    /// The decisions recorded so far (one per engine round).
+    #[must_use]
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Consume the scheduler, returning its decision record.
+    #[must_use]
+    pub fn into_decisions(self) -> Vec<Decision> {
+        self.decisions
+    }
+}
+
+impl Scheduler for TraceScheduler {
+    fn name(&self) -> String {
+        format!("trace(len={})", self.trace.len())
+    }
+
+    fn begin_round(&mut self, _runnable: &[WarpId]) {
+        self.stepped_this_round = false;
+    }
+
+    fn pick(&mut self, pending: &[WarpId]) -> Pick {
+        if self.stepped_this_round {
+            return Pick::Skip(0);
+        }
+        self.stepped_this_round = true;
+        let continuing = self.last.and_then(|id| pending.iter().position(|&p| p == id));
+        let branchable = self.decisions.is_empty() || self.last_touched;
+        let di = self.decisions.len();
+        let taken = if di < self.trace.len() {
+            self.trace[di].min(pending.len() - 1)
+        } else {
+            continuing.unwrap_or(0)
+        };
+        self.decisions.push(Decision { n_choices: pending.len(), taken, continuing, branchable });
+        Pick::Step(taken)
+    }
+
+    fn note_step(&mut self, id: WarpId, touched: bool) {
+        self.last = Some(id);
+        self.last_touched = touched;
+    }
+}
+
+/// Liveness watchdog thresholds for a launch.
+///
+/// The engine counts scheduling slices per warp and in total; crossing
+/// either budget converts a livelocked / starved launch into a typed
+/// [`LaunchError::Stalled`](crate::exec::LaunchError::Stalled) instead of
+/// an unbounded loop. Budgets are in *slices*, not cycles, so they hold
+/// under any scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Maximum scheduling slices any single warp may execute.
+    pub max_steps_per_warp: u64,
+    /// Maximum scheduling slices the whole launch may execute.
+    pub max_total_steps: u64,
+}
+
+impl Watchdog {
+    /// A watchdog bounding only per-warp progress.
+    #[must_use]
+    pub fn per_warp(max_steps: u64) -> Self {
+        Self { max_steps_per_warp: max_steps.max(1), max_total_steps: u64::MAX }
+    }
+
+    /// A watchdog with both budgets set.
+    #[must_use]
+    pub fn new(max_steps_per_warp: u64, max_total_steps: u64) -> Self {
+        Self {
+            max_steps_per_warp: max_steps_per_warp.max(1),
+            max_total_steps: max_total_steps.max(1),
+        }
+    }
+}
+
+/// Bounds for [`explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum preemptions per schedule (the classic context bound).
+    pub preemption_budget: usize,
+    /// Hard cap on executed schedules; hitting it sets
+    /// [`ExploreOutcome::truncated`] — truncation is visible, never silent.
+    pub max_schedules: usize,
+    /// Stop collecting after this many distinct minimized failures.
+    pub max_failures: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self { preemption_budget: 3, max_schedules: 4000, max_failures: 8 }
+    }
+}
+
+/// One failing schedule, minimized by prefix shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFailure {
+    /// The minimized decision trace that still fails.
+    pub trace: Vec<usize>,
+    /// Preemptions the minimized trace performs.
+    pub preemptions: usize,
+    /// The verifier's description of what went wrong.
+    pub detail: String,
+}
+
+/// What a bounded exploration found.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOutcome {
+    /// Schedules actually executed (including minimization re-runs).
+    pub explored: usize,
+    /// True when `max_schedules` cut the frontier short.
+    pub truncated: bool,
+    /// Distinct minimized failing schedules.
+    pub failures: Vec<ScheduleFailure>,
+    /// Longest decision sequence observed (diagnostics).
+    pub max_decisions: usize,
+}
+
+impl ExploreOutcome {
+    /// Did every explored schedule pass?
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Bounded exhaustive exploration of warp interleavings.
+///
+/// `run` executes one schedule: given a decision trace it must perform a
+/// fresh deterministic execution under a [`TraceScheduler`], verify the
+/// result, and return the recorded decisions plus the verdict. Exploration
+/// is breadth-first from the empty trace; at every branchable decision
+/// (one following a coordination touchpoint — the sleep-set-style pruning)
+/// each untaken choice within the preemption budget spawns a new schedule.
+/// Failing traces are minimized by prefix shrinking and deduplicated.
+pub fn explore<F>(cfg: &ExploreConfig, mut run: F) -> ExploreOutcome
+where
+    F: FnMut(&[usize]) -> (Vec<Decision>, Result<(), String>),
+{
+    let mut out = ExploreOutcome::default();
+    let mut queue: VecDeque<Vec<usize>> = VecDeque::new();
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    queue.push_back(Vec::new());
+    seen.insert(Vec::new());
+
+    while let Some(trace) = queue.pop_front() {
+        if out.explored >= cfg.max_schedules {
+            out.truncated = true;
+            break;
+        }
+        let (decisions, verdict) = run(&trace);
+        out.explored += 1;
+        out.max_decisions = out.max_decisions.max(decisions.len());
+
+        if let Err(detail) = verdict {
+            if out.failures.len() < cfg.max_failures {
+                let (min_trace, min_detail, runs) =
+                    minimize(&trace, detail, cfg.max_schedules - out.explored, &mut run);
+                out.explored += runs;
+                let preemptions = trace_preemptions(&min_trace, &decisions);
+                if !out.failures.iter().any(|f| f.trace == min_trace) {
+                    out.failures.push(ScheduleFailure {
+                        trace: min_trace,
+                        preemptions,
+                        detail: min_detail,
+                    });
+                }
+            }
+            // A failing run may have ended early or corrupted its state;
+            // its suffix decisions are not a trustworthy frontier.
+            continue;
+        }
+
+        // Branch: alternatives at branchable decisions past this trace's
+        // own choices (shorter prefixes were expanded when they ran).
+        for (i, d) in decisions.iter().enumerate().skip(trace.len()) {
+            if !d.branchable || d.n_choices < 2 {
+                continue;
+            }
+            let prefix_preempts = preemption_count(&decisions[..i]);
+            for c in 0..d.n_choices {
+                if c == d.taken {
+                    continue;
+                }
+                let extra = usize::from(d.continuing.is_some_and(|k| k != c));
+                if prefix_preempts + extra > cfg.preemption_budget {
+                    continue;
+                }
+                let mut t: Vec<usize> = decisions[..i].iter().map(|d| d.taken).collect();
+                t.push(c);
+                if seen.insert(t.clone()) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Preemptions of `trace` given a decision record of a run that shares its
+/// prefix (deterministic replay guarantees the prefix decisions match).
+fn trace_preemptions(trace: &[usize], decisions: &[Decision]) -> usize {
+    preemption_count(&decisions[..trace.len().min(decisions.len())])
+}
+
+/// Greedy prefix shrinking: drop trailing decisions while the failure
+/// reproduces. Returns the minimized trace, its failure detail, and how
+/// many extra runs were spent.
+fn minimize<F>(
+    trace: &[usize],
+    mut detail: String,
+    budget: usize,
+    run: &mut F,
+) -> (Vec<usize>, String, usize)
+where
+    F: FnMut(&[usize]) -> (Vec<Decision>, Result<(), String>),
+{
+    let mut best = trace.to_vec();
+    let mut runs = 0usize;
+    while !best.is_empty() && runs < budget {
+        let shorter = &best[..best.len() - 1];
+        let (_, verdict) = run(shorter);
+        runs += 1;
+        match verdict {
+            Err(d) => {
+                best.truncate(best.len() - 1);
+                detail = d;
+            }
+            Ok(()) => break,
+        }
+    }
+    (best, detail, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<WarpId> {
+        (0..n).map(|w| WarpId { wg: 0, warp: w }).collect()
+    }
+
+    #[test]
+    fn round_robin_always_steps_head() {
+        let mut rr = RoundRobin;
+        assert_eq!(rr.pick(&ids(3)), Pick::Step(0));
+        assert_eq!(rr.pick(&ids(1)), Pick::Step(0));
+    }
+
+    #[test]
+    fn pct_steps_exactly_one_warp_per_round_deterministically() {
+        let run = |seed| {
+            let mut s = PctScheduler::new(seed, 2);
+            let mut picks = Vec::new();
+            for _ in 0..4 {
+                s.begin_round(&ids(3));
+                let mut pending = ids(3);
+                loop {
+                    match s.pick(&pending) {
+                        Pick::Step(i) => {
+                            let id = pending.remove(i);
+                            picks.push(id.warp);
+                            s.note_step(id, true);
+                        }
+                        Pick::Skip(i) => {
+                            pending.remove(i);
+                        }
+                    }
+                    if pending.is_empty() {
+                        break;
+                    }
+                }
+            }
+            picks
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_eq!(run(7).len(), 4, "one step per round");
+    }
+
+    #[test]
+    fn pct_change_point_preempts_the_running_warp() {
+        let mut s = PctScheduler::with_horizon(3, 3, 4);
+        // Drive enough touches to cross every change point.
+        let a = WarpId { wg: 0, warp: 0 };
+        let all = ids(2);
+        s.begin_round(&all);
+        let Pick::Step(first) = s.pick(&all) else { panic!("must step") };
+        for _ in 0..8 {
+            s.note_step(all[first], true);
+        }
+        // The stepped warp's priority fell below the change-point band top.
+        assert!(s.priorities.values().any(|&p| p < 3), "{:?}", s.priorities);
+        let _ = a;
+    }
+
+    #[test]
+    fn trace_scheduler_replays_and_records() {
+        let mut s = TraceScheduler::new(&[1, 0]);
+        s.begin_round(&ids(2));
+        assert_eq!(s.pick(&ids(2)), Pick::Step(1));
+        s.note_step(WarpId { wg: 0, warp: 1 }, true);
+        assert_eq!(s.pick(&ids(2)), Pick::Skip(0));
+        s.begin_round(&ids(2));
+        assert_eq!(s.pick(&ids(2)), Pick::Step(0));
+        s.note_step(WarpId { wg: 0, warp: 0 }, false);
+        // Past the trace: default continues the last-stepped warp.
+        s.begin_round(&ids(2));
+        assert_eq!(s.pick(&ids(2)), Pick::Step(0));
+        let d = s.into_decisions();
+        assert_eq!(d.len(), 3);
+        assert!(d[0].branchable, "first decision is always branchable");
+        assert_eq!(d[1].continuing, Some(1));
+        assert_eq!(preemption_count(&d), 1, "round 2 preempted warp 1");
+        assert!(!d[2].branchable, "after an untouched step, no branch");
+    }
+
+    #[test]
+    fn explore_finds_a_single_preemption_bug() {
+        // Synthetic model: 2 warps, 4 rounds each; the "bug" fires iff
+        // warp 1 runs at decision 1 (a specific preemption).
+        let model = |trace: &[usize]| {
+            let mut s = TraceScheduler::new(trace);
+            let mut bug = false;
+            for round in 0..8 {
+                s.begin_round(&ids(2));
+                let Pick::Step(i) = s.pick(&ids(2)) else { panic!() };
+                if round == 1 && i == 1 {
+                    bug = true;
+                }
+                s.note_step(WarpId { wg: 0, warp: i }, true);
+            }
+            let verdict = if bug { Err("double claim".to_string()) } else { Ok(()) };
+            (s.into_decisions(), verdict)
+        };
+        let out = explore(&ExploreConfig::default(), model);
+        assert!(!out.all_passed(), "explorer must catch the planted race");
+        assert!(out.failures[0].detail.contains("double claim"));
+        assert!(
+            out.failures[0].trace.len() <= 2,
+            "prefix shrinking should keep only the deviation: {:?}",
+            out.failures[0].trace
+        );
+    }
+
+    #[test]
+    fn explore_clean_model_passes_and_respects_cap() {
+        let model = |trace: &[usize]| {
+            let mut s = TraceScheduler::new(trace);
+            for _ in 0..6 {
+                s.begin_round(&ids(3));
+                let Pick::Step(i) = s.pick(&ids(3)) else { panic!() };
+                s.note_step(WarpId { wg: 0, warp: i }, true);
+            }
+            (s.into_decisions(), Ok(()))
+        };
+        let out = explore(
+            &ExploreConfig { preemption_budget: 2, max_schedules: 10, max_failures: 4 },
+            model,
+        );
+        assert!(out.all_passed());
+        assert!(out.truncated, "tiny cap must be reported as truncation");
+        assert_eq!(out.explored, 10);
+    }
+
+    #[test]
+    fn mix64_is_stable() {
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+    }
+}

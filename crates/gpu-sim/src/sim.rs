@@ -1,12 +1,48 @@
 //! The simulator facade: a device plus its global memory, with a bump
 //! allocator, typed upload/download, and kernel launch.
+//!
+//! Launch-time robustness knobs live here too: an armed fault source
+//! (single-shot [`FaultPlan`] or sustained [`ChaosPlan`]), a warp
+//! [`SchedPolicy`], and a liveness [`Watchdog`] — all consulted by every
+//! subsequent launch so higher layers (pipelines, recovery) compose with
+//! them without touching each kernel call site.
 
 use crate::device::DeviceSpec;
-use crate::exec::{launch_traced, launch_with_faults, Kernel, LaunchError};
-use crate::fault::{FaultPlan, FaultRecord};
+use crate::exec::{launch_configured, Kernel, LaunchConfig, LaunchError};
+use crate::fault::{ChaosPlan, FaultPlan, FaultRecord, FaultSource};
 use crate::mem::{Buffer, GlobalMem, MemTraffic, TrafficSnapshot};
 use crate::report::KernelStats;
+use crate::sched::{mix64, PctScheduler, Scheduler, Watchdog};
 use ipt_obs::Recorder;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which warp scheduler a [`Sim`] uses for its launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// The historic deterministic round-robin interleaving (fast path).
+    RoundRobin,
+    /// Seeded PCT-style randomized priorities with `depth` priority-change
+    /// points per launch. Each launch derives its own sub-seed from the
+    /// policy seed and a per-sim launch counter, so a whole pipeline run
+    /// is reproducible from one number.
+    Pct {
+        /// Campaign seed the per-launch schedules derive from.
+        seed: u64,
+        /// Priority-change points (preemption budget) per launch.
+        depth: usize,
+    },
+}
+
+impl SchedPolicy {
+    /// Human/provenance label, e.g. `"round-robin"` or `"pct(seed=7,d=3)"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SchedPolicy::RoundRobin => "round-robin".into(),
+            SchedPolicy::Pct { seed, depth } => format!("pct(seed={seed},d={depth})"),
+        }
+    }
+}
 
 /// One simulated accelerator: device model + on-board memory.
 pub struct Sim {
@@ -14,6 +50,10 @@ pub struct Sim {
     mem: GlobalMem,
     cursor: usize,
     fault: Option<FaultPlan>,
+    chaos: Option<ChaosPlan>,
+    sched: SchedPolicy,
+    watchdog: Option<Watchdog>,
+    launch_seq: AtomicU64,
     traffic: MemTraffic,
 }
 
@@ -26,6 +66,10 @@ impl Sim {
             mem: GlobalMem::new(capacity_words),
             cursor: 0,
             fault: None,
+            chaos: None,
+            sched: SchedPolicy::RoundRobin,
+            watchdog: None,
+            launch_seq: AtomicU64::new(0),
             traffic: MemTraffic::default(),
         }
     }
@@ -55,7 +99,9 @@ impl Sim {
     }
 
     /// Arm a fault plan: subsequent launches inject its fault (once).
+    /// Disarms any chaos campaign — the two are mutually exclusive.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.chaos = None;
         self.fault = Some(plan);
     }
 
@@ -70,10 +116,69 @@ impl Sim {
         self.fault.take()
     }
 
-    /// Records of faults that fired on this simulator so far.
+    /// Arm a sustained chaos campaign: subsequent launches (and DES
+    /// transfers routed through [`Sim::fault_source`]) draw from its seeded
+    /// rate-driven fault stream. Disarms any single-shot fault plan.
+    pub fn set_chaos_plan(&mut self, plan: ChaosPlan) {
+        self.fault = None;
+        self.chaos = Some(plan);
+    }
+
+    /// The armed chaos campaign, if any.
+    #[must_use]
+    pub fn chaos_plan(&self) -> Option<&ChaosPlan> {
+        self.chaos.as_ref()
+    }
+
+    /// Disarm and return the chaos campaign.
+    pub fn take_chaos_plan(&mut self) -> Option<ChaosPlan> {
+        self.chaos.take()
+    }
+
+    /// The active fault source for launches and transfers: the chaos
+    /// campaign when armed, else the single-shot plan, else `None`.
+    #[must_use]
+    pub fn fault_source(&self) -> Option<&dyn FaultSource> {
+        match (&self.chaos, &self.fault) {
+            (Some(c), _) => Some(c as &dyn FaultSource),
+            (None, Some(f)) => Some(f as &dyn FaultSource),
+            (None, None) => None,
+        }
+    }
+
+    /// Select the warp-scheduling policy for subsequent launches.
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched = policy;
+    }
+
+    /// The current warp-scheduling policy.
+    #[must_use]
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched
+    }
+
+    /// Arm (or, with `None`, disarm) a liveness watchdog for subsequent
+    /// launches: hung kernels surface as [`LaunchError::Stalled`] instead
+    /// of spinning forever.
+    pub fn set_watchdog(&mut self, wd: Option<Watchdog>) {
+        self.watchdog = wd;
+    }
+
+    /// The armed watchdog, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<Watchdog> {
+        self.watchdog
+    }
+
+    /// Records of faults that fired on this simulator so far (from either
+    /// the single-shot plan or the chaos campaign).
     #[must_use]
     pub fn fault_records(&self) -> Vec<FaultRecord> {
-        self.fault.as_ref().map(FaultPlan::records).unwrap_or_default()
+        let mut out = self.fault.as_ref().map(FaultPlan::records).unwrap_or_default();
+        if let Some(c) = &self.chaos {
+            out.extend(c.records());
+        }
+        out
     }
 
     /// Allocate a buffer of `words` if they fit, without panicking — the
@@ -160,14 +265,28 @@ impl Sim {
         self.traffic.record(rec, scope);
     }
 
-    /// Launch a kernel. When a fault plan is armed, its fault is injected
-    /// in flight.
+    /// Build the scheduler instance for the next launch under the current
+    /// policy (`None` = round-robin fast path), bumping the launch counter
+    /// so each PCT launch gets its own derived sub-seed.
+    fn next_sched(&self) -> Option<Box<dyn Scheduler>> {
+        let seq = self.launch_seq.fetch_add(1, Ordering::SeqCst);
+        match self.sched {
+            SchedPolicy::RoundRobin => None,
+            SchedPolicy::Pct { seed, depth } => {
+                Some(Box::new(PctScheduler::new(mix64(seed, seq), depth)))
+            }
+        }
+    }
+
+    /// Launch a kernel under the sim's scheduling policy, watchdog, and
+    /// armed fault source (if any).
     ///
     /// # Errors
-    /// Propagates [`LaunchError`] for infeasible launches, or
-    /// [`LaunchError::Aborted`] when an armed fault plan kills the kernel.
+    /// Propagates [`LaunchError`] for infeasible launches,
+    /// [`LaunchError::Aborted`] when an armed fault source kills the
+    /// kernel, or [`LaunchError::Stalled`] when the watchdog trips.
     pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<KernelStats, LaunchError> {
-        launch_with_faults(&self.device, &self.mem, kernel, self.fault.as_ref())
+        self.launch_rec(kernel, &ipt_obs::NoopRecorder, 0.0)
     }
 
     /// [`Sim::launch`] instrumented with a [`Recorder`]; `t0_s` is the
@@ -181,8 +300,52 @@ impl Sim {
         rec: &R,
         t0_s: f64,
     ) -> Result<KernelStats, LaunchError> {
-        launch_traced(&self.device, &self.mem, kernel, self.fault.as_ref(), rec, t0_s)
+        let mut sched = self.next_sched();
+        launch_configured(
+            &self.device,
+            &self.mem,
+            kernel,
+            LaunchConfig {
+                fault: self.fault_source(),
+                sched: sched.as_deref_mut().map(|s| s as &mut dyn Scheduler),
+                watchdog: self.watchdog,
+            },
+            rec,
+            t0_s,
+        )
     }
+
+    /// Launch a kernel under an explicit caller-owned [`Scheduler`] —
+    /// the entry point schedule exploration drives with replay/trace
+    /// schedulers. The sim's policy is bypassed (its watchdog and fault
+    /// source still apply).
+    ///
+    /// # Errors
+    /// Same as [`Sim::launch`].
+    pub fn launch_sched<K: Kernel>(
+        &self,
+        kernel: &K,
+        sched: &mut dyn Scheduler,
+    ) -> Result<KernelStats, LaunchError> {
+        launch_configured(
+            &self.device,
+            &self.mem,
+            kernel,
+            LaunchConfig {
+                fault: self.fault_source(),
+                sched: Some(sched),
+                watchdog: self.watchdog,
+            },
+            rec_noop(),
+            0.0,
+        )
+    }
+}
+
+/// Shared `&NoopRecorder` for unrecorded configurable launches.
+fn rec_noop() -> &'static ipt_obs::NoopRecorder {
+    static NOOP: ipt_obs::NoopRecorder = ipt_obs::NoopRecorder;
+    &NOOP
 }
 
 #[cfg(test)]

@@ -278,7 +278,7 @@ fn run_host_async_body(
     while queues.len() < q {
         queues.push(Vec::new());
     }
-    let timeline = try_simulate_queues_dep(dev, &queues, sim.fault_plan())?;
+    let timeline = try_simulate_queues_dep(dev, &queues, sim.fault_source())?;
 
     // Verify the chunked execution.
     let result = sim.download_u32(data);
@@ -355,7 +355,7 @@ fn simulate_with_transfer_retry(
 ) -> Result<Timeline, TransposeError> {
     let mut attempt = 0usize;
     loop {
-        match try_simulate_queues_dep(dev, queues, sim.fault_plan()) {
+        match try_simulate_queues_dep(dev, queues, sim.fault_source()) {
             Ok(tl) => return Ok(tl),
             Err(e @ QueueError::TransferFault { .. }) => {
                 if attempt >= policy.max_stage_retries {

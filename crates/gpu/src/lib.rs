@@ -13,6 +13,8 @@
 //! * [`pipt`] — the cycle-per-thread P-IPT comparator,
 //! * [`oop`] — the out-of-place tiled baseline (Ruetsch/Micikevicius),
 //! * [`pipeline`] — plan execution with per-stage kernel selection,
+//! * [`explore`] — schedule-exploration race harnesses for the claim
+//!   protocols (bounded exhaustive + seeded PCT sweeps),
 //! * [`host`] — the §6 virtual in-place transposition (synchronous and
 //!   asynchronous with Q command queues),
 //! * [`autotune`] — §7.4 exhaustive / pruned tile search,
@@ -27,6 +29,7 @@
 pub mod autotune;
 pub mod bs;
 pub mod coprime;
+pub mod explore;
 pub mod host;
 pub mod multi;
 pub mod oop;
@@ -43,13 +46,17 @@ pub use autotune::{
 };
 pub use bs::BsKernel;
 pub use coprime::{transpose_coprime_on_device, CoprimeColShuffle, CoprimeRowScramble};
+pub use explore::{
+    explore_case, pct_sweep, run_race_case, tiny_device, BrokenPttwac010, RaceTarget,
+    SweepFailure, SweepOutcome,
+};
 pub use host::{
     run_host_async, run_host_async_recovering, run_host_oop, run_host_sync,
     run_host_sync_recovering, HostReport,
 };
 pub use multi::{run_multi_gpu, LinkTopology, MultiReport};
 pub use oop::OopTranspose;
-pub use opts::{FlagLayout, GpuOptions, Variant100};
+pub use opts::{ClaimBackoff, FlagLayout, GpuOptions, Variant100};
 pub use pipeline::{
     plan_flag_words, run_plan, run_plan_rec, run_stage, run_stage_rec, scale_plan_words,
     select_kernel, transpose_on_device, transpose_on_device_f64, transpose_on_device_rec,

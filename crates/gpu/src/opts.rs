@@ -114,6 +114,47 @@ impl Variant100 {
     }
 }
 
+/// Capped exponential backoff with seeded jitter for the PTTWAC claim-retry
+/// paths: after a lost claim, the loser sits out a pseudo-random number of
+/// scheduling slices before retrying, decorrelating repeat collisions under
+/// adversarial schedules. Cooldowns grow `base << losses` up to `cap`, with
+/// a jitter term derived from `(seed, position, losses)` — fully
+/// deterministic, so explored schedules stay replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClaimBackoff {
+    /// First cooldown, in scheduling slices (≥ 1).
+    pub base: u32,
+    /// Cooldown ceiling, in scheduling slices.
+    pub cap: u32,
+    /// Jitter seed (campaign-level; thread one seed through the whole run).
+    pub seed: u64,
+}
+
+impl ClaimBackoff {
+    /// A mild default: 1-slice first cooldown capped at 8 slices.
+    #[must_use]
+    pub fn mild(seed: u64) -> Self {
+        Self { base: 1, cap: 8, seed }
+    }
+
+    /// Cooldown (in slices) after `losses` consecutive lost claims of
+    /// cycle-start `pos`: `min(base << losses, cap)` plus jitter in
+    /// `[0, current)`.
+    #[must_use]
+    pub fn cooldown(&self, pos: usize, losses: u32) -> u32 {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(losses.min(16)).unwrap_or(u32::MAX))
+            .min(self.cap)
+            .max(1);
+        let h = gpu_sim::sched::mix64(
+            self.seed,
+            (pos as u64).wrapping_mul(0x9e37_79b9) ^ u64::from(losses),
+        );
+        exp + (h % u64::from(exp)) as u32
+    }
+}
+
 /// Launch options for the staged pipelines.
 #[derive(Debug, Clone, Copy)]
 pub struct GpuOptions {
@@ -126,6 +167,10 @@ pub struct GpuOptions {
     pub flags: FlagLayout,
     /// 100!-family implementation.
     pub variant100: Variant100,
+    /// Claim-retry backoff for both PTTWAC kernels. `None` (the default,
+    /// and what `tuned_for`/`baseline_for` produce) retries every slice —
+    /// the historic behaviour the committed benchmark baselines pin.
+    pub backoff: Option<ClaimBackoff>,
 }
 
 impl GpuOptions {
@@ -144,6 +189,7 @@ impl GpuOptions {
             wg_size_100: wg_100.min(dev.max_threads_per_wg),
             flags: FlagLayout::SpreadPadded { factor: 8 },
             variant100: Variant100::Auto,
+            backoff: None,
         }
     }
 
@@ -156,7 +202,15 @@ impl GpuOptions {
             wg_size_100: 256.min(dev.max_threads_per_wg),
             flags: FlagLayout::Packed,
             variant100: Variant100::SungWorkGroup,
+            backoff: None,
         }
+    }
+
+    /// `self` with claim-retry backoff enabled (builder style).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: ClaimBackoff) -> Self {
+        self.backoff = Some(backoff);
+        self
     }
 }
 
@@ -233,6 +287,21 @@ mod tests {
         assert_eq!(Variant100::Auto.resolve(16, 32), Variant100::WarpRegTile);
         assert_eq!(Variant100::Auto.resolve(72, 32), Variant100::WarpLocalTile);
         assert_eq!(Variant100::SungWorkGroup.resolve(64, 32), Variant100::SungWorkGroup);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let b = ClaimBackoff { base: 1, cap: 8, seed: 42 };
+        // Deterministic: same inputs, same cooldown.
+        assert_eq!(b.cooldown(17, 0), b.cooldown(17, 0));
+        for losses in 0..12 {
+            let c = b.cooldown(5, losses);
+            let exp = (1u32 << losses.min(16)).min(8);
+            assert!(c >= exp && c < 2 * exp, "losses={losses} cooldown={c}");
+        }
+        // Different positions decorrelate (not all equal over a window).
+        let all_same = (0..32).map(|p| b.cooldown(p, 3)).all(|c| c == b.cooldown(0, 3));
+        assert!(!all_same, "jitter should vary with position");
     }
 
     #[test]

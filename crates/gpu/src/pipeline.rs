@@ -228,6 +228,7 @@ pub fn run_stage_rec<R: Recorder>(
                 variant: moving_variant(sim, opts, ss),
                 wg_size: opts.wg_size_100,
                 fuse_tile: Some((f.rows_inner, f.cols_inner)),
+                backoff: opts.backoff,
             };
             let moving = sim.launch_rec(&k, rec, t0_s + ms)?;
             let after_moving_s = t0_s + ms + moving.time_s;
@@ -308,18 +309,24 @@ fn run_instanced<R: Recorder>(
                 cols: op.cols,
                 wg_size: opts.wg_size,
                 flags: opts.flags,
+                backoff: opts.backoff,
             },
             rec,
             t0_s,
         ),
         StageKernel::Pttwac100 => {
             let needed = Pttwac100::flag_words(op.instances * op.rows * op.cols);
-            assert!(
-                flags.len >= needed,
-                "flags buffer has {} words but the 100!-family stage needs {needed}; \
-                 size it with plan_flag_words()",
-                flags.len
-            );
+            if flags.len < needed {
+                // Typed instead of an assert so adversarial-schedule and
+                // chaos harnesses surface this as a recoverable error.
+                return Err(LaunchError::Infeasible {
+                    why: format!(
+                        "flags buffer has {} words but the 100!-family stage needs \
+                         {needed}; size it with plan_flag_words()",
+                        flags.len
+                    ),
+                });
+            }
             sim.zero(flags);
             let ms = memset_time(sim, needed);
             *overhead_s += ms;
@@ -334,6 +341,7 @@ fn run_instanced<R: Recorder>(
                     variant: moving_variant(sim, opts, op.super_size),
                     wg_size: opts.wg_size_100,
                     fuse_tile: None,
+                    backoff: opts.backoff,
                 },
                 rec,
                 t0_s + ms,

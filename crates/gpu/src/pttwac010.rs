@@ -21,7 +21,7 @@
 // `0..ctx.lanes` are the clearest expression of warp-vector code.
 #![allow(clippy::needless_range_loop)]
 
-use crate::opts::FlagLayout;
+use crate::opts::{ClaimBackoff, FlagLayout};
 use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
@@ -40,6 +40,10 @@ pub struct Pttwac010 {
     pub wg_size: usize,
     /// Flag bit layout in local memory.
     pub flags: FlagLayout,
+    /// Optional claim-retry backoff: after losing a successor claim, the
+    /// lane sits out a capped-exponential, seeded-jitter number of slices
+    /// before acquiring new work. `None` = historic retry-every-slice.
+    pub backoff: Option<ClaimBackoff>,
 }
 
 impl Pttwac010 {
@@ -63,6 +67,10 @@ struct LaneState {
     next_start: usize,
     /// No starts left and not active.
     exhausted: bool,
+    /// Consecutive lost successor claims (backoff exponent).
+    losses: u32,
+    /// Scheduling slices left to sit out before acquiring again.
+    cooldown: u32,
 }
 
 /// Per-warp state.
@@ -144,6 +152,11 @@ impl Kernel for Pttwac010 {
             if s.active || s.exhausted {
                 continue;
             }
+            if s.cooldown > 0 {
+                // Backing off after a lost claim: sit this slice out.
+                s.cooldown -= 1;
+                continue;
+            }
             // Consume fixed points without memory traffic.
             while s.next_start < tile && perm.dest(s.next_start) == s.next_start {
                 s.next_start += ctx.wg_size;
@@ -204,9 +217,16 @@ impl Kernel for Pttwac010 {
             for l in 0..ctx.lanes {
                 if let Some((_, bitmask)) = claim_ops.get(l) {
                     won[l] = old.get(l) & bitmask == 0;
-                    if !won[l] {
-                        st.lanes[l].active = false;
+                    let s = &mut st.lanes[l];
+                    if won[l] {
+                        s.losses = 0;
+                    } else {
+                        s.active = false;
                         ctx.note_claim_retry();
+                        if let Some(b) = self.backoff {
+                            s.losses = s.losses.saturating_add(1);
+                            s.cooldown = b.cooldown(next_pos[l], s.losses);
+                        }
                     }
                 }
             }
@@ -254,7 +274,7 @@ mod tests {
         let buf = sim.alloc(op.total_len());
         let data: Vec<u32> = (0..op.total_len() as u32).collect();
         sim.upload_u32(buf, &data);
-        let k = Pttwac010 { data: buf, instances, rows, cols, wg_size, flags };
+        let k = Pttwac010 { data: buf, instances, rows, cols, wg_size, flags, backoff: None };
         let stats = sim.launch(&k).expect("feasible");
         (sim.download_u32(buf), stats)
     }
@@ -286,6 +306,28 @@ mod tests {
                 assert_eq!(got, expected(i, r, c), "{i}x{r}x{c} wg={wg} {flags:?}");
             }
         }
+    }
+
+    #[test]
+    fn backoff_keeps_results_correct() {
+        use crate::opts::ClaimBackoff;
+        let op = InstancedTranspose::new(3, 16, 215, 1);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), op.total_len() + 8);
+        let buf = sim.alloc(op.total_len());
+        let data: Vec<u32> = (0..op.total_len() as u32).collect();
+        sim.upload_u32(buf, &data);
+        let k = Pttwac010 {
+            data: buf,
+            instances: 3,
+            rows: 16,
+            cols: 215,
+            wg_size: 64,
+            flags: FlagLayout::SpreadPadded { factor: 8 },
+            backoff: Some(ClaimBackoff::mild(7)),
+        };
+        let stats = sim.launch(&k).expect("feasible");
+        assert_eq!(sim.download_u32(buf), expected(3, 16, 215));
+        assert!(stats.time_s > 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! With `super_size == 1`, `instances == 1` this kernel degenerates into the
 //! whole-matrix single-stage transposition (the ≈1.5 GB/s baseline of §4.1).
 
-use crate::opts::Variant100;
+use crate::opts::{ClaimBackoff, Variant100};
 use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
@@ -55,6 +55,10 @@ pub struct Pttwac100 {
     /// Transpose each super-element as a `(rows, cols)` tile while moving
     /// it (fused 0010!+1000!). Requires `ti · tj == super_size`.
     pub fuse_tile: Option<(usize, usize)>,
+    /// Optional claim-retry backoff: after losing the atomic claim on a
+    /// chain, the warp sits out a capped-exponential, seeded-jitter number
+    /// of slices before acquiring new work. `None` = historic behaviour.
+    pub backoff: Option<ClaimBackoff>,
 }
 
 impl Pttwac100 {
@@ -103,6 +107,10 @@ pub struct P100State {
     /// True for warps that only assist (Sung variant warps > 0).
     assist_only: bool,
     exhausted: bool,
+    /// Consecutive lost atomic claims (backoff exponent).
+    losses: u32,
+    /// Scheduling slices left to sit out before acquiring again.
+    cooldown: u32,
 }
 
 impl Kernel for Pttwac100 {
@@ -181,6 +189,8 @@ impl Kernel for Pttwac100 {
             backup: vec![0; self.super_size],
             assist_only,
             exhausted: false,
+            losses: 0,
+            cooldown: 0,
         }
     }
 
@@ -203,6 +213,11 @@ impl Kernel for Pttwac100 {
             self.variant == Variant100::SungWorkGroup && self.effective_wg_size() > ctx.device().simd_width;
 
         if !st.active {
+            if st.cooldown > 0 {
+                // Backing off after a lost claim: sit this slice out.
+                st.cooldown -= 1;
+                return Step::Continue;
+            }
             // Acquire a chain start.
             let Some(start) = next_nonfixed_start(st, &perm, spi, self.total_supers()) else {
                 return if st.exhausted { Step::Done } else { Step::Continue };
@@ -234,8 +249,13 @@ impl Kernel for Pttwac100 {
         if (old.get(0) >> fb) & 1 == 1 {
             ctx.note_claim_retry();
             st.active = false; // chain owned elsewhere; grab a new start
+            if let Some(b) = self.backoff {
+                st.losses = st.losses.saturating_add(1);
+                st.cooldown = b.cooldown(next, st.losses);
+            }
             return Step::Continue;
         }
+        st.losses = 0;
         // Swap carried with data[next] (scratch reused across moves).
         let mut backup = std::mem::take(&mut st.backup);
         read_super(self, ctx, next, &mut backup, multi_warp_wg);
@@ -401,6 +421,7 @@ mod tests {
             variant: variant.resolve(super_size, sim.device().simd_width),
             wg_size,
             fuse_tile: fuse,
+            backoff: None,
         };
         let stats = sim.launch(&k).expect("feasible");
         (sim.download_u32(data), stats)
@@ -431,6 +452,32 @@ mod tests {
                 assert_eq!(got, expected(i, r, c, s), "{variant:?} {i}x{r}x{c}x{s}");
             }
         }
+    }
+
+    #[test]
+    fn backoff_keeps_results_correct() {
+        let total = 3 * 7 * 5 * 16;
+        let flag_words = Pttwac100::flag_words(3 * 7 * 5);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), total + flag_words + 8);
+        let data = sim.alloc(total);
+        let flags = sim.alloc(flag_words);
+        let v: Vec<u32> = (0..total as u32).collect();
+        sim.upload_u32(data, &v);
+        sim.zero(flags);
+        let k = Pttwac100 {
+            data,
+            flags,
+            instances: 3,
+            rows: 7,
+            cols: 5,
+            super_size: 16,
+            variant: Variant100::WarpLocalTile,
+            wg_size: 256,
+            fuse_tile: None,
+            backoff: Some(ClaimBackoff::mild(13)),
+        };
+        sim.launch(&k).expect("feasible");
+        assert_eq!(sim.download_u32(data), expected(3, 7, 5, 16));
     }
 
     #[test]

@@ -71,6 +71,20 @@ pub enum TransposeError {
     },
     /// A kernel launch failed (infeasible geometry, or an injected abort).
     Launch(LaunchError),
+    /// A liveness watchdog tripped: the kernel stopped making progress
+    /// (claim-loop livelock, deadlock, or a lost wakeup) and was killed
+    /// instead of spinning forever. Device memory may be mid-transposition;
+    /// recovery restores a snapshot before retrying.
+    Stalled {
+        /// Kernel display name.
+        kernel: String,
+        /// The lane (global warp index: `wg × warps_per_wg + warp`) that
+        /// exceeded its progress budget, or the busiest one on a total-
+        /// budget trip.
+        lane: usize,
+        /// Steps executed when the watchdog fired.
+        steps: u64,
+    },
     /// Plan construction failed (tile does not divide the matrix).
     Plan(PlanError),
     /// A command-queue transfer failed.
@@ -94,6 +108,11 @@ impl std::fmt::Display for TransposeError {
                 write!(f, "device OOM: need {need} words, {free} free")
             }
             TransposeError::Launch(e) => write!(f, "launch failed: {e}"),
+            TransposeError::Stalled { kernel, lane, steps } => write!(
+                f,
+                "kernel `{kernel}` stalled: lane {lane} exceeded its progress budget \
+                 after {steps} steps"
+            ),
             TransposeError::Plan(e) => write!(f, "planning failed: {e}"),
             TransposeError::Transfer(e) => write!(f, "transfer failed: {e}"),
             TransposeError::Verify(e) => write!(f, "{e}"),
@@ -108,7 +127,12 @@ impl std::error::Error for TransposeError {}
 
 impl From<LaunchError> for TransposeError {
     fn from(e: LaunchError) -> Self {
-        TransposeError::Launch(e)
+        match e {
+            LaunchError::Stalled { kernel, lane, steps } => {
+                TransposeError::Stalled { kernel, lane, steps }
+            }
+            e => TransposeError::Launch(e),
+        }
     }
 }
 
@@ -142,19 +166,38 @@ pub struct RecoveryPolicy {
     /// Allow degrading through the fallback chain when retries fail. When
     /// `false`, the first unrecovered error is returned as-is.
     pub allow_fallback: bool,
+    /// Campaign seed for retry-backoff jitter. `0` (the default) keeps the
+    /// historic pure-exponential backoff; any other value adds a
+    /// deterministic jitter factor derived from `(seed, attempt)` so a
+    /// whole chaos campaign's retry timing is reproducible from one
+    /// top-level seed.
+    pub seed: u64,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        Self { max_stage_retries: 2, retry_backoff_s: 1e-4, allow_fallback: true }
+        Self { max_stage_retries: 2, retry_backoff_s: 1e-4, allow_fallback: true, seed: 0 }
     }
 }
 
 impl RecoveryPolicy {
-    /// Backoff charged for retry number `attempt` (0-based): exponential.
+    /// `self` with the retry-jitter seed set (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff charged for retry number `attempt` (0-based): exponential,
+    /// times a seeded jitter factor in `[1, 2)` when a seed is set.
     #[must_use]
     pub fn backoff_s(&self, attempt: usize) -> f64 {
-        self.retry_backoff_s * (1u64 << attempt.min(20)) as f64
+        let base = self.retry_backoff_s * (1u64 << attempt.min(20)) as f64;
+        if self.seed == 0 {
+            return base;
+        }
+        let h = gpu_sim::sched::mix64(self.seed, attempt as u64);
+        base * (1.0 + (h >> 11) as f64 / (1u64 << 53) as f64)
     }
 }
 
@@ -359,7 +402,7 @@ pub fn run_plan_validated(
                             .into(),
                     })
                 }
-                Err(e @ LaunchError::Aborted { .. }) => TransposeError::Launch(e),
+                Err(e @ (LaunchError::Aborted { .. } | LaunchError::Stalled { .. })) => e.into(),
                 // Deterministic launch failures: no retry can change them.
                 Err(e) => return Err(e.into()),
             };
@@ -673,7 +716,7 @@ mod tests {
         let opts = GpuOptions::tuned_for(sim.device());
         let mut data = Matrix::iota(72, 60).into_vec();
         let policy =
-            RecoveryPolicy { max_stage_retries: 0, retry_backoff_s: 1e-4, allow_fallback: false };
+            RecoveryPolicy { max_stage_retries: 0, retry_backoff_s: 1e-4, allow_fallback: false, seed: 0 };
         let err =
             transpose_with_recovery(&mut sim, &mut data, 72, 60, &plan, &opts, &policy)
                 .unwrap_err();
@@ -691,7 +734,7 @@ mod tests {
         // Zero retries: the abort exhausts the primary path instantly, but
         // the fault is consumed, so the conservative re-run succeeds.
         let policy =
-            RecoveryPolicy { max_stage_retries: 0, retry_backoff_s: 1e-4, allow_fallback: true };
+            RecoveryPolicy { max_stage_retries: 0, retry_backoff_s: 1e-4, allow_fallback: true, seed: 0 };
         let (_, report) =
             transpose_with_recovery(&mut sim, &mut data, 72, 60, &plan, &opts, &policy)
                 .unwrap();
@@ -711,6 +754,24 @@ mod tests {
         // that is the final exact check's job).
         let d = [2u32, 1, 3, 4, 5];
         assert_eq!(multiset_checksum(&a), multiset_checksum(&d));
+    }
+
+    #[test]
+    fn seeded_backoff_is_jittered_and_reproducible() {
+        let p0 = RecoveryPolicy::default();
+        let p1 = RecoveryPolicy::default().with_seed(42);
+        let p2 = RecoveryPolicy::default().with_seed(42);
+        let p3 = RecoveryPolicy::default().with_seed(43);
+        // Seed 0: historic pure exponential.
+        assert_eq!(p0.backoff_s(0), 1e-4);
+        assert_eq!(p0.backoff_s(3), 8e-4);
+        for attempt in 0..8 {
+            let base = p0.backoff_s(attempt);
+            let j = p1.backoff_s(attempt);
+            assert!(j >= base && j < 2.0 * base, "attempt {attempt}: {j} vs base {base}");
+            assert_eq!(j, p2.backoff_s(attempt), "same seed must reproduce");
+        }
+        assert_ne!(p1.backoff_s(1), p3.backoff_s(1), "different seeds should differ");
     }
 
     #[test]

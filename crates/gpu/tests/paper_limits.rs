@@ -27,6 +27,7 @@ fn sung_variant_infeasible_for_large_m_on_amd() {
         variant: Variant100::SungWorkGroup,
         wg_size: 0,
         fuse_tile: None,
+        backoff: None,
     };
     assert!(sim.launch(&k).is_err(), "m=300 work-groups must not launch on AMD");
     // The warp-based variant handles the same m fine (§5.2.1 flexibility).

@@ -83,6 +83,7 @@ proptest! {
             max_stage_retries: 1,
             retry_backoff_s: 1e-4,
             allow_fallback: fallback,
+            seed: 0,
         };
         let fault = FaultPlan::exact(1, FaultKind::ALL[kind_idx], trigger, payload);
         let outcome = run_recovering(48, 90, TileConfig::new(8, 9), fault, &policy);

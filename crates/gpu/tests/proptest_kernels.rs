@@ -48,7 +48,7 @@ proptest! {
         let mut sim = Sim::new(DeviceSpec::tesla_k20(), op.total_len() + 8);
         let buf = sim.alloc(op.total_len());
         sim.upload_u32(buf, &(0..op.total_len() as u32).collect::<Vec<_>>());
-        let k = Pttwac010 { data: buf, instances: inst, rows, cols, wg_size: 128, flags };
+        let k = Pttwac010 { data: buf, instances: inst, rows, cols, wg_size: 128, flags, backoff: None };
         sim.launch(&k).unwrap();
         prop_assert_eq!(sim.download_u32(buf), expected(&op));
     }
@@ -77,6 +77,7 @@ proptest! {
         let k = Pttwac100 {
             data, flags, instances: inst, rows, cols, super_size: s,
             variant: variant.resolve(s, dev.simd_width), wg_size: 256, fuse_tile: None,
+            backoff: None,
         };
         sim.launch(&k).unwrap();
         prop_assert_eq!(sim.download_u32(data), expected(&op));

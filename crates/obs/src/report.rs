@@ -30,6 +30,10 @@ pub struct Provenance {
     pub seed: u64,
     /// Workload scale preset (`"smoke"`, `"paper"`, …).
     pub scale: String,
+    /// Warp-scheduling policy the run used (`"round-robin"`,
+    /// `"pct(seed=S,d=D)"`, …) — schedule provenance, so a report from a
+    /// randomized-schedule campaign is never mistaken for a baseline run.
+    pub schedule: String,
 }
 
 /// The versioned envelope every archived benchmark JSON uses.
@@ -266,6 +270,7 @@ mod tests {
                 device: Value::Obj(vec![("name".into(), Value::Str("gtx580".into()))]),
                 seed: 0,
                 scale: "smoke".into(),
+                schedule: "round-robin".into(),
             },
             &report_rows(&[10.0]),
         );
