@@ -18,6 +18,9 @@
 //!   primes        extension (coprime decomposition vs prime-dim fallback)
 //!   multigpu      extension (multi-GPU scaling, paper §8 future work)
 //!   ablation      cost-model ablations (which mechanism drives which result)
+//!   serve         extension (batched, plan-cached serving layer: mixed
+//!                 1k-request stream, cache hit rate, amortization vs
+//!                 per-request autotuning)
 //!   trace         observability showcase (traced 3-stage run → Chrome trace
 //!                 + Prometheus exposition; written next to the JSON archive)
 //!   races         schedule-exploration campaign: seeded PCT sweep
@@ -38,7 +41,7 @@
 //! code 1. `--inject-slowdown PCT` artificially slows the fresh metrics —
 //! the self-test proving the harness can fail.
 
-use ipt_bench::check::{check_report, make_report, CheckOutcome, DEFAULT_TOLERANCE};
+use ipt_bench::check::{check_report, make_report_scheme, CheckOutcome, DEFAULT_TOLERANCE};
 use ipt_bench::experiments as ex;
 use ipt_bench::workloads::{device_by_name, Scale};
 use ipt_obs::BenchReport;
@@ -84,7 +87,7 @@ fn parse_args() -> Args {
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
                      [--inject-slowdown PCT] [--schedules N] [--seed S]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation trace races all"
+                     table3 async phi primes multigpu ablation serve trace races all"
                 );
                 std::process::exit(0);
             }
@@ -179,7 +182,11 @@ struct Sink {
 
 impl Sink {
     fn emit<T: Serialize>(&mut self, name: &str, rows: &T) {
-        let report = make_report(name, &self.device, self.scale, rows);
+        self.emit_scheme(name, "heuristic", rows);
+    }
+
+    fn emit_scheme<T: Serialize>(&mut self, name: &str, scheme: &str, rows: &T) {
+        let report = make_report_scheme(name, &self.device, self.scale, scheme, rows);
         if let Some(dir) = &self.json_dir {
             let body = serde_json::to_string_pretty(&report).expect("serialise report");
             write_file(dir, &format!("{name}.json"), &body);
@@ -234,7 +241,7 @@ fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "trace", "races", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "serve", "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -318,6 +325,11 @@ fn main() {
         let report = ex::phi::run(args.scale);
         println!("{}", ex::phi::render(&report));
         sink.emit("phi", &report);
+    }
+    if run("serve") {
+        let (rows, summary) = ex::serve::run(&args.device, args.scale);
+        println!("{}", ex::serve::render(&rows, &summary));
+        sink.emit_scheme("serve", "plan-cache", &(&rows, &summary));
     }
     // `races` is deliberately not part of `all`: it is a correctness
     // campaign with its own pass/fail verdict and (in CI) a much larger

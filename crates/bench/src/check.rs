@@ -17,11 +17,23 @@ use serde::{Serialize, Value};
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
 /// Wrap experiment rows in the versioned envelope with this run's
-/// provenance.
+/// provenance (direct heuristic planning).
 pub fn make_report(
     experiment: &str,
     device: &gpu_sim::DeviceSpec,
     scale: &str,
+    rows: &impl Serialize,
+) -> BenchReport {
+    make_report_scheme(experiment, device, scale, "heuristic", rows)
+}
+
+/// [`make_report`] with explicit planning-scheme provenance (e.g.
+/// `"plan-cache"` for the serving layer, or a short-circuit scheme name).
+pub fn make_report_scheme(
+    experiment: &str,
+    device: &gpu_sim::DeviceSpec,
+    scale: &str,
+    scheme: &str,
     rows: &impl Serialize,
 ) -> BenchReport {
     BenchReport::new(
@@ -32,6 +44,7 @@ pub fn make_report(
             seed: 0,
             scale: scale.to_string(),
             schedule: "round-robin".to_string(),
+            scheme: scheme.to_string(),
         },
         rows,
     )

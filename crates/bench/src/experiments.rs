@@ -14,6 +14,7 @@ pub mod multigpu;
 pub mod phi;
 pub mod primes;
 pub mod races;
+pub mod serve;
 pub mod sweep010;
 pub mod sweep100;
 pub mod table2;

@@ -109,10 +109,48 @@ pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
     }
 }
 
-/// Bytes of an `r × c` single-precision matrix.
+/// Bytes of an `r × c` single-precision matrix. Exact even past the
+/// 32-bit boundary (computed in wide integer arithmetic, not wrapping
+/// `usize` products).
 #[must_use]
 pub fn matrix_bytes(r: usize, c: usize) -> f64 {
-    (r * c * 4) as f64
+    ipt_core::check::bytes_f64(r, c, 4)
+}
+
+/// One shape class of the `repro serve` mixed workload:
+/// `(rows, cols, elem_bytes)`.
+///
+/// The mix deliberately spans every planning scheme the serving layer can
+/// route: staged divisor-rich shapes (two sizes plus a wide-element f64
+/// variant), squares (composite and prime-sided), degenerate vectors
+/// (identity short-circuit, both orientations), and coprime prime-dim
+/// shapes (the §7.4 limitation the fallback covers).
+#[must_use]
+pub fn serve_mix(scale: Scale) -> Vec<(usize, usize, usize)> {
+    match scale {
+        Scale::Full => vec![
+            (360, 120, 4),
+            (288, 144, 4),
+            (120, 120, 4),
+            (47, 47, 4),
+            (1, 2048, 4),
+            (1024, 1, 4),
+            (127, 61, 4),
+            (251, 13, 4),
+            (144, 96, 8),
+        ],
+        Scale::Reduced => vec![
+            (72, 60, 4),
+            (96, 72, 4),
+            (60, 60, 4),
+            (47, 47, 4),
+            (1, 512, 4),
+            (512, 1, 4),
+            (127, 61, 4),
+            (251, 13, 4),
+            (72, 60, 8),
+        ],
+    }
 }
 
 #[cfg(test)]

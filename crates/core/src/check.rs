@@ -1,0 +1,88 @@
+//! Checked index/size arithmetic for huge matrices.
+//!
+//! Cycle-following indices and checksum/byte totals involve
+//! `rows * cols * elem` intermediates. On a 32-bit target (or anywhere a
+//! result is narrowed to `u32`, as GPU kernels routinely do) those products
+//! wrap silently: `65_536 × 65_537` elements is `2³² + 65_536`, which
+//! truncates to `65_536` — a plausible-looking but catastrophically wrong
+//! element count. Every size computation in the workspace goes through the
+//! helpers here, which perform the multiplication in `u128` and hand back
+//! exact `u64` values (or `None` when even `u64` would overflow).
+
+/// Exact element count `rows * cols` as `u64`, or `None` on overflow.
+///
+/// Returns `Some(0)` for empty shapes — callers that treat zero elements as
+/// invalid must check separately.
+#[must_use]
+pub fn checked_words(rows: usize, cols: usize) -> Option<u64> {
+    let prod = (rows as u128).checked_mul(cols as u128)?;
+    u64::try_from(prod).ok()
+}
+
+/// Exact byte count `rows * cols * elem_bytes` as `u64`, or `None` on
+/// overflow.
+#[must_use]
+pub fn checked_bytes(rows: usize, cols: usize, elem_bytes: usize) -> Option<u64> {
+    let prod = (rows as u128)
+        .checked_mul(cols as u128)?
+        .checked_mul(elem_bytes as u128)?;
+    u64::try_from(prod).ok()
+}
+
+/// `rows * cols * elem_bytes` as `f64` without any intermediate narrowing.
+///
+/// Bandwidth math wants a float anyway; computing the product in `u128`
+/// first means the only precision loss is the final (monotonic) `f64`
+/// rounding, never a wrap.
+#[must_use]
+pub fn bytes_f64(rows: usize, cols: usize, elem_bytes: usize) -> f64 {
+    (rows as u128).saturating_mul(cols as u128).saturating_mul(elem_bytes as u128) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The overflow boundary: the smallest interesting shape whose element
+    /// count exceeds `u32::MAX`.
+    const R: usize = 65_536;
+    const C: usize = 65_537;
+
+    #[test]
+    fn boundary_words_are_exact() {
+        // 65_536 · 65_537 = 2³² + 2¹⁶ — one past the u32 boundary.
+        assert_eq!(checked_words(R, C), Some(4_295_032_832));
+        // A 32-bit wrap would have produced 65_536 — catch any regression
+        // back to narrow arithmetic.
+        let wrapped = ((R as u32).wrapping_mul(C as u32)) as u64;
+        assert_eq!(wrapped, 65_536);
+        assert_ne!(checked_words(R, C), Some(wrapped));
+    }
+
+    #[test]
+    fn boundary_bytes_are_exact() {
+        assert_eq!(checked_bytes(R, C, 4), Some(4 * 4_295_032_832));
+        assert_eq!(checked_bytes(R, C, 8), Some(8 * 4_295_032_832));
+        let naive32 = (R as u32).wrapping_mul(C as u32).wrapping_mul(4);
+        assert_ne!(checked_bytes(R, C, 4), Some(u64::from(naive32)));
+    }
+
+    #[test]
+    fn f64_bytes_match_checked_on_representable_sizes() {
+        for &(r, c, e) in &[(1usize, 1usize, 4usize), (720, 180, 4), (R, C, 8)] {
+            let exact = checked_bytes(r, c, e).unwrap();
+            let float = bytes_f64(r, c, e);
+            assert_eq!(float, exact as f64, "{r}x{c}x{e}");
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        if usize::BITS == 64 {
+            assert_eq!(checked_words(usize::MAX, 2), None);
+            assert_eq!(checked_bytes(usize::MAX, 1, 4), None);
+        }
+        assert_eq!(checked_words(0, 123), Some(0));
+        assert_eq!(checked_bytes(17, 0, 8), Some(0));
+    }
+}

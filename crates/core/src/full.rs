@@ -7,6 +7,7 @@
 use crate::coprime;
 use crate::matrix::Matrix;
 use crate::numtheory::gcd;
+use crate::scheme::{decide_scheme, transpose_square_in_place, Scheme};
 use crate::stages::{PlanError, StagePlan, TileConfig};
 use crate::tiles::TileHeuristic;
 
@@ -54,26 +55,52 @@ impl Algorithm {
     }
 }
 
-/// Plan an in-place transposition with automatic tile selection: use the
-/// requested algorithm when a feasible tile exists, otherwise fall back to
-/// the single-stage pass (the paper's prime-dimension limitation, §7.4).
+/// Plan an in-place transposition with automatic tile selection via
+/// [`decide_scheme`]: use the requested algorithm when the shape supports a
+/// tiled staged plan, otherwise degrade deterministically to the
+/// single-stage pass (the typed reason lives on the
+/// [`crate::scheme::PlanDecision`] for callers that want it). Never panics.
 #[must_use]
 pub fn plan_auto(rows: usize, cols: usize, algo: Algorithm, heuristic: &TileHeuristic) -> StagePlan {
     if algo == Algorithm::SingleStage {
         return StagePlan::single_stage(rows, cols);
     }
-    match heuristic.select(rows, cols) {
-        Some(tile) => algo
+    let decision = decide_scheme(rows, cols, heuristic);
+    match (decision.scheme, decision.tile) {
+        (Scheme::Staged | Scheme::GcdTiled | Scheme::SquareTiled, Some(tile)) => algo
             .plan(rows, cols, tile)
-            .expect("heuristic-selected tile always divides the matrix"),
-        None => StagePlan::single_stage(rows, cols),
+            .unwrap_or_else(|_| StagePlan::single_stage(rows, cols)),
+        _ => StagePlan::single_stage(rows, cols),
+    }
+}
+
+/// Degenerate/square short-circuit shared by the in-place drivers: `Some`
+/// when the shape was handled without running any staged plan.
+fn short_circuit<T: Copy>(matrix: Matrix<T>) -> Result<Matrix<T>, Matrix<T>> {
+    let decision = decide_scheme(matrix.rows(), matrix.cols(), &TileHeuristic::default());
+    match decision.scheme {
+        // Row/column vectors (and empties): the storage is already the
+        // transpose — only the shape flips.
+        Scheme::Identity => Ok(matrix.assume_transposed_shape()),
+        Scheme::SquareTiled => {
+            let n = matrix.rows();
+            let mut matrix = matrix;
+            transpose_square_in_place(matrix.as_mut_slice(), n);
+            Ok(matrix.assume_transposed_shape())
+        }
+        _ => Err(matrix),
     }
 }
 
 /// Transpose `matrix` in place (same backing storage) sequentially and
-/// return it with the flipped shape.
+/// return it with the flipped shape. Degenerate shapes (`1 × n`, `m × 1`)
+/// and squares short-circuit instead of running a staged plan.
 #[must_use]
 pub fn transpose_in_place_seq<T: Copy>(matrix: Matrix<T>, algo: Algorithm) -> Matrix<T> {
+    let matrix = match short_circuit(matrix) {
+        Ok(done) => return done,
+        Err(m) => m,
+    };
     let plan = plan_auto(matrix.rows(), matrix.cols(), algo, &TileHeuristic::default());
     let mut matrix = matrix;
     plan.execute_seq(matrix.as_mut_slice());
@@ -81,9 +108,14 @@ pub fn transpose_in_place_seq<T: Copy>(matrix: Matrix<T>, algo: Algorithm) -> Ma
 }
 
 /// Transpose `matrix` in place using rayon and return it with the flipped
-/// shape.
+/// shape. Degenerate shapes (`1 × n`, `m × 1`) and squares short-circuit
+/// instead of running a staged plan.
 #[must_use]
 pub fn transpose_in_place_par<T: Copy + Send + Sync>(matrix: Matrix<T>, algo: Algorithm) -> Matrix<T> {
+    let matrix = match short_circuit(matrix) {
+        Ok(done) => return done,
+        Err(m) => m,
+    };
     let plan = plan_auto(matrix.rows(), matrix.cols(), algo, &TileHeuristic::default());
     let mut matrix = matrix;
     plan.execute_par(matrix.as_mut_slice());
@@ -221,6 +253,31 @@ mod tests {
         ] {
             let m = Matrix::iota(r, c);
             assert_eq!(transpose_in_place_any(m.clone()), m.transposed(), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_short_circuit_and_round_trip() {
+        for &(r, c) in &[(1, 1), (1, 257), (509, 1), (1, 7919)] {
+            let m = Matrix::iota(r, c);
+            for algo in Algorithm::ALL {
+                let got = transpose_in_place_seq(m.clone(), algo);
+                assert_eq!(got, m.transposed(), "{} {r}x{c}", algo.name());
+                assert_eq!((got.rows(), got.cols()), (c, r));
+                let back = transpose_in_place_par(got, algo);
+                assert_eq!(back, m, "round trip {r}x{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn square_shapes_short_circuit_and_round_trip() {
+        // 61 prime (no feasible square tile), 60 richly composite.
+        for n in [2usize, 31, 60, 61] {
+            let m = Matrix::iota(n, n);
+            let got = transpose_in_place_par(m.clone(), Algorithm::ThreeStage);
+            assert_eq!(got, m.transposed(), "{n}x{n}");
+            assert_eq!(transpose_in_place_seq(got, Algorithm::ThreeStage), m);
         }
     }
 

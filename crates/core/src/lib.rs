@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod check;
 pub mod coprime;
 pub mod elementary;
 pub mod full;
+pub mod scheme;
 pub mod layout;
 pub mod matrix;
 pub mod numtheory;
@@ -44,6 +46,7 @@ pub use elementary::{InstancedTranspose, IndexPerm};
 pub use full::{transpose_in_place_any, transpose_in_place_par, transpose_in_place_seq, Algorithm};
 pub use matrix::Matrix;
 pub use perm::cycle::TransposePerm;
+pub use scheme::{decide_scheme, FallbackReason, PlanDecision, Scheme};
 pub use stages::{StagePlan, TileConfig};
 pub use tiles::TileHeuristic;
 pub use coprime::{transpose_coprime_par, transpose_coprime_seq, transpose_matrix_coprime};

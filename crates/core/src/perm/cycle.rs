@@ -42,11 +42,26 @@ impl TransposePerm {
     /// Create the permutation for a `rows × cols` transposition.
     ///
     /// # Panics
-    /// Panics if `rows == 0 || cols == 0`.
+    /// Panics if `rows == 0 || cols == 0`, or if `rows·cols` overflows
+    /// `usize` (the index arithmetic would silently wrap — see
+    /// [`crate::check`]).
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "degenerate matrix {rows}x{cols}");
-        Self { rows, cols }
+        Self::try_new(rows, cols)
+            .unwrap_or_else(|| panic!("degenerate or oversized matrix {rows}x{cols}"))
+    }
+
+    /// Non-panicking constructor: `None` when a dimension is zero or the
+    /// element count `rows·cols` does not fit `usize` (on which every
+    /// cycle-following index computation would wrap).
+    #[must_use]
+    pub fn try_new(rows: usize, cols: usize) -> Option<Self> {
+        if rows == 0 || cols == 0 {
+            return None;
+        }
+        let words = crate::check::checked_words(rows, cols)?;
+        usize::try_from(words).ok()?;
+        Some(Self { rows, cols })
     }
 
     /// Total number of elements `rows·cols`.
@@ -443,6 +458,26 @@ mod tests {
         for (k, _) in p.leaders() {
             let cyc = p.cycle_from(k);
             assert_eq!(*cyc.iter().min().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn construction_is_checked_at_the_overflow_boundary() {
+        // Zero dims are rejected, not wrapped into nonsense.
+        assert_eq!(TransposePerm::try_new(0, 5), None);
+        assert_eq!(TransposePerm::try_new(5, 0), None);
+        // Just past the u32 element-count boundary: construction must
+        // succeed on 64-bit and index math must stay exact (a 32-bit wrap
+        // would make dest(1) = 65_536·65_537·… nonsense).
+        if usize::BITS >= 64 {
+            let p = TransposePerm::try_new(65_536, 65_537).expect("fits u64");
+            assert_eq!(p.len() as u64, 4_295_032_832);
+            // dest(1) = rows, exact — and the last element is a fixed point.
+            assert_eq!(p.dest(1), 65_536);
+            assert_eq!(p.dest(p.modulus()), p.modulus());
+            assert_eq!(p.src(p.dest(12_345_678_901 % p.len())), 12_345_678_901 % p.len());
+            // usize::MAX × 2 elements cannot be represented → typed refusal.
+            assert_eq!(TransposePerm::try_new(usize::MAX, 2), None);
         }
     }
 

@@ -105,6 +105,18 @@ impl Timeline {
         self.spans.iter().filter(|s| s.engine == engine).map(|s| s.end_s - s.start_s).sum()
     }
 
+    /// Start time of queue `q`'s first span, or `None` when the queue issued
+    /// no commands. `start − arrival` is a request's queue wait under
+    /// [`try_simulate_engines_at`].
+    #[must_use]
+    pub fn queue_start_s(&self, q: usize) -> Option<f64> {
+        self.spans
+            .iter()
+            .filter(|s| s.queue == q)
+            .map(|s| s.start_s)
+            .min_by(|a, b| a.partial_cmp(b).expect("span times are finite"))
+    }
+
     /// Replay the timeline onto a recorder: one queue-level span per
     /// scheduled command (shifted by `t0_s` onto the cumulative DES clock,
     /// one display track per engine) plus a per-engine busy-fraction gauge.
@@ -406,8 +418,27 @@ pub fn try_simulate_engines(
     setup_s: f64,
     queues: &[Vec<ECmd>],
 ) -> Result<Timeline, QueueError> {
+    try_simulate_engines_at(num_engines, setup_s, queues, &[])
+}
+
+/// [`try_simulate_engines`] with per-queue **arrival times**: queue `q` may
+/// not start before `arrivals[q]` (missing entries mean "available at
+/// `setup_s`"). This is how the serving layer models admission: a request
+/// that arrives while the engines are busy starts late, and the gap between
+/// its arrival and its first span is its queue wait.
+///
+/// # Errors
+/// Same as [`try_simulate_engines`].
+pub fn try_simulate_engines_at(
+    num_engines: usize,
+    setup_s: f64,
+    queues: &[Vec<ECmd>],
+    arrivals: &[f64],
+) -> Result<Timeline, QueueError> {
     let mut engine_free = vec![setup_s; num_engines];
-    let mut queue_ready: Vec<f64> = vec![setup_s; queues.len()];
+    let mut queue_ready: Vec<f64> = (0..queues.len())
+        .map(|q| setup_s.max(arrivals.get(q).copied().unwrap_or(setup_s)))
+        .collect();
     let mut next_idx: Vec<usize> = vec![0; queues.len()];
     let mut end_time: Vec<Vec<Option<f64>>> =
         queues.iter().map(|q| vec![None; q.len()]).collect();
@@ -564,6 +595,28 @@ mod tests {
         ];
         let tl = simulate_engines(2, 0.0, &queues);
         assert!((tl.total_s - 2.0).abs() < 1e-12, "b waits for a despite free engine");
+    }
+
+    #[test]
+    fn arrivals_delay_queues_and_expose_waits() {
+        let q = |e: usize| {
+            vec![ECmd { engine: e, duration_s: 1.0, label: "x".into(), wait: None }]
+        };
+        // Same engine, second queue arrives at t=0.25: it still waits for
+        // the engine (start 1.0), so its queue wait is 0.75.
+        let tl = try_simulate_engines_at(1, 0.0, &[q(0), q(0)], &[0.0, 0.25]).unwrap();
+        assert!((tl.total_s - 2.0).abs() < 1e-12);
+        assert!((tl.queue_start_s(1).unwrap() - 1.0).abs() < 1e-12);
+        // Distinct engines, late arrival dominates: starts exactly on arrival.
+        let tl = try_simulate_engines_at(2, 0.0, &[q(0), q(1)], &[0.0, 0.5]).unwrap();
+        assert!((tl.queue_start_s(1).unwrap() - 0.5).abs() < 1e-12);
+        assert!((tl.total_s - 1.5).abs() < 1e-12);
+        // No arrivals → identical to the plain variant.
+        let a = try_simulate_engines(2, 0.1, &[q(0), q(1)]).unwrap();
+        let b = try_simulate_engines_at(2, 0.1, &[q(0), q(1)], &[]).unwrap();
+        assert_eq!(a.total_s, b.total_s);
+        // An empty queue has no first span.
+        assert_eq!(tl.queue_start_s(7), None);
     }
 
     #[test]

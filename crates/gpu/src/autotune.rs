@@ -122,7 +122,7 @@ pub fn measure_tile(
     let mut sim = Sim::new(dev.clone(), rows * cols + plan_flag_words(&plan) + 64);
     let mut data = Matrix::iota(rows, cols).into_vec();
     let stats = transpose_on_device(&mut sim, &mut data, rows, cols, &plan, opts).ok()?;
-    let bytes = (rows * cols * 4) as f64;
+    let bytes = ipt_core::check::bytes_f64(rows, cols, 4);
     Some(TilePoint { tile, gbps: stats.throughput_gbps(bytes) })
 }
 
@@ -202,6 +202,45 @@ pub fn pruned_search_rec<R: Recorder>(
     (out, log)
 }
 
+/// Pick a tile for `rows × cols`, deterministically, never panicking.
+///
+/// Runs [`pruned_search_rec`] first; when the §7.4 candidate set measures
+/// empty (prime dimensions, degenerate bands, every candidate infeasible),
+/// falls back to [`TileHeuristic::select`]'s nearest-divisor choice without
+/// measurement — the fallback is recorded in the returned [`TuneLog`]
+/// (`measured == 0`, `chosen.gbps == 0.0`) and as an `autotune_fallback`
+/// trace event, so serving-layer plans built from it stay auditable.
+/// Returns `(None, log)` only when the shape has no usable tile at all.
+#[must_use]
+pub fn choose_tile_rec<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    heuristic: &TileHeuristic,
+    opts: &GpuOptions,
+    rec: &R,
+) -> (Option<TileConfig>, TuneLog) {
+    let (points, mut log) = pruned_search_rec(dev, rows, cols, heuristic, opts, rec);
+    if let Some(best) = points.first() {
+        return (Some(best.tile), log);
+    }
+    match heuristic.select(rows, cols) {
+        Some(tile) => {
+            rec.event(
+                0.0,
+                "autotune_fallback",
+                &format!("{rows}x{cols}: pruned set empty, heuristic tile ({}, {})", tile.m, tile.n),
+            );
+            log.chosen = Some(TileChoice { m: tile.m, n: tile.n, gbps: 0.0 });
+            (Some(tile), log)
+        }
+        None => {
+            rec.event(0.0, "autotune_fallback", &format!("{rows}x{cols}: no feasible tile"));
+            (None, log)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +307,53 @@ mod tests {
             .filter(|(scope, name, _)| scope.starts_with("autotune:pruned:") && *name == "gbps")
             .count();
         assert_eq!(measured_gauges, log.measured);
+    }
+
+    #[test]
+    fn choose_tile_measures_when_candidates_exist() {
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let h = TileHeuristic { shared_capacity_words: 3600, preferred_lo: 30, preferred_hi: 100 };
+        let (tile, log) = choose_tile_rec(&dev, ROWS, COLS, &h, &opts, &NoopRecorder);
+        let tile = tile.expect("720x180 has pruned candidates");
+        assert!(log.measured > 0);
+        let chosen = log.chosen.expect("measured search records a winner");
+        assert_eq!((chosen.m, chosen.n), (tile.m, tile.n));
+        assert!(chosen.gbps > 0.0);
+        // Determinism: same inputs, same tile.
+        let (again, _) = choose_tile_rec(&dev, ROWS, COLS, &h, &opts, &NoopRecorder);
+        assert_eq!(again, Some(tile));
+    }
+
+    #[test]
+    fn choose_tile_falls_back_without_measurement_on_empty_pruned_set() {
+        // A band nothing divides into: the §7.4 preferred window [50, 100]
+        // contains no divisor of 48 or 36, so the pruned set is empty, but
+        // the heuristic still has feasible tiles to select from.
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let h = TileHeuristic::default();
+        assert!(h.pruned_candidates(48, 36).is_empty(), "precondition: empty pruned set");
+        let rec = ipt_obs::TraceRecorder::new();
+        let (tile, log) = choose_tile_rec(&dev, 48, 36, &h, &opts, &rec);
+        let tile = tile.expect("48x36 has feasible tiles");
+        assert_eq!(Some(tile), h.select(48, 36), "fallback is the heuristic's pick");
+        assert_eq!(log.measured, 0, "fallback tile is unmeasured");
+        assert_eq!(log.chosen.map(|c| c.gbps), Some(0.0));
+        assert!(
+            rec.events().iter().any(|e| e.name == "autotune_fallback"),
+            "fallback must be observable"
+        );
+    }
+
+    #[test]
+    fn choose_tile_reports_prime_shapes_as_untileable() {
+        let dev = DeviceSpec::tesla_k20();
+        let opts = GpuOptions::tuned_for(&dev);
+        let (tile, log) =
+            choose_tile_rec(&dev, 127, 61, &TileHeuristic::default(), &opts, &NoopRecorder);
+        assert_eq!(tile, None, "prime dims have no nontrivial divisor tile");
+        assert_eq!(log.chosen, None);
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl HostReport {
 }
 
 fn matrix_bytes(rows: usize, cols: usize) -> f64 {
-    (rows * cols * 4) as f64
+    ipt_core::check::bytes_f64(rows, cols, 4)
 }
 
 /// Synchronous scheme: one queue, full H2D, all stages, full D2H.
@@ -249,7 +249,7 @@ fn run_host_async_body(
         let op3 = InstancedTranspose::new(n_np, ops[2].rows, ops[2].cols, ops[2].super_size);
         let st3 = crate::pipeline::run_instanced_public(sim, sub, flags, &op3, opts)?;
 
-        let d2h_bytes = (len * 4) as f64;
+        let d2h_bytes = len as f64 * 4.0;
         let mut cmds = Vec::new();
         let wait_stage1 = Some((0usize, 1usize)); // stage1 is queue 0, index 1
         cmds.push(QCmd {

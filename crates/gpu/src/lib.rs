@@ -20,7 +20,10 @@
 //! * [`autotune`] — §7.4 exhaustive / pruned tile search,
 //! * [`coprime`] — the general-dimension (prime-safe) decomposition the
 //!   paper's footnote 6 points at,
-//! * [`multi`] — the multi-GPU scheme of the paper's future-work section.
+//! * [`multi`] — the multi-GPU scheme of the paper's future-work section,
+//! * [`serve`] — a batched, plan-cached serving layer over all of the
+//!   above (bounded admission, same-shape coalescing, multi-device
+//!   sharding, recovery-chain execution).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod pipt;
 pub mod pttwac010;
 pub mod pttwac100;
 pub mod recover;
+pub mod serve;
 
 pub use autotune::{
     exhaustive_search, exhaustive_search_rec, measure_tile, pruned_search, pruned_search_rec,
@@ -63,8 +67,14 @@ pub use pipeline::{
     StageKernel, MAX_CYCLE_SCAN,
 };
 pub use recover::{
-    host_transpose, multiset_checksum, run_plan_validated, transpose_with_recovery, verify_exact,
-    RecoveryPath, RecoveryPolicy, RecoveryReport, StageRetryInfo, TransposeError, VerifyError,
+    host_transpose, host_transpose_elems, multiset_checksum, run_plan_validated,
+    transpose_scheme_with_recovery, transpose_with_recovery, transpose_with_recovery_elems,
+    verify_exact, verify_exact_elems, RecoveryPath, RecoveryPolicy, RecoveryReport,
+    StageRetryInfo, TransposeError, VerifyError,
+};
+pub use serve::{
+    build_plan, CachedPlan, PlanCache, PlanKey, RoundReport, ServeConfig, ServeRequest,
+    ServedResult, Server,
 };
 pub use pipt::PiptKernel;
 pub use pttwac010::Pttwac010;

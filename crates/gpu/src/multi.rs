@@ -42,6 +42,30 @@ pub enum LinkTopology {
     Private,
 }
 
+impl LinkTopology {
+    /// DES engine indices `(h2d, d2h)` that device `d` of `d_count`
+    /// transfers on. Engines `[0, d_count)` are per-device compute; shared
+    /// links append one H2D and one D2H engine, private links append a pair
+    /// per device. Shared by [`run_multi_gpu`] and the serving layer so
+    /// both describe the same hardware.
+    #[must_use]
+    pub fn link_engines(self, d_count: usize, d: usize) -> (usize, usize) {
+        match self {
+            LinkTopology::Shared => (d_count, d_count + 1),
+            LinkTopology::Private => (d_count + 2 * d, d_count + 2 * d + 1),
+        }
+    }
+
+    /// Total DES engine count for `d_count` devices under this topology.
+    #[must_use]
+    pub fn num_engines(self, d_count: usize) -> usize {
+        match self {
+            LinkTopology::Shared => d_count + 2,
+            LinkTopology::Private => 3 * d_count,
+        }
+    }
+}
+
 /// Result of a multi-GPU run.
 #[derive(Debug, Clone)]
 pub struct MultiReport {
@@ -158,15 +182,12 @@ pub fn run_multi_gpu(
 
     // Timeline: engines [0..D) = per-device compute; D = shared H2D link,
     // D+1 = shared D2H link (or 2 per device when private).
-    let block_bytes = (md * cols * 4) as f64;
+    let block_bytes = ipt_core::check::bytes_f64(md, cols, 4);
     let xfer = dev.pcie.transfer_time(block_bytes);
     let setup = dev.queue_create_overhead_s * d_count as f64;
     let queues: Vec<Vec<ECmd>> = (0..d_count)
         .map(|d| {
-            let (h2d_e, d2h_e) = match link {
-                LinkTopology::Shared => (d_count, d_count + 1),
-                LinkTopology::Private => (d_count + 2 * d, d_count + 2 * d + 1),
-            };
+            let (h2d_e, d2h_e) = link.link_engines(d_count, d);
             vec![
                 ECmd {
                     engine: h2d_e,
@@ -189,12 +210,8 @@ pub fn run_multi_gpu(
             ]
         })
         .collect();
-    let num_engines = match link {
-        LinkTopology::Shared => d_count + 2,
-        LinkTopology::Private => 3 * d_count,
-    };
-    let timeline = try_simulate_engines(num_engines, setup, &queues)?;
-    let bytes = (rows * cols * 4) as f64;
+    let timeline = try_simulate_engines(link.num_engines(d_count), setup, &queues)?;
+    let bytes = ipt_core::check::bytes_f64(rows, cols, 4);
     Ok(MultiReport {
         devices: d_count,
         link,

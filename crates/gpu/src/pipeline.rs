@@ -265,7 +265,7 @@ pub fn run_instanced_public(
 
 /// Time to clear `words` of flag storage (bandwidth-bound memset).
 fn memset_time(sim: &Sim, words: usize) -> f64 {
-    (words * 4) as f64 / (sim.device().peak_gbps * 1e9)
+    words as f64 * 4.0 / (sim.device().peak_gbps * 1e9)
 }
 
 fn moving_variant(sim: &Sim, opts: &GpuOptions, super_size: usize) -> Variant100 {

@@ -98,6 +98,12 @@ pub enum TransposeError {
         /// The last error observed.
         last: Box<TransposeError>,
     },
+    /// The serving layer's bounded admission queue is full: the request was
+    /// refused, not silently dropped — the caller should drain and resubmit.
+    Backpressure {
+        /// Configured queue capacity that was hit.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for TransposeError {
@@ -118,6 +124,9 @@ impl std::fmt::Display for TransposeError {
             TransposeError::Verify(e) => write!(f, "{e}"),
             TransposeError::RecoveryExhausted { attempts, last } => {
                 write!(f, "recovery exhausted after {attempts} attempts; last error: {last}")
+            }
+            TransposeError::Backpressure { capacity } => {
+                write!(f, "admission queue full ({capacity} requests): backpressure")
             }
         }
     }
@@ -321,15 +330,31 @@ pub fn verify_exact(
     rows: usize,
     cols: usize,
 ) -> Result<(), VerifyError> {
+    verify_exact_elems(src, result, rows, cols, 1)
+}
+
+/// [`verify_exact`] for super-elements of `elem_words` 32-bit words each
+/// (e.g. 2 for `f64`): the permutation acts on element indices, each
+/// element's words travel together.
+///
+/// # Errors
+/// [`VerifyError`] naming the first mismatching element.
+pub fn verify_exact_elems(
+    src: &[u32],
+    result: &[u32],
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+) -> Result<(), VerifyError> {
     let perm = TransposePerm::new(rows, cols);
-    for (k, &v) in src.iter().enumerate() {
+    for (k, chunk) in src.chunks_exact(elem_words).enumerate() {
         let d = perm.dest(k);
-        if result[d] != v {
+        let got = &result[d * elem_words..(d + 1) * elem_words];
+        if got != chunk {
             return Err(VerifyError {
                 stage: None,
                 detail: format!(
-                    "source offset {k} should land at {d} with value {v}, found {}",
-                    result[d]
+                    "source element {k} should land at {d} with words {chunk:?}, found {got:?}"
                 ),
             });
         }
@@ -340,10 +365,22 @@ pub fn verify_exact(
 /// Sequential host transposition — the reference path of last resort.
 #[must_use]
 pub fn host_transpose(src: &[u32], rows: usize, cols: usize) -> Vec<u32> {
+    host_transpose_elems(src, rows, cols, 1)
+}
+
+/// [`host_transpose`] for super-elements of `elem_words` words each.
+#[must_use]
+pub fn host_transpose_elems(
+    src: &[u32],
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+) -> Vec<u32> {
     let perm = TransposePerm::new(rows, cols);
     let mut out = vec![0u32; src.len()];
-    for (k, &v) in src.iter().enumerate() {
-        out[perm.dest(k)] = v;
+    for (k, chunk) in src.chunks_exact(elem_words).enumerate() {
+        let d = perm.dest(k);
+        out[d * elem_words..(d + 1) * elem_words].copy_from_slice(chunk);
     }
     out
 }
@@ -456,12 +493,45 @@ pub fn transpose_with_recovery(
     opts: &GpuOptions,
     policy: &RecoveryPolicy,
 ) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
-    if host_data.len() != rows * cols {
+    transpose_with_recovery_elems(sim, host_data, rows, cols, 1, plan, opts, policy)
+}
+
+/// [`transpose_with_recovery`] for super-elements of `elem_words` 32-bit
+/// words each (2 for `f64`): `plan` is element-granular and is scaled with
+/// [`crate::pipeline::scale_plan_words`] before execution; validation and
+/// verification act on whole elements. The out-of-place kernel fallback is
+/// word-granular, so for `elem_words > 1` the chain skips straight from
+/// conservative options to the host path.
+///
+/// # Errors
+/// Same contract as [`transpose_with_recovery`].
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_with_recovery_elems(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
+    if elem_words == 0 {
+        return Err(TransposeError::InvalidConfig { what: "elem_words must be ≥ 1".into() });
+    }
+    let Some(words_total) = ipt_core::check::checked_bytes(rows, cols, elem_words)
+        .and_then(|w| usize::try_from(w).ok())
+    else {
+        return Err(TransposeError::InvalidConfig {
+            what: format!("{rows}×{cols}×{elem_words} words overflows the address space"),
+        });
+    };
+    if host_data.len() != words_total {
         return Err(TransposeError::InvalidConfig {
             what: format!(
-                "host data has {} words but the matrix is {rows}×{cols} = {} words",
+                "host data has {} words but the matrix is {rows}×{cols} elements of \
+                 {elem_words} words = {words_total} words",
                 host_data.len(),
-                rows * cols
             ),
         });
     }
@@ -473,7 +543,14 @@ pub fn transpose_with_recovery(
             ),
         });
     }
-    let words = rows * cols;
+    let scaled;
+    let plan = if elem_words == 1 {
+        plan
+    } else {
+        scaled = crate::pipeline::scale_plan_words(plan, elem_words);
+        &scaled
+    };
+    let words = words_total;
     let flag_words = plan_flag_words(plan).max(1);
     let data = sim.try_alloc(words).ok_or(TransposeError::DeviceOom {
         need: words,
@@ -498,7 +575,7 @@ pub fn transpose_with_recovery(
     let primary = run_plan_validated(sim, data, flags, plan, opts, policy).and_then(
         |(stats, info)| {
             let result = sim.download_u32(data);
-            verify_exact(&original, &result, rows, cols)?;
+            verify_exact_elems(&original, &result, rows, cols, elem_words)?;
             Ok((stats, info, result))
         },
     );
@@ -524,7 +601,7 @@ pub fn transpose_with_recovery(
     if let Ok((stats, info, result)) = run_plan_validated(sim, data, flags, plan, &conservative, policy)
         .and_then(|(stats, info)| {
             let result = sim.download_u32(data);
-            verify_exact(&original, &result, rows, cols)?;
+            verify_exact_elems(&original, &result, rows, cols, elem_words)?;
             Ok((stats, info, result))
         })
     {
@@ -535,26 +612,186 @@ pub fn transpose_with_recovery(
 
     // Fallback 2: out-of-place kernel, if the device can hold a second
     // copy. Allocation failure is not an error here — just the signal to
-    // keep degrading.
+    // keep degrading. The kernel moves single words, so it only applies to
+    // word-sized elements.
     sim.upload_u32(data, &original);
     report.path = RecoveryPath::OutOfPlace;
-    if let Some(dst) = sim.try_alloc(words) {
-        let oop = crate::oop::OopTranspose { src: data, dst, rows, cols };
-        if let Ok(stats) = sim.launch(&oop) {
-            let result = sim.download_u32(dst);
-            if verify_exact(&original, &result, rows, cols).is_ok() {
-                sim.upload_u32(data, &result);
-                let pipeline = PipelineStats { stages: vec![stats], overhead_s: 0.0 };
-                return Ok(record_outcome(&mut report, sim, pipeline, result));
+    if elem_words == 1 {
+        if let Some(dst) = sim.try_alloc(words) {
+            let oop = crate::oop::OopTranspose { src: data, dst, rows, cols };
+            if let Ok(stats) = sim.launch(&oop) {
+                let result = sim.download_u32(dst);
+                if verify_exact(&original, &result, rows, cols).is_ok() {
+                    sim.upload_u32(data, &result);
+                    let pipeline = PipelineStats { stages: vec![stats], overhead_s: 0.0 };
+                    return Ok(record_outcome(&mut report, sim, pipeline, result));
+                }
             }
         }
     }
 
     // Fallback 3: sequential host transposition — cannot fail.
     report.path = RecoveryPath::HostSequential;
-    let result = host_transpose(&original, rows, cols);
+    let result = host_transpose_elems(&original, rows, cols, elem_words);
     sim.upload_u32(data, &result);
     Ok(record_outcome(&mut report, sim, PipelineStats::default(), result))
+}
+
+/// Execute a typed [`PlanDecision`](ipt_core::PlanDecision) with the full
+/// recovery contract — the single entry point the serving layer uses, so
+/// **every** scheme (including the degenerate and prime-shape
+/// short-circuits) flows through verified recovery:
+///
+/// * [`Scheme::Identity`](ipt_core::Scheme): row/column vectors are their
+///   own transpose in memory — the data is returned unchanged with a clean
+///   report (nothing to verify, nothing can fail),
+/// * [`Scheme::Coprime`](ipt_core::Scheme): the two-phase device kernels
+///   with an element-exact check; on failure (e.g. a row/column too long
+///   for local memory) the chain degrades to the out-of-place kernel and
+///   then the host path,
+/// * every staged scheme (`staged`, `gcd-tiled`, `square-tiled`,
+///   `single-stage`): [`transpose_with_recovery_elems`] on the decision's
+///   plan.
+///
+/// `elem_words` is the element size in 32-bit words (1 for `f32`/`u32`,
+/// 2 for `f64`). Coprime device kernels are word-granular, so wide
+/// elements on a coprime shape go straight to the (verified) host path.
+///
+/// # Errors
+/// [`TransposeError`] on configuration errors, or any pipeline error when
+/// `policy.allow_fallback` is off.
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_scheme_with_recovery(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+    decision: &ipt_core::PlanDecision,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
+    use ipt_core::Scheme;
+    if elem_words == 0 {
+        return Err(TransposeError::InvalidConfig { what: "elem_words must be ≥ 1".into() });
+    }
+    let Some(words) = ipt_core::check::checked_bytes(rows, cols, elem_words)
+        .and_then(|w| usize::try_from(w).ok())
+    else {
+        return Err(TransposeError::InvalidConfig {
+            what: format!("{rows}×{cols}×{elem_words} words overflows the address space"),
+        });
+    };
+    if host_data.len() != words {
+        return Err(TransposeError::InvalidConfig {
+            what: format!(
+                "host data has {} words but the matrix needs {words} ({rows}×{cols} elements \
+                 of {elem_words} words)",
+                host_data.len(),
+            ),
+        });
+    }
+
+    match decision.scheme {
+        // Degenerate short-circuit: a 1×n or m×1 matrix transposes to
+        // itself in linear storage. No device work, no failure modes.
+        Scheme::Identity => Ok((PipelineStats::default(), RecoveryReport::new(RecoveryPath::Primary))),
+
+        Scheme::Coprime => {
+            if !ipt_core::coprime::is_coprime_shape(rows, cols) {
+                return Err(TransposeError::InvalidConfig {
+                    what: format!(
+                        "decision says coprime but gcd({rows}, {cols}) ≠ 1 — stale decision?"
+                    ),
+                });
+            }
+            let mut report = RecoveryReport::new(RecoveryPath::Primary);
+            let original = host_data.clone();
+            // Word-sized elements: the two-phase device kernels.
+            if elem_words == 1 {
+                let data = sim.try_alloc(words).ok_or(TransposeError::DeviceOom {
+                    need: words,
+                    free: sim.free_words(),
+                })?;
+                sim.upload_u32(data, &original);
+                let attempt = crate::coprime::transpose_coprime_on_device(
+                    sim,
+                    data,
+                    rows,
+                    cols,
+                    opts.wg_size,
+                )
+                .map_err(TransposeError::from)
+                .and_then(|stats| {
+                    let result = sim.download_u32(data);
+                    verify_exact(&original, &result, rows, cols)?;
+                    Ok((stats, result))
+                });
+                match attempt {
+                    Ok((stats, result)) => {
+                        report.faults = sim.fault_records();
+                        *host_data = result;
+                        return Ok((stats, report));
+                    }
+                    Err(e) => {
+                        if !policy.allow_fallback {
+                            return Err(e);
+                        }
+                        report.primary_error = Some(e.to_string());
+                    }
+                }
+                // Out-of-place fallback, if a second copy fits.
+                sim.upload_u32(data, &original);
+                report.path = RecoveryPath::OutOfPlace;
+                if let Some(dst) = sim.try_alloc(words) {
+                    let oop = crate::oop::OopTranspose { src: data, dst, rows, cols };
+                    if let Ok(stats) = sim.launch(&oop) {
+                        let result = sim.download_u32(dst);
+                        if verify_exact(&original, &result, rows, cols).is_ok() {
+                            sim.upload_u32(data, &result);
+                            report.faults = sim.fault_records();
+                            *host_data = result;
+                            return Ok((
+                                PipelineStats { stages: vec![stats], overhead_s: 0.0 },
+                                report,
+                            ));
+                        }
+                    }
+                }
+            } else {
+                if !policy.allow_fallback {
+                    return Err(TransposeError::InvalidConfig {
+                        what: format!(
+                            "coprime device kernels are word-granular; {elem_words}-word \
+                             elements need the host fallback, which the policy disallows"
+                        ),
+                    });
+                }
+                report.primary_error = Some(
+                    "coprime device kernels are word-granular; wide elements served by the \
+                     host path"
+                        .into(),
+                );
+            }
+            // Host tail — cannot fail.
+            report.path = RecoveryPath::HostSequential;
+            report.faults = sim.fault_records();
+            *host_data = host_transpose_elems(&original, rows, cols, elem_words);
+            Ok((PipelineStats::default(), report))
+        }
+
+        // Staged family: square-tiled, heuristic staged, gcd-tiled and the
+        // conservative single-stage all execute as (possibly degenerate)
+        // stage plans under the standard validated-recovery chain.
+        Scheme::SquareTiled | Scheme::Staged | Scheme::GcdTiled | Scheme::SingleStage => {
+            let plan = decision
+                .staged_plan(rows, cols)
+                .expect("staged-family schemes always yield a plan");
+            transpose_with_recovery_elems(
+                sim, host_data, rows, cols, elem_words, &plan, opts, policy,
+            )
+        }
+    }
 }
 
 #[cfg(test)]
@@ -780,5 +1017,176 @@ mod tests {
         let out = host_transpose(&src, 7, 13);
         assert_eq!(out, Matrix::iota(7, 13).transposed().into_vec());
         verify_exact(&src, &out, 7, 13).unwrap();
+    }
+
+    #[test]
+    fn elems_host_transpose_moves_whole_elements() {
+        // 3×5 of 2-word elements: words [2k, 2k+1] must travel together.
+        let src: Vec<u32> = (0..30).collect();
+        let out = host_transpose_elems(&src, 3, 5, 2);
+        let perm = TransposePerm::new(3, 5);
+        for k in 0..15 {
+            let d = perm.dest(k);
+            assert_eq!(out[2 * d], src[2 * k]);
+            assert_eq!(out[2 * d + 1], src[2 * k + 1]);
+        }
+        verify_exact_elems(&src, &out, 3, 5, 2).unwrap();
+        // A torn element (words swapped) must fail element verification.
+        let mut torn = out.clone();
+        torn.swap(0, 1);
+        assert!(verify_exact_elems(&src, &torn, 3, 5, 2).is_err());
+    }
+
+    fn decide(rows: usize, cols: usize) -> ipt_core::PlanDecision {
+        ipt_core::decide_scheme(rows, cols, &ipt_core::TileHeuristic::default())
+    }
+
+    #[test]
+    fn scheme_recovery_identity_short_circuits() {
+        let d = decide(1, 513);
+        assert_eq!(d.scheme, ipt_core::Scheme::Identity);
+        // A deliberately tiny device: the identity path must not need it.
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 4);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(1, 513).into_vec();
+        let want = data.clone();
+        let (stats, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            1,
+            513,
+            1,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, want, "1×n transposes to itself in storage");
+        assert!(report.clean(), "{report:?}");
+        assert!(stats.stages.is_empty(), "no kernels ran");
+    }
+
+    #[test]
+    fn scheme_recovery_coprime_runs_on_device() {
+        let (r, c) = (127, 61);
+        let d = decide(r, c);
+        assert_eq!(d.scheme, ipt_core::Scheme::Coprime);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * r * c + 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(r, c).into_vec();
+        let want = Matrix::iota(r, c).transposed().into_vec();
+        let (stats, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            r,
+            c,
+            1,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, want);
+        assert_eq!(report.path, RecoveryPath::Primary);
+        assert_eq!(stats.stages.len(), 2, "row scramble + column shuffle");
+    }
+
+    #[test]
+    fn scheme_recovery_coprime_wide_elements_use_verified_host_path() {
+        let (r, c) = (127, 61);
+        let d = decide(r, c);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * 2 * r * c + 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data: Vec<u32> = (0..2 * r * c).map(|x| x as u32) .collect();
+        let original = data.clone();
+        let (_, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            r,
+            c,
+            2,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, host_transpose_elems(&original, r, c, 2));
+        assert_eq!(report.path, RecoveryPath::HostSequential);
+        assert!(report.primary_error.is_some(), "fallback is recorded, never silent");
+    }
+
+    #[test]
+    fn scheme_recovery_prime_square_degrades_to_single_stage_plan() {
+        // 61 is prime and 61² exceeds the tile budget → square-tiled scheme
+        // with no tile, executed as a verified single-stage plan.
+        let d = decide(61, 61);
+        assert_eq!(d.scheme, ipt_core::Scheme::SquareTiled);
+        assert_eq!(d.tile, None);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 4 * 61 * 61 + 16_384);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(61, 61).into_vec();
+        let want = Matrix::iota(61, 61).transposed().into_vec();
+        let (_, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            61,
+            61,
+            1,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, want);
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn wide_element_staged_recovery_verifies() {
+        let plan = plan_72x60();
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 4 * 72 * 60 + 32_768);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data: Vec<u32> = (0..2 * 72 * 60).map(|x| (x * 7 + 3) as u32).collect();
+        let original = data.clone();
+        let (_, report) = transpose_with_recovery_elems(
+            &mut sim,
+            &mut data,
+            72,
+            60,
+            2,
+            &plan,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, host_transpose_elems(&original, 72, 60, 2));
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn scheme_recovery_stale_coprime_decision_is_typed() {
+        use ipt_core::{FallbackReason, PlanDecision, Scheme};
+        // A hand-forged decision that lies about coprimality must be a
+        // typed error, not a panic.
+        let bogus = PlanDecision {
+            scheme: Scheme::Coprime,
+            reason: FallbackReason::NoFeasibleTile { rows: 64, cols: 48 },
+            tile: None,
+        };
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 64 * 48 + 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(64, 48).into_vec();
+        let err = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            64,
+            48,
+            1,
+            &bogus,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransposeError::InvalidConfig { .. }), "{err}");
     }
 }

@@ -1,0 +1,733 @@
+//! Batched, plan-cached transposition serving layer.
+//!
+//! A long-lived [`Server`] accepts a stream of transpose requests
+//! ([`ServeRequest`]), memoizes planning + autotuning work in a concurrent
+//! [`PlanCache`] keyed by `(rows, cols, elem_bytes, device, scheme)`, and
+//! coalesces same-shape requests into batched launches sharded across the
+//! multi-device DES machinery of [`crate::multi`]. Admission is bounded:
+//! past `queue_capacity` pending requests, [`Server::submit`] refuses with
+//! [`TransposeError::Backpressure`] instead of growing without bound.
+//!
+//! Every request still flows through the verified recovery chain
+//! ([`crate::recover::transpose_scheme_with_recovery`]) — the cache
+//! memoizes *plans*, never results — and the whole layer is traced through
+//! [`ipt_obs`]: plan-cache hit/miss counters, batch occupancy, per-batch
+//! queue-wait, and one `Algorithm`-level span per request.
+//!
+//! The point of the cache is amortization: a serving workload repeats a
+//! small set of shapes, so the §7.4 pruned autotune search runs once per
+//! distinct shape instead of once per request. `repro serve` measures the
+//! resulting throughput against the per-request-autotune baseline
+//! (`cache_plans = false`).
+
+use crate::autotune::{choose_tile_rec, TuneLog};
+use crate::multi::LinkTopology;
+use crate::opts::GpuOptions;
+use crate::pipeline::plan_flag_words;
+use crate::recover::{
+    transpose_scheme_with_recovery, RecoveryPolicy, RecoveryReport, TransposeError,
+};
+use gpu_sim::{try_simulate_engines_at, DeviceSpec, ECmd, Sim, Timeline};
+use ipt_core::stages::StagePlan;
+use ipt_core::tiles::TileHeuristic;
+use ipt_core::{decide_scheme, PlanDecision, Scheme};
+use ipt_obs::{Counter, Level, Recorder};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Plan-cache key: everything a cached plan depends on. Two requests with
+/// equal keys are guaranteed to plan identically (planning is
+/// deterministic), so sharing the cached plan cannot change results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix cols.
+    pub cols: usize,
+    /// Element width in bytes (4 or 8).
+    pub elem_bytes: usize,
+    /// Simulated device name the tune ran on.
+    pub device: &'static str,
+    /// Scheme the planner selected (part of the key so a heuristic change
+    /// that re-routes a shape can never alias a stale entry).
+    pub scheme: Scheme,
+}
+
+/// One memoized planning outcome: the scheme decision, the autotune log
+/// that produced the tile (when the scheme is tiled), and the staged plan
+/// ready to execute.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The (possibly tuned) scheme decision.
+    pub decision: PlanDecision,
+    /// What the autotune search did — `TuneLog::default()` for schemes
+    /// that need no tuning (identity, coprime).
+    pub tune: TuneLog,
+    /// The executable plan, `None` for identity / coprime schemes.
+    pub plan: Option<StagePlan>,
+}
+
+/// Concurrent memoization of [`CachedPlan`]s with hit/miss accounting.
+///
+/// Thread-safe by construction (`Mutex` map + atomic counters) so a future
+/// multi-threaded front-end can share one cache; the current [`Server`]
+/// drives it single-threaded.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Fresh empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `key`, building and inserting via `build` on a miss.
+    /// Returns the plan and whether this was a hit.
+    pub fn get_or_build(
+        &self,
+        key: &PlanKey,
+        build: impl FnOnce() -> CachedPlan,
+    ) -> (Arc<CachedPlan>, bool) {
+        if let Some(hit) = self.map.lock().expect("plan cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        // Build outside the lock: autotuning is seconds of work and the
+        // planner is deterministic, so a racing duplicate build is merely
+        // redundant, never wrong.
+        let built = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        let entry = map.entry(key.clone()).or_insert_with(|| Arc::clone(&built));
+        (Arc::clone(entry), false)
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= distinct keys built) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]` (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 { 0.0 } else { h / (h + m) }
+    }
+}
+
+/// Build the plan for one key: scheme decision, then — for the staged
+/// scheme — the §7.4 pruned autotune search (the expensive part the cache
+/// amortizes). Deterministic and total: every shape gets a plan decision,
+/// prime shapes route to coprime/host fallbacks instead of panicking.
+#[must_use]
+pub fn build_plan<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    heuristic: &TileHeuristic,
+    opts: &GpuOptions,
+    rec: &R,
+) -> CachedPlan {
+    let mut decision = decide_scheme(rows, cols, heuristic);
+    let mut tune = TuneLog::default();
+    if decision.scheme == Scheme::Staged {
+        let (tile, log) = choose_tile_rec(dev, rows, cols, heuristic, opts, rec);
+        tune = log;
+        if tile.is_some() {
+            decision.tile = tile;
+        }
+    }
+    let plan = decision.staged_plan(rows, cols);
+    CachedPlan { decision, tune, plan }
+}
+
+/// One transposition request.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen request id, echoed in the result.
+    pub id: u64,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix cols.
+    pub cols: usize,
+    /// Element width in bytes: 4 (f32/u32) or 8 (f64 as two words).
+    pub elem_bytes: usize,
+    /// Row-major payload, packed as 32-bit words
+    /// (`rows * cols * elem_bytes / 4` of them).
+    pub data: Vec<u32>,
+}
+
+/// One served result.
+#[derive(Debug, Clone)]
+pub struct ServedResult {
+    /// Echo of [`ServeRequest::id`].
+    pub id: u64,
+    /// Transposed payload (same packing as the request).
+    pub data: Vec<u32>,
+    /// Scheme the plan used.
+    pub scheme: Scheme,
+    /// Whether planning was served from cache.
+    pub cache_hit: bool,
+    /// Device index the batch ran on.
+    pub device: usize,
+    /// Recovery report from the execution chain.
+    pub recovery: RecoveryReport,
+    /// Simulated seconds this request's batch waited for its engines.
+    pub queue_wait_s: f64,
+    /// Simulated device-side seconds this request's kernels took
+    /// (0 for the identity short-circuit).
+    pub service_s: f64,
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission bound: pending requests past this refuse with
+    /// [`TransposeError::Backpressure`].
+    pub queue_capacity: usize,
+    /// Max same-shape requests coalesced into one batched launch.
+    pub max_batch: usize,
+    /// Simulated device count the batches shard across.
+    pub devices: usize,
+    /// PCIe topology of the device set.
+    pub link: LinkTopology,
+    /// Tile heuristic driving scheme decisions and the pruned search.
+    pub heuristic: TileHeuristic,
+    /// Kernel options (claim protocol, work-group sizes).
+    pub opts: GpuOptions,
+    /// Recovery policy every request executes under.
+    pub policy: RecoveryPolicy,
+    /// `false` disables memoization: every request replans (and re-tunes)
+    /// from scratch — the honest per-request baseline `repro serve`
+    /// compares against.
+    pub cache_plans: bool,
+}
+
+impl ServeConfig {
+    /// Sensible defaults for `dev`: 64-deep admission queue, batches of 8,
+    /// two devices behind a shared link, caching on.
+    #[must_use]
+    pub fn new(dev: &DeviceSpec) -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 8,
+            devices: 2,
+            link: LinkTopology::Shared,
+            heuristic: TileHeuristic { preferred_lo: 10, ..TileHeuristic::default() },
+            opts: GpuOptions::tuned_for(dev),
+            policy: RecoveryPolicy::default(),
+            cache_plans: true,
+        }
+    }
+}
+
+/// Summary of one [`Server::process_round`] call.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Results, in completion order (batch DES order).
+    pub results: Vec<ServedResult>,
+    /// Batched launches this round (identity requests never launch).
+    pub batches: usize,
+    /// Mean requests per launched batch (0.0 when nothing launched).
+    pub mean_occupancy: f64,
+    /// Simulated end-to-end seconds of the round's DES timeline.
+    pub sim_total_s: f64,
+    /// DES timeline of the round's launches.
+    pub timeline: Timeline,
+}
+
+/// The batched, plan-cached transposition service.
+///
+/// Single-threaded driver over a thread-safe [`PlanCache`]; requests are
+/// admitted with [`Server::submit`] (bounded) and executed in rounds with
+/// [`Server::process_round`], which batches same-shape requests and shards
+/// the batches round-robin across the configured simulated devices.
+pub struct Server {
+    dev: DeviceSpec,
+    cfg: ServeConfig,
+    cache: PlanCache,
+    pending: VecDeque<(ServeRequest, f64)>,
+    clock_s: f64,
+    next_device: usize,
+}
+
+impl Server {
+    /// New server over `devices` simulated copies of `dev`.
+    #[must_use]
+    pub fn new(dev: DeviceSpec, cfg: ServeConfig) -> Self {
+        Self { dev, cfg, cache: PlanCache::new(), pending: VecDeque::new(), clock_s: 0.0, next_device: 0 }
+    }
+
+    /// The plan cache (hit/miss inspection).
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Server clock: simulated seconds of service so far.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Pending (admitted, not yet processed) request count.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admit one request.
+    ///
+    /// # Errors
+    ///
+    /// [`TransposeError::Backpressure`] when the admission queue is full —
+    /// the caller should `process_round` (or drop load) and retry.
+    /// [`TransposeError::InvalidConfig`] for unsupported element widths or
+    /// a payload that disagrees with the declared shape.
+    pub fn submit<R: Recorder>(
+        &mut self,
+        req: ServeRequest,
+        rec: &R,
+    ) -> Result<(), TransposeError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            rec.add("serve", Counter::AdmissionRejections, 1);
+            return Err(TransposeError::Backpressure { capacity: self.cfg.queue_capacity });
+        }
+        if req.elem_bytes != 4 && req.elem_bytes != 8 {
+            return Err(TransposeError::InvalidConfig {
+                what: format!("unsupported elem_bytes {} (want 4 or 8)", req.elem_bytes),
+            });
+        }
+        let words = ipt_core::check::checked_bytes(req.rows, req.cols, req.elem_bytes / 4)
+            .and_then(|w| usize::try_from(w).ok())
+            .ok_or_else(|| TransposeError::InvalidConfig {
+                what: format!("{}x{} overflows the address space", req.rows, req.cols),
+            })?;
+        if req.data.len() != words {
+            return Err(TransposeError::InvalidConfig {
+                what: format!(
+                    "payload is {} words, shape {}x{} elem {} needs {words}",
+                    req.data.len(),
+                    req.rows,
+                    req.cols,
+                    req.elem_bytes
+                ),
+            });
+        }
+        self.pending.push_back((req, self.clock_s));
+        Ok(())
+    }
+
+    /// Drain the backlog: batch same-shape requests, shard batches across
+    /// devices, execute every request through the recovery chain, and
+    /// advance the server clock by the round's DES timeline.
+    ///
+    /// # Errors
+    ///
+    /// Only unrecoverable per-request failures propagate (e.g. an invalid
+    /// plan the recovery chain rejects); recoverable faults are absorbed
+    /// and reported per result.
+    pub fn process_round<R: Recorder>(
+        &mut self,
+        rec: &R,
+    ) -> Result<RoundReport, TransposeError> {
+        let round_start = self.clock_s;
+        let drained: Vec<(ServeRequest, f64)> = self.pending.drain(..).collect();
+
+        // Coalesce same-shape requests, preserving arrival order within a
+        // shape class.
+        let mut groups: Vec<(PlanKey, Vec<(ServeRequest, f64)>)> = Vec::new();
+        for (req, at) in drained {
+            let decision = decide_scheme(req.rows, req.cols, &self.cfg.heuristic);
+            let key = PlanKey {
+                rows: req.rows,
+                cols: req.cols,
+                elem_bytes: req.elem_bytes,
+                device: self.dev.name,
+                scheme: decision.scheme,
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push((req, at)),
+                None => groups.push((key, vec![(req, at)])),
+            }
+        }
+
+        let mut results: Vec<ServedResult> = Vec::new();
+        // One DES queue per launched batch: [H2D, compute, D2H].
+        let mut queues: Vec<Vec<ECmd>> = Vec::new();
+        let mut arrivals: Vec<f64> = Vec::new();
+        // (batch DES queue index, device, result indices) for wait back-fill.
+        let mut launched: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut batched_requests = 0u64;
+
+        for (key, members) in groups {
+            // With caching on, one lookup serves the whole group; the
+            // baseline mode replans per request — that is exactly the
+            // per-request autotuning cost the cache exists to amortize.
+            let group_plan =
+                if self.cfg.cache_plans { Some(self.lookup_plan(&key, rec)) } else { None };
+            for batch in members.chunks(self.cfg.max_batch) {
+                let device = self.next_device;
+                self.next_device = (self.next_device + 1) % self.cfg.devices;
+                let mut kernel_s = 0.0;
+                let mut batch_bytes = 0.0;
+                let mut idxs = Vec::with_capacity(batch.len());
+                let mut arrival = f64::INFINITY;
+                for (req, at) in batch {
+                    arrival = arrival.min(at - round_start);
+                    let (plan, hit) = match &group_plan {
+                        Some((p, h)) => (Arc::clone(p), *h),
+                        None => self.lookup_plan(&key, rec),
+                    };
+                    let (res, stats) = self.execute(req, &plan, hit, device, rec)?;
+                    kernel_s += stats.map_or(0.0, |s| s.time_s());
+                    batch_bytes +=
+                        ipt_core::check::bytes_f64(req.rows, req.cols, req.elem_bytes);
+                    idxs.push(results.len());
+                    results.push(res);
+                }
+                if key.scheme == Scheme::Identity {
+                    // Identity requests complete in-memory; no launch.
+                    continue;
+                }
+                let q = queues.len();
+                let (h2d_e, d2h_e) = self.cfg.link.link_engines(self.cfg.devices, device);
+                let xfer = self.dev.pcie.transfer_time(batch_bytes);
+                queues.push(vec![
+                    ECmd {
+                        engine: h2d_e,
+                        duration_s: xfer,
+                        label: format!("H2D batch {q}"),
+                        wait: None,
+                    },
+                    ECmd {
+                        engine: device,
+                        duration_s: kernel_s,
+                        label: format!("{} batch {q}", key.scheme.name()),
+                        wait: None,
+                    },
+                    ECmd {
+                        engine: d2h_e,
+                        duration_s: xfer,
+                        label: format!("D2H batch {q}"),
+                        wait: None,
+                    },
+                ]);
+                arrivals.push(arrival.max(0.0));
+                launched.push((q, idxs));
+                batched_requests += batch.len() as u64;
+            }
+        }
+
+        let setup = self.dev.queue_create_overhead_s;
+        let timeline = if queues.is_empty() {
+            Timeline { spans: Vec::new(), total_s: 0.0, setup_s: 0.0 }
+        } else {
+            try_simulate_engines_at(
+                self.cfg.link.num_engines(self.cfg.devices),
+                setup,
+                &queues,
+                &arrivals,
+            )?
+        };
+
+        // Back-fill per-request queue waits and emit per-request spans.
+        let mut total_wait_us = 0.0;
+        for (q, idxs) in &launched {
+            let start = timeline.queue_start_s(*q).unwrap_or(arrivals[*q]);
+            let wait = (start - arrivals[*q]).max(0.0);
+            total_wait_us += wait * 1e6 * idxs.len() as f64;
+            for &i in idxs {
+                results[i].queue_wait_s = wait;
+                if rec.enabled() {
+                    let t0 = (round_start + start) * 1e6;
+                    rec.span(
+                        Level::Algorithm,
+                        &format!("serve req {}", results[i].id),
+                        t0,
+                        (timeline.total_s - start).max(0.0) * 1e6,
+                        results[i].device as u32,
+                        &[("wait_us", wait * 1e6), ("cache_hit", f64::from(results[i].cache_hit))],
+                    );
+                }
+            }
+        }
+        self.clock_s += timeline.total_s;
+
+        let batches = launched.len();
+        rec.add("serve", Counter::BatchesLaunched, batches as u64);
+        rec.add("serve", Counter::BatchedRequests, batched_requests);
+        rec.add("serve", Counter::QueueWaitUs, total_wait_us as u64);
+        let mean_occupancy =
+            if batches == 0 { 0.0 } else { batched_requests as f64 / batches as f64 };
+        if rec.enabled() {
+            rec.gauge("serve", "batch_occupancy", mean_occupancy);
+        }
+        Ok(RoundReport {
+            results,
+            batches,
+            mean_occupancy,
+            sim_total_s: timeline.total_s,
+            timeline,
+        })
+    }
+
+    /// Plan lookup honoring `cache_plans`; records hit/miss counters.
+    fn lookup_plan<R: Recorder>(&self, key: &PlanKey, rec: &R) -> (Arc<CachedPlan>, bool) {
+        let build = || {
+            build_plan(&self.dev, key.rows, key.cols, &self.cfg.heuristic, &self.cfg.opts, rec)
+        };
+        let (plan, hit) = if self.cfg.cache_plans {
+            self.cache.get_or_build(key, build)
+        } else {
+            // Baseline mode: replan every time, keeping miss accounting.
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            (Arc::new(build()), false)
+        };
+        rec.add(
+            "serve",
+            if hit { Counter::PlanCacheHits } else { Counter::PlanCacheMisses },
+            1,
+        );
+        (plan, hit)
+    }
+
+    /// Execute one request through the recovery chain on a fresh simulator
+    /// for `device`. Returns the result and the device-side stats (`None`
+    /// for identity short-circuits).
+    fn execute<R: Recorder>(
+        &self,
+        req: &ServeRequest,
+        plan: &CachedPlan,
+        cache_hit: bool,
+        device: usize,
+        _rec: &R,
+    ) -> Result<(ServedResult, Option<gpu_sim::PipelineStats>), TransposeError> {
+        let elem_words = req.elem_bytes / 4;
+        let flag_words = plan.plan.as_ref().map_or(0, plan_flag_words);
+        // 2× data for the out-of-place recovery fallback, plus flag slack.
+        let capacity = 2 * req.data.len() + elem_words * flag_words + 256;
+        let mut sim = Sim::new(self.dev.clone(), capacity);
+        let mut data = req.data.clone();
+        let (stats, recovery) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            req.rows,
+            req.cols,
+            elem_words,
+            &plan.decision,
+            &self.cfg.opts,
+            &self.cfg.policy,
+        )?;
+        let stats =
+            if plan.decision.scheme == Scheme::Identity { None } else { Some(stats) };
+        Ok((
+            ServedResult {
+                id: req.id,
+                data,
+                scheme: plan.decision.scheme,
+                cache_hit,
+                device,
+                recovery,
+                queue_wait_s: 0.0,
+                service_s: stats.as_ref().map_or(0.0, gpu_sim::PipelineStats::time_s),
+            },
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::host_transpose_elems;
+    use ipt_obs::{NoopRecorder, TraceRecorder};
+
+    fn req(id: u64, rows: usize, cols: usize, elem_bytes: usize) -> ServeRequest {
+        let words = rows * cols * (elem_bytes / 4);
+        let data: Vec<u32> = (0..words as u32).map(|x| x.wrapping_mul(2654435761)).collect();
+        ServeRequest { id, rows, cols, elem_bytes, data }
+    }
+
+    fn check_round_trip(r: &ServedResult, original: &ServeRequest) {
+        if original.rows <= 1 || original.cols <= 1 {
+            assert_eq!(r.data, original.data, "identity must not move storage");
+            return;
+        }
+        let want = host_transpose_elems(
+            &original.data,
+            original.rows,
+            original.cols,
+            original.elem_bytes / 4,
+        );
+        assert_eq!(r.data, want, "request {} ({}x{})", r.id, original.rows, original.cols);
+    }
+
+    #[test]
+    fn mixed_shapes_round_trip_through_one_round() {
+        let dev = DeviceSpec::tesla_k20();
+        let cfg = ServeConfig::new(&dev);
+        let mut srv = Server::new(dev, cfg);
+        let rec = TraceRecorder::new();
+        // Staged, square, identity, coprime, wide-element staged.
+        let reqs = vec![
+            req(0, 72, 60, 4),
+            req(1, 60, 60, 4),
+            req(2, 1, 512, 4),
+            req(3, 127, 61, 4),
+            req(4, 72, 60, 8),
+            req(5, 72, 60, 4),
+        ];
+        for r in &reqs {
+            srv.submit(r.clone(), &rec).unwrap();
+        }
+        let round = srv.process_round(&rec).unwrap();
+        assert_eq!(round.results.len(), reqs.len());
+        for res in &round.results {
+            let original = reqs.iter().find(|r| r.id == res.id).unwrap();
+            check_round_trip(res, original);
+        }
+        // Two same-shape 72x60x4 requests coalesced into one batch.
+        let staged: Vec<_> = round
+            .results
+            .iter()
+            .filter(|r| {
+                let o = reqs.iter().find(|q| q.id == r.id).unwrap();
+                (o.rows, o.cols, o.elem_bytes) == (72, 60, 4)
+            })
+            .collect();
+        assert_eq!(staged.len(), 2);
+        assert_eq!(staged[0].device, staged[1].device, "same batch, same device");
+        // Identity ran without a launch: batches < shape classes.
+        assert!(round.batches >= 3 && round.mean_occupancy >= 1.0);
+        assert!(round.sim_total_s > 0.0);
+        assert!(srv.clock_s() > 0.0);
+        // Tracing: spans for launched requests, hit/miss counters add up.
+        let hits = rec.counter("serve", Counter::PlanCacheHits);
+        let misses = rec.counter("serve", Counter::PlanCacheMisses);
+        assert_eq!(hits + misses, 5, "one lookup per shape class");
+        assert_eq!(misses, 5, "first round is all cold");
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_rounds_and_plans_are_reused() {
+        let dev = DeviceSpec::tesla_k20();
+        let cfg = ServeConfig::new(&dev);
+        let mut srv = Server::new(dev, cfg);
+        let rec = NoopRecorder;
+        for round in 0..3 {
+            for i in 0..4u64 {
+                srv.submit(req(round * 10 + i, 72, 60, 4), &rec).unwrap();
+            }
+            let out = srv.process_round(&rec).unwrap();
+            assert!(out.results.iter().all(|r| (r.cache_hit) == (round > 0)));
+        }
+        assert_eq!(srv.cache().misses(), 1);
+        assert_eq!(srv.cache().hits(), 2);
+        assert!(srv.cache().hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn admission_is_bounded_with_typed_backpressure() {
+        let dev = DeviceSpec::tesla_k20();
+        let mut cfg = ServeConfig::new(&dev);
+        cfg.queue_capacity = 3;
+        let mut srv = Server::new(dev, cfg);
+        let rec = TraceRecorder::new();
+        for i in 0..3 {
+            srv.submit(req(i, 60, 60, 4), &rec).unwrap();
+        }
+        let err = srv.submit(req(99, 60, 60, 4), &rec).unwrap_err();
+        assert!(
+            matches!(err, TransposeError::Backpressure { capacity: 3 }),
+            "{err}"
+        );
+        assert_eq!(rec.counter("serve", Counter::AdmissionRejections), 1);
+        // Draining frees capacity.
+        srv.process_round(&rec).unwrap();
+        srv.submit(req(99, 60, 60, 4), &rec).unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_are_refused_with_typed_errors() {
+        let dev = DeviceSpec::tesla_k20();
+        let mut srv = Server::new(dev.clone(), ServeConfig::new(&dev));
+        let rec = NoopRecorder;
+        let mut bad = req(0, 60, 60, 4);
+        bad.elem_bytes = 3;
+        assert!(matches!(
+            srv.submit(bad, &rec).unwrap_err(),
+            TransposeError::InvalidConfig { .. }
+        ));
+        let mut short = req(1, 60, 60, 4);
+        short.data.pop();
+        assert!(matches!(
+            srv.submit(short, &rec).unwrap_err(),
+            TransposeError::InvalidConfig { .. }
+        ));
+        assert_eq!(srv.backlog(), 0);
+    }
+
+    #[test]
+    fn batches_shard_across_devices_and_split_at_max_batch() {
+        let dev = DeviceSpec::tesla_k20();
+        let mut cfg = ServeConfig::new(&dev);
+        cfg.max_batch = 2;
+        cfg.devices = 2;
+        let mut srv = Server::new(dev, cfg);
+        let rec = NoopRecorder;
+        for i in 0..6 {
+            srv.submit(req(i, 60, 60, 4), &rec).unwrap();
+        }
+        let round = srv.process_round(&rec).unwrap();
+        assert_eq!(round.batches, 3, "6 same-shape requests at max_batch=2");
+        let devices: std::collections::HashSet<usize> =
+            round.results.iter().map(|r| r.device).collect();
+        assert_eq!(devices.len(), 2, "round-robin must use both devices");
+        assert!((round.mean_occupancy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_plan_equals_fresh_plan_and_results_are_bit_identical() {
+        // Plan-cache determinism: the cached plan is the plan a fresh
+        // pruned search would produce, and outputs are bit-identical.
+        let dev = DeviceSpec::tesla_k20();
+        let cfg = ServeConfig::new(&dev);
+        let rec = NoopRecorder;
+        let fresh = build_plan(&dev, 72, 60, &cfg.heuristic, &cfg.opts, &rec);
+
+        let mut srv = Server::new(dev.clone(), cfg.clone());
+        let r = req(7, 72, 60, 4);
+        srv.submit(r.clone(), &rec).unwrap();
+        let first = srv.process_round(&rec).unwrap().results.remove(0);
+        srv.submit(r.clone(), &rec).unwrap();
+        let second = srv.process_round(&rec).unwrap().results.remove(0);
+
+        assert!(!first.cache_hit && second.cache_hit);
+        assert_eq!(first.data, second.data, "cached plan must not change results");
+        let key = PlanKey {
+            rows: 72,
+            cols: 60,
+            elem_bytes: 4,
+            device: dev.name,
+            scheme: Scheme::Staged,
+        };
+        let (cached, hit) = srv.cache().get_or_build(&key, || unreachable!("must be cached"));
+        assert!(hit);
+        assert_eq!(cached.decision, fresh.decision, "cached ≡ fresh pruned_search plan");
+    }
+}

@@ -1,0 +1,166 @@
+//! Properties for the degenerate/prime/remainder planning fixes and the
+//! serving layer:
+//!
+//! 1. For *any* shape — degenerate vectors, prime dimensions, squares,
+//!    non-divisible remainder shapes — the scheme-driven recovery chain
+//!    returns a verified-correct transposition with a typed, non-panicking
+//!    provenance (`decide_scheme` is total).
+//! 2. Plan-cache determinism: serving the same stream twice produces
+//!    bit-identical outputs, and a cached plan equals the plan a fresh
+//!    search would build.
+
+use gpu_sim::{DeviceSpec, Sim};
+use ipt_core::tiles::TileHeuristic;
+use ipt_core::{decide_scheme, FallbackReason, Scheme};
+use ipt_gpu::opts::GpuOptions;
+use ipt_gpu::pipeline::plan_flag_words;
+use ipt_gpu::recover::{host_transpose_elems, transpose_scheme_with_recovery, RecoveryPolicy};
+use ipt_gpu::serve::{build_plan, ServeConfig, ServeRequest, Server};
+use ipt_obs::NoopRecorder;
+use proptest::prelude::*;
+
+/// Shapes that historically broke planning: primes, degenerate vectors,
+/// squares (prime- and composite-sided), and remainder-heavy rectangles.
+fn tricky_dim() -> impl Strategy<Value = usize> {
+    // Weighted pool: degenerate (1, twice for weight), primes, composites
+    // with awkward divisors, and square-friendly sizes.
+    prop::sample::select(vec![
+        1usize, 1, 2, 3, 7, 13, 24, 31, 36, 45, 47, 50, 55, 60, 61, 64, 72, 77, 89, 91, 96,
+        100, 113, 127, 128,
+    ])
+}
+
+/// One scheme-driven recovering run; panics (test failure) on silent
+/// corruption, returns the scheme it routed through.
+fn round_trip(rows: usize, cols: usize, elem_words: usize, baseline_opts: bool) -> Scheme {
+    let heuristic = TileHeuristic { preferred_lo: 10, ..TileHeuristic::default() };
+    let decision = decide_scheme(rows, cols, &heuristic);
+    // Totality: every shape gets a scheme and a reason that describes it.
+    assert!(!decision.reason.describe().is_empty());
+    if decision.scheme != Scheme::Staged {
+        assert!(
+            decision.reason != FallbackReason::Preferred || rows == cols,
+            "{rows}x{cols}: non-staged routes must record why"
+        );
+    }
+
+    let words = rows * cols * elem_words;
+    let flag_words = decision.staged_plan(rows, cols).as_ref().map_or(0, plan_flag_words);
+    let mut sim =
+        Sim::new(DeviceSpec::tesla_k20(), 2 * words + elem_words * flag_words + 256);
+    let opts = if baseline_opts {
+        GpuOptions::baseline_for(sim.device())
+    } else {
+        GpuOptions::tuned_for(sim.device())
+    };
+    let src: Vec<u32> = (0..words as u32).map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+    let mut data = src.clone();
+    let (_, report) = transpose_scheme_with_recovery(
+        &mut sim,
+        &mut data,
+        rows,
+        cols,
+        elem_words,
+        &decision,
+        &opts,
+        &RecoveryPolicy::default(),
+    )
+    .expect("default policy ends in the infallible host path");
+    let want = if rows <= 1 || cols <= 1 {
+        src
+    } else {
+        host_transpose_elems(&src, rows, cols, elem_words)
+    };
+    assert_eq!(
+        data, want,
+        "{rows}x{cols} elem {elem_words} via {:?} ({:?}) corrupted data",
+        decision.scheme, report.path
+    );
+    decision.scheme
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any shape (degenerate, prime, square, remainder) round-trips
+    /// verified-correct under both tuned and conservative kernel options,
+    /// for 1- and 2-word elements.
+    #[test]
+    fn any_shape_round_trips_with_typed_provenance(
+        rows in tricky_dim(),
+        cols in tricky_dim(),
+        wide in any::<bool>(),
+        baseline_opts in any::<bool>(),
+    ) {
+        prop_assume!(rows * cols <= 12_000);
+        round_trip(rows, cols, if wide { 2 } else { 1 }, baseline_opts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving the same stream twice from fresh servers is bit-identical
+    /// (plan caching and batching introduce no nondeterminism), and the
+    /// second round of the same server serves from cache with identical
+    /// results.
+    #[test]
+    fn serving_is_deterministic_and_cache_transparent(seed in 0u64..10_000) {
+        let dev = DeviceSpec::tesla_k20();
+        let shapes = [(72usize, 60usize), (60, 60), (127, 61), (1, 64), (47, 47)];
+        let reqs: Vec<ServeRequest> = (0..6u64).map(|i| {
+            let (rows, cols) = shapes[((seed + i) % shapes.len() as u64) as usize];
+            let data = (0..(rows * cols) as u32)
+                .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(seed as u32))
+                .collect();
+            ServeRequest { id: i, rows, cols, elem_bytes: 4, data }
+        }).collect();
+
+        let run_once = || {
+            let mut srv = Server::new(dev.clone(), ServeConfig::new(&dev));
+            for r in &reqs {
+                srv.submit(r.clone(), &NoopRecorder).unwrap();
+            }
+            srv.process_round(&NoopRecorder).unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(&x.data, &y.data, "fresh servers must agree bit-for-bit");
+            prop_assert_eq!(x.scheme, y.scheme);
+        }
+        prop_assert_eq!(a.batches, b.batches);
+
+        // Same server again: cache hits, same bits.
+        let mut srv = Server::new(dev.clone(), ServeConfig::new(&dev));
+        for r in &reqs {
+            srv.submit(r.clone(), &NoopRecorder).unwrap();
+        }
+        let cold = srv.process_round(&NoopRecorder).unwrap();
+        for r in &reqs {
+            srv.submit(r.clone(), &NoopRecorder).unwrap();
+        }
+        let warm = srv.process_round(&NoopRecorder).unwrap();
+        for (x, y) in cold.results.iter().zip(&warm.results) {
+            prop_assert!(y.cache_hit, "second round must hit the cache");
+            prop_assert_eq!(&x.data, &y.data, "cached plan must not change results");
+        }
+    }
+
+    /// A cached staged plan is the plan a fresh pruned search builds:
+    /// memoization changes cost, never the plan.
+    #[test]
+    fn cached_plan_equals_fresh_search(
+        idx in 0usize..4,
+    ) {
+        let shapes = [(72usize, 60usize), (96, 72), (48, 36), (120, 24)];
+        let (rows, cols) = shapes[idx];
+        let dev = DeviceSpec::tesla_k20();
+        let cfg = ServeConfig::new(&dev);
+        let fresh = build_plan(&dev, rows, cols, &cfg.heuristic, &cfg.opts, &NoopRecorder);
+        let again = build_plan(&dev, rows, cols, &cfg.heuristic, &cfg.opts, &NoopRecorder);
+        prop_assert_eq!(fresh.decision, again.decision, "planning must be deterministic");
+        prop_assert_eq!(fresh.plan, again.plan);
+    }
+}

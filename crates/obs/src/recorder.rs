@@ -113,6 +113,18 @@ pub enum Counter {
     /// Warp spans dropped by the per-launch sampling cap (no silent caps:
     /// truncation is itself counted).
     DroppedWarpSpans,
+    /// Serving-layer plan-cache hits (autotune skipped).
+    PlanCacheHits,
+    /// Serving-layer plan-cache misses (full plan + autotune ran).
+    PlanCacheMisses,
+    /// Batched launches issued by the serving layer.
+    BatchesLaunched,
+    /// Requests coalesced into batches (Σ batch occupancy).
+    BatchedRequests,
+    /// Simulated queue-wait, microseconds, summed over served requests.
+    QueueWaitUs,
+    /// Requests refused at admission because the bounded queue was full.
+    AdmissionRejections,
 }
 
 impl Counter {
@@ -143,6 +155,12 @@ impl Counter {
             Counter::AutotuneRejectedInfeasible => "autotune_rejected_infeasible",
             Counter::AutotunePruned => "autotune_pruned",
             Counter::DroppedWarpSpans => "dropped_warp_spans",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::BatchesLaunched => "batches_launched",
+            Counter::BatchedRequests => "batched_requests",
+            Counter::QueueWaitUs => "queue_wait_us",
+            Counter::AdmissionRejections => "admission_rejections",
         }
     }
 }

@@ -34,6 +34,11 @@ pub struct Provenance {
     /// `"pct(seed=S,d=D)"`, …) — schedule provenance, so a report from a
     /// randomized-schedule campaign is never mistaken for a baseline run.
     pub schedule: String,
+    /// How shapes were planned: `"heuristic"` for direct per-run planning,
+    /// `"plan-cache"` for the serving layer, or a specific short-circuit
+    /// scheme name (`"identity"`, `"square-tiled"`, …) when one applies to
+    /// the whole report.
+    pub scheme: String,
 }
 
 /// The versioned envelope every archived benchmark JSON uses.
@@ -271,6 +276,7 @@ mod tests {
                 seed: 0,
                 scale: "smoke".into(),
                 schedule: "round-robin".into(),
+                scheme: "heuristic".into(),
             },
             &report_rows(&[10.0]),
         );
