@@ -21,12 +21,16 @@
 //!   serve         extension (batched, plan-cached serving layer: mixed
 //!                 1k-request stream, cache hit rate, amortization vs
 //!                 per-request autotuning)
+//!   simperf       engineering (parallel vs serial simulation engine:
+//!                 host wall clock per workload, asserted bit-identical;
+//!                 `--min-wall-gain X` fails the run below X× wall gain;
+//!                 pin RAYON_NUM_THREADS for reproducible thread counts)
 //!   trace         observability showcase (traced 3-stage run → Chrome trace
 //!                 + Prometheus exposition; written next to the JSON archive)
 //!   races         schedule-exploration campaign: seeded PCT sweep
 //!                 (`--schedules N --seed S`) + bounded exhaustive pass +
 //!                 planted-bug catch; exits 1 on any failing schedule
-//!   all           everything above except `races`
+//!   all           everything above except `races` and `simperf`
 //! ```
 //!
 //! Default scale is 1/5-reduced matrices (minutes); `--full` uses the
@@ -41,7 +45,10 @@
 //! code 1. `--inject-slowdown PCT` artificially slows the fresh metrics —
 //! the self-test proving the harness can fail.
 
-use ipt_bench::check::{check_report, make_report_scheme, CheckOutcome, DEFAULT_TOLERANCE};
+use ipt_bench::check::{
+    check_report, make_report_engine, make_report_scheme, CheckOutcome, DEFAULT_TOLERANCE,
+    DEFAULT_WALL_TOLERANCE,
+};
 use ipt_bench::experiments as ex;
 use ipt_bench::workloads::{device_by_name, Scale};
 use ipt_obs::BenchReport;
@@ -61,6 +68,7 @@ struct Args {
     inject_slowdown_pct: f64,
     schedules: usize,
     seed: u64,
+    min_wall_gain: f64,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +85,7 @@ fn parse_args() -> Args {
     let mut inject_slowdown_pct = 0.0;
     let mut schedules = 64usize;
     let mut seed = 0xA11CE_u64;
+    let mut min_wall_gain = 0.0f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -85,9 +94,11 @@ fn parse_args() -> Args {
                     "usage: repro <experiment> [--full] [--device k20|gtx580|amd|phi] \
                      [--json DIR] [--single-stage] [--slow]\n\
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
-                     [--inject-slowdown PCT] [--schedules N] [--seed S]\n\
+                     [--inject-slowdown PCT] [--schedules N] [--seed S] \
+                     [--min-wall-gain X]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation serve trace races all"
+                     table3 async phi primes multigpu ablation serve simperf trace \
+                     races all"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +138,13 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--min-wall-gain" => {
+                i += 1;
+                min_wall_gain = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--min-wall-gain wants a factor, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
             "--device" => {
                 i += 1;
                 device = device_by_name(&argv[i]).unwrap_or_else(|| {
@@ -159,6 +177,7 @@ fn parse_args() -> Args {
         inject_slowdown_pct,
         schedules,
         seed,
+        min_wall_gain,
     }
 }
 
@@ -187,6 +206,29 @@ impl Sink {
 
     fn emit_scheme<T: Serialize>(&mut self, name: &str, scheme: &str, rows: &T) {
         let report = make_report_scheme(name, &self.device, self.scale, scheme, rows);
+        self.archive(name, report);
+    }
+
+    fn emit_engine<T: Serialize>(
+        &mut self,
+        name: &str,
+        engine: &str,
+        threads: usize,
+        rows: &T,
+    ) {
+        let report = make_report_engine(
+            name,
+            &self.device,
+            self.scale,
+            "heuristic",
+            engine,
+            threads,
+            rows,
+        );
+        self.archive(name, report);
+    }
+
+    fn archive(&mut self, name: &str, report: BenchReport) {
         if let Some(dir) = &self.json_dir {
             let body = serde_json::to_string_pretty(&report).expect("serialise report");
             write_file(dir, &format!("{name}.json"), &body);
@@ -214,16 +256,24 @@ fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
                 eprintln!("[check] {e}");
                 failed = true;
             }
-            Ok(CheckOutcome { experiment, metrics_compared, regressions }) => {
+            Ok(CheckOutcome { experiment, metrics_compared, wall_compared, regressions }) => {
+                let wall = if wall_compared > 0 {
+                    format!(
+                        " + {wall_compared} wall-clock within {:.0}%",
+                        DEFAULT_WALL_TOLERANCE * 100.0
+                    )
+                } else {
+                    String::new()
+                };
                 if regressions.is_empty() {
                     eprintln!(
-                        "[check] {experiment}: OK ({metrics_compared} metrics within {:.0}%)",
+                        "[check] {experiment}: OK ({metrics_compared} metrics within {:.0}%{wall})",
                         args.tolerance * 100.0
                     );
                 } else {
                     failed = true;
                     eprintln!(
-                        "[check] {experiment}: {} of {metrics_compared} metrics regressed:",
+                        "[check] {experiment}: {} of {metrics_compared} metrics{wall} regressed:",
                         regressions.len()
                     );
                     for r in &regressions {
@@ -241,7 +291,8 @@ fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "serve", "trace", "races", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "serve", "simperf", "trace",
+        "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -331,6 +382,24 @@ fn main() {
         println!("{}", ex::serve::render(&rows, &summary));
         sink.emit_scheme("serve", "plan-cache", &(&rows, &summary));
     }
+    // `simperf` is deliberately not part of `all`: its headline numbers
+    // are host wall-clock (machine-specific), so it gates in its own CI
+    // job with a pinned thread count rather than riding the deterministic
+    // baseline sweep.
+    let mut wall_gain_failed = false;
+    if args.experiment == "simperf" {
+        let (rows, summary) = ex::simperf::run(&args.device, args.scale);
+        println!("{}", ex::simperf::render(&rows, &summary));
+        sink.emit_engine("simperf", "parallel", summary.threads, &(&rows, &summary));
+        if args.min_wall_gain > 0.0 && summary.wall_gain_x < args.min_wall_gain {
+            eprintln!(
+                "[simperf] FAIL: wall gain {:.2}x below required {:.2}x \
+                 ({} threads on {} cores)",
+                summary.wall_gain_x, args.min_wall_gain, summary.threads, summary.host_cores
+            );
+            wall_gain_failed = true;
+        }
+    }
     // `races` is deliberately not part of `all`: it is a correctness
     // campaign with its own pass/fail verdict and (in CI) a much larger
     // schedule count, not a throughput measurement.
@@ -357,7 +426,7 @@ fn main() {
 
     let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
-    if failed || races_failed {
+    if failed || races_failed || wall_gain_failed {
         std::process::exit(1);
     }
 }

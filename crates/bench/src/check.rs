@@ -8,13 +8,21 @@
 //! day the cost model legitimately moves and for real-hardware backends.
 
 use ipt_obs::{
-    compare_metrics, current_git_rev, extract_metrics, BenchReport, Metric, Provenance,
-    Regression, SCHEMA_VERSION,
+    compare_metrics, current_git_rev, extract_metrics, extract_wall_metrics, BenchReport,
+    Metric, Provenance, Regression, SCHEMA_VERSION,
 };
 use serde::{Serialize, Value};
 
 /// Default relative tolerance for `repro --check` (10 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Relative tolerance for host wall-clock (`wall_*`) metrics (60 %).
+///
+/// Wall time measures the real machine the harness ran on, not the
+/// simulated device, so shared CI runners can jitter by tens of percent;
+/// the gate only exists to catch the parallel engine collapsing back to
+/// serial speed, which loses far more than this.
+pub const DEFAULT_WALL_TOLERANCE: f64 = 0.60;
 
 /// Wrap experiment rows in the versioned envelope with this run's
 /// provenance (direct heuristic planning).
@@ -36,6 +44,21 @@ pub fn make_report_scheme(
     scheme: &str,
     rows: &impl Serialize,
 ) -> BenchReport {
+    make_report_engine(experiment, device, scale, scheme, "serial", 1, rows)
+}
+
+/// [`make_report_scheme`] with explicit simulation-engine provenance, for
+/// experiments that measure host wall-clock (`wall_*`) numbers: those are
+/// only comparable between runs of the same engine and thread count.
+pub fn make_report_engine(
+    experiment: &str,
+    device: &gpu_sim::DeviceSpec,
+    scale: &str,
+    scheme: &str,
+    engine: &str,
+    sim_threads: usize,
+    rows: &impl Serialize,
+) -> BenchReport {
     BenchReport::new(
         experiment,
         Provenance {
@@ -45,6 +68,8 @@ pub fn make_report_scheme(
             scale: scale.to_string(),
             schedule: "round-robin".to_string(),
             scheme: scheme.to_string(),
+            engine: engine.to_string(),
+            sim_threads: sim_threads as u64,
         },
         rows,
     )
@@ -57,6 +82,9 @@ pub struct CheckOutcome {
     pub experiment: String,
     /// How many baseline metrics were compared.
     pub metrics_compared: usize,
+    /// How many host wall-clock (`wall_*`) metrics were compared (0 when
+    /// the baseline has none, or its engine/thread provenance differs).
+    pub wall_compared: usize,
     /// Every metric that regressed past the tolerance.
     pub regressions: Vec<Regression>,
 }
@@ -128,10 +156,38 @@ pub fn check_report(
             m.value *= factor;
         }
     }
+    let mut regressions = compare_metrics(&base_metrics, &fresh_metrics, tolerance);
+
+    // Host wall-clock metrics gate separately, with the wide
+    // [`DEFAULT_WALL_TOLERANCE`], and only when the baseline was produced
+    // by the same engine with the same thread count — a 1-core laptop
+    // baseline must never fail (or vacuously pass) a 4-core CI run.
+    let base_prov = baseline.get("provenance");
+    let wall_comparable = base_prov
+        .and_then(|p| p.get("engine"))
+        .and_then(Value::as_str)
+        .is_some_and(|e| e == fresh.provenance.engine)
+        && base_prov
+            .and_then(|p| p.get("sim_threads"))
+            .and_then(Value::as_u64)
+            .is_some_and(|t| t == fresh.provenance.sim_threads);
+    let base_wall = if wall_comparable { extract_wall_metrics(base_rows) } else { Vec::new() };
+    if !base_wall.is_empty() {
+        let mut fresh_wall = extract_wall_metrics(&fresh.rows);
+        if inject_slowdown_pct != 0.0 {
+            let factor = 1.0 - inject_slowdown_pct / 100.0;
+            for m in &mut fresh_wall {
+                m.value *= factor;
+            }
+        }
+        regressions.extend(compare_metrics(&base_wall, &fresh_wall, DEFAULT_WALL_TOLERANCE));
+    }
+
     Ok(CheckOutcome {
         experiment: fresh.experiment.clone(),
         metrics_compared: base_metrics.len(),
-        regressions: compare_metrics(&base_metrics, &fresh_metrics, tolerance),
+        wall_compared: base_wall.len(),
+        regressions,
     })
 }
 
@@ -205,6 +261,59 @@ mod tests {
         let other = make_report("fig6", &DeviceSpec::tesla_k20(), "reduced", &Vec::<Row>::new());
         let err = check_report(&baseline, &other, DEFAULT_TOLERANCE, 0.0).unwrap_err();
         assert!(err.contains("experiment"), "{err}");
+    }
+
+    #[derive(Serialize)]
+    struct WallRow {
+        gbps: f64,
+        wall_gain_x: f64,
+    }
+
+    fn wall_report(gain: f64, engine: &str, threads: usize) -> BenchReport {
+        let rows = vec![WallRow { gbps: 40.0, wall_gain_x: gain }];
+        make_report_engine(
+            "simperf",
+            &DeviceSpec::tesla_k20(),
+            "reduced",
+            "heuristic",
+            engine,
+            threads,
+            &rows,
+        )
+    }
+
+    #[test]
+    fn wall_metrics_gate_with_wide_tolerance() {
+        let base = wall_report(3.0, "parallel", 4);
+        let baseline = serde_json::to_string_pretty(&base).unwrap();
+        // Same engine + threads: wall metrics are compared.
+        let out =
+            check_report(&baseline, &wall_report(3.0, "parallel", 4), DEFAULT_TOLERANCE, 0.0)
+                .unwrap();
+        assert_eq!(out.wall_compared, 1);
+        assert!(out.passed());
+        // A 30% wall slowdown sits inside the 60% wall tolerance.
+        let out =
+            check_report(&baseline, &wall_report(2.1, "parallel", 4), DEFAULT_TOLERANCE, 0.0)
+                .unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        // Collapsing to serial speed (-70%) trips the gate.
+        let out =
+            check_report(&baseline, &wall_report(0.9, "parallel", 4), DEFAULT_TOLERANCE, 0.0)
+                .unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.regressions[0].path, "0/wall_gain_x");
+    }
+
+    #[test]
+    fn wall_metrics_skip_on_engine_or_thread_mismatch() {
+        let base = wall_report(3.0, "parallel", 4);
+        let baseline = serde_json::to_string_pretty(&base).unwrap();
+        for fresh in [wall_report(0.5, "serial", 4), wall_report(0.5, "parallel", 1)] {
+            let out = check_report(&baseline, &fresh, DEFAULT_TOLERANCE, 0.0).unwrap();
+            assert_eq!(out.wall_compared, 0, "provenance mismatch must skip wall gate");
+            assert!(out.passed(), "{:?}", out.regressions);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod phi;
 pub mod primes;
 pub mod races;
 pub mod serve;
+pub mod simperf;
 pub mod sweep010;
 pub mod sweep100;
 pub mod table2;

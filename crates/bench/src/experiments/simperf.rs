@@ -1,0 +1,308 @@
+//! **Engineering** — wall-clock of the simulation engine itself: the
+//! pooled parallel engine vs the serial round-robin engine on
+//! work-group-local kernels.
+//!
+//! Every workload is launched with both engines from identical initial
+//! state; the experiment *asserts* the two runs are bit-identical (memory
+//! image and full [`KernelStats`] report — the proptest invariant,
+//! re-checked on the benchmark shapes) and reports host wall time for
+//! each. The simulated `gbps` column is deterministic and gates with the
+//! tight tolerance; the `wall_*` columns are host timings on the wide
+//! wall-clock channel (see `ipt_obs::extract_wall_metrics`) and are only
+//! compared between runs with identical engine/thread provenance.
+//!
+//! Wall-clock quantities deliberately avoid the `gbps`/`speedup` metric
+//! naming — the `wall_` prefix routes them to the wide-tolerance channel.
+
+use crate::workloads::Scale;
+use gpu_sim::{DeviceSpec, EngineMode, KernelStats, Sim};
+use ipt_core::InstancedTranspose;
+use ipt_gpu::bs::BsKernel;
+use ipt_gpu::coprime::{CoprimeColShuffle, CoprimeRowScramble};
+use ipt_gpu::opts::FlagLayout;
+use ipt_gpu::pttwac010::Pttwac010;
+use serde::Serialize;
+
+/// Timed launches per (workload, engine); the minimum wall time is
+/// reported (robust to scheduler jitter).
+pub const REPEATS: usize = 3;
+
+/// One workload row of the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload label.
+    pub workload: String,
+    /// Work-groups in the launch (the parallelism the engine can exploit).
+    pub num_wgs: usize,
+    /// Deterministic simulated throughput (GB/s, paper convention) —
+    /// identical for both engines by construction, checked tight.
+    pub gbps: f64,
+    /// Host milliseconds of the serial engine (min over repeats).
+    pub wall_serial_ms: f64,
+    /// Host milliseconds of the parallel engine (min over repeats).
+    pub wall_parallel_ms: f64,
+    /// Host wall gain: serial over parallel (>1 means parallel wins).
+    pub wall_gain_x: f64,
+}
+
+/// Run-level summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Worker threads the parallel engine used.
+    pub threads: usize,
+    /// Logical cores of the host the run measured.
+    pub host_cores: usize,
+    /// Timed launches per (workload, engine).
+    pub repeats: usize,
+    /// Total serial host milliseconds across workloads.
+    pub wall_serial_ms: f64,
+    /// Total parallel host milliseconds across workloads.
+    pub wall_parallel_ms: f64,
+    /// Aggregate host wall gain: total serial over total parallel.
+    pub wall_gain_x: f64,
+    /// Every workload's parallel run was bit-identical to serial
+    /// (memory + stats); the run aborts otherwise, so this is always
+    /// `true` in an archived report — kept explicit for honesty.
+    pub bit_identical: bool,
+}
+
+/// A boxed launcher: builds its kernel against a fresh sim and launches.
+type Launch = Box<dyn Fn(&mut Sim) -> KernelStats>;
+
+/// One benchmark workload: a name, the payload initializer, and the
+/// launcher (runs against a freshly initialized sim every repeat).
+/// Fields stay private so every workload keeps the
+/// fresh-sim-per-repeat contract.
+pub struct Workload {
+    name: String,
+    words: usize,
+    launch: Launch,
+}
+
+fn bs_workload(instances: usize, rows: usize, cols: usize) -> Workload {
+    let op = InstancedTranspose::new(instances, rows, cols, 1);
+    let words = op.total_len();
+    Workload {
+        name: format!("BS {instances}x{rows}x{cols}"),
+        words,
+        launch: Box::new(move |sim| {
+            let data = sim.alloc(words);
+            sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
+            let k = BsKernel { data, instances, rows, cols, super_size: 1, wg_size: 256 };
+            sim.launch(&k).expect("bs launch")
+        }),
+    }
+}
+
+fn p010_workload(instances: usize, rows: usize, cols: usize) -> Workload {
+    let op = InstancedTranspose::new(instances, rows, cols, 1);
+    let words = op.total_len();
+    Workload {
+        name: format!("010! {instances}x{rows}x{cols}"),
+        words,
+        launch: Box::new(move |sim| {
+            let data = sim.alloc(words);
+            sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
+            let k = Pttwac010 {
+                data,
+                instances,
+                rows,
+                cols,
+                wg_size: 256,
+                flags: FlagLayout::SpreadPadded { factor: 8 },
+                backoff: None,
+            };
+            sim.launch(&k).expect("010 launch")
+        }),
+    }
+}
+
+fn coprime_workload(rows: usize, cols: usize) -> Workload {
+    let words = rows * cols;
+    Workload {
+        name: format!("coprime {rows}x{cols}"),
+        words,
+        launch: Box::new(move |sim| {
+            let data = sim.alloc(words);
+            sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
+            let row = CoprimeRowScramble::new(data, rows, cols, 128);
+            let mut stats = sim.launch(&row).expect("coprime-row launch");
+            let col = CoprimeColShuffle { data, rows, cols, wg_size: 128 };
+            let s2 = sim.launch(&col).expect("coprime-col launch");
+            // Fold stage 2 into one report (sum of times; the memory image
+            // is what the identity assertion compares).
+            stats.time_s += s2.time_s;
+            stats.warp_steps += s2.warp_steps;
+            stats
+        }),
+    }
+}
+
+fn workloads(scale: Scale) -> Vec<Workload> {
+    match scale {
+        Scale::Full => vec![
+            bs_workload(2048, 32, 32),
+            p010_workload(1024, 32, 32),
+            coprime_workload(997, 1024),
+        ],
+        Scale::Reduced => vec![
+            bs_workload(512, 32, 32),
+            p010_workload(256, 32, 32),
+            coprime_workload(251, 256),
+        ],
+    }
+}
+
+/// Launch `w` under `engine`, `repeats` times from identical initial
+/// state. Returns the (deterministic) stats and memory of the last run
+/// and the minimum wall seconds of the launch itself.
+fn time_engine(
+    dev: &DeviceSpec,
+    w: &Workload,
+    engine: EngineMode,
+    repeats: usize,
+) -> (KernelStats, Vec<u32>, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let mut sim = Sim::new(dev.clone(), w.words + 64);
+        sim.set_engine_mode(engine);
+        let t0 = std::time::Instant::now();
+        let stats = (w.launch)(&mut sim);
+        best = best.min(t0.elapsed().as_secs_f64());
+        let buf_all = gpu_sim::Buffer { base: 0, len: w.words };
+        last = Some((stats, sim.download_u32(buf_all)));
+    }
+    let (stats, mem) = last.expect("at least one repeat");
+    (stats, mem, best)
+}
+
+/// Run the engine wall-clock experiment.
+#[must_use]
+pub fn run(dev: &DeviceSpec, scale: Scale) -> (Vec<Row>, Summary) {
+    run_sized(dev, &workloads(scale), REPEATS)
+}
+
+/// [`run`] over explicit workloads (tests use tiny ones).
+///
+/// # Panics
+/// Panics if any workload's parallel run is not bit-identical to its
+/// serial run — an engine that diverges must never produce an archive.
+#[must_use]
+pub fn run_sized(dev: &DeviceSpec, workloads: &[Workload], repeats: usize) -> (Vec<Row>, Summary) {
+    let parallel = EngineMode::parallel_auto();
+    let threads = parallel.resolved_threads();
+    let mut rows = Vec::with_capacity(workloads.len());
+    let (mut total_serial, mut total_parallel) = (0.0f64, 0.0f64);
+    for w in workloads {
+        let (s_stats, s_mem, s_wall) = time_engine(dev, w, EngineMode::Serial, repeats);
+        let (p_stats, p_mem, p_wall) = time_engine(dev, w, parallel, repeats);
+        assert_eq!(s_mem, p_mem, "{}: engines diverged on memory", w.name);
+        assert_eq!(s_stats, p_stats, "{}: engines diverged on stats", w.name);
+        total_serial += s_wall;
+        total_parallel += p_wall;
+        let bytes = w.words as f64 * 4.0;
+        rows.push(Row {
+            workload: w.name.clone(),
+            num_wgs: s_stats.num_wgs,
+            gbps: 2.0 * bytes / s_stats.time_s / 1e9,
+            wall_serial_ms: s_wall * 1e3,
+            wall_parallel_ms: p_wall * 1e3,
+            wall_gain_x: if p_wall > 0.0 { s_wall / p_wall } else { 0.0 },
+        });
+    }
+    let summary = Summary {
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        repeats: repeats.max(1),
+        wall_serial_ms: total_serial * 1e3,
+        wall_parallel_ms: total_parallel * 1e3,
+        wall_gain_x: if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 },
+        bit_identical: true,
+    };
+    (rows, summary)
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[Row], summary: &Summary) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{}", r.num_wgs),
+                format!("{:.2}", r.gbps),
+                format!("{:.2}", r.wall_serial_ms),
+                format!("{:.2}", r.wall_parallel_ms),
+                format!("{:.2}x", r.wall_gain_x),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        "Engineering: parallel vs serial simulation engine (host wall clock)",
+        &["workload", "wgs", "sim GB/s", "serial ms", "parallel ms", "gain"],
+        &table,
+    );
+    out.push_str(&format!(
+        "\n{} worker threads on {} host cores (best of {} runs): \
+         {:.1} ms serial vs {:.1} ms parallel = {:.2}x wall gain; \
+         results bit-identical: {}\n",
+        summary.threads,
+        summary.host_cores,
+        summary.repeats,
+        summary.wall_serial_ms,
+        summary.wall_parallel_ms,
+        summary.wall_gain_x,
+        summary.bit_identical,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_report_is_sane() {
+        // Tiny workloads: this asserts bit-identity inside run_sized and
+        // sanity of the report plumbing, not speedup (the test host may
+        // have one core).
+        let dev = DeviceSpec::tesla_k20();
+        let tiny = vec![
+            bs_workload(8, 8, 8),
+            p010_workload(4, 6, 5),
+            coprime_workload(9, 8),
+        ];
+        let (rows, summary) = run_sized(&dev, &tiny, 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.gbps > 0.0, "{}: simulated throughput must be positive", r.workload);
+            assert!(r.wall_serial_ms > 0.0 && r.wall_parallel_ms > 0.0);
+            assert!(r.num_wgs > 0);
+        }
+        assert!(summary.bit_identical);
+        assert!(summary.threads >= 1);
+        assert!(summary.wall_gain_x > 0.0);
+        let text = render(&rows, &summary);
+        assert!(text.contains("bit-identical: true"), "{text}");
+    }
+
+    #[test]
+    fn wall_metrics_live_on_the_wall_channel_only() {
+        // The wall-clock columns must reach the checker through the
+        // `wall_` channel and never through the tight gbps/speedup one.
+        let dev = DeviceSpec::tesla_k20();
+        let (rows, summary) = run_sized(&dev, &[bs_workload(4, 8, 8)], 1);
+        let v = (&rows, &summary).to_value();
+        let sim_paths: Vec<String> =
+            ipt_obs::extract_metrics(&v).into_iter().map(|m| m.path).collect();
+        assert_eq!(sim_paths, vec!["0/0/gbps"], "only the simulated column is tight-gated");
+        let wall_paths: Vec<String> =
+            ipt_obs::extract_wall_metrics(&v).into_iter().map(|m| m.path).collect();
+        assert!(
+            wall_paths.contains(&"1/wall_gain_x".to_string()),
+            "summary wall gain must be wall-gated: {wall_paths:?}"
+        );
+    }
+}

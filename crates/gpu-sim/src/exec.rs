@@ -20,8 +20,16 @@
 //!    [`KernelStats`] with the four-bound time model (bandwidth, latency,
 //!    serial, local-port).
 //!
-//! Execution is deterministic: a fixed schedule per scheduler + seed, no
-//! host threads inside one launch. An optional
+//! Execution is deterministic: a fixed schedule per scheduler + seed. A
+//! launch may additionally request the **parallel work-group engine**
+//! ([`EngineMode::Parallel`]): kernels that declare
+//! [`Coordination::WgLocal`] — work-groups share no mutable global state —
+//! execute their work-groups concurrently on a scoped host-thread pool and
+//! merge per-WG results in canonical order, producing memory images, stats,
+//! timings, and traces *bit-identical* to the serial round-robin path (see
+//! DESIGN.md §12 for the determinism argument). [`Coordination::CrossWg`]
+//! kernels and any launch under a custom scheduler, fault source, or
+//! watchdog always stay on the serial engine. An optional
 //! [`Watchdog`](crate::sched::Watchdog) bounds per-warp and total slices,
 //! converting livelocks and lost-wakeup hangs into
 //! [`LaunchError::Stalled`].
@@ -30,10 +38,11 @@ use crate::device::DeviceSpec;
 use crate::fault::{AtomicTamper, FaultPlan, FaultSource, StepFault};
 use crate::lanes::{LaneAddrs, LaneVals, LaneWrites, MAX_LANES};
 use crate::mem::{Buffer, GlobalMem, LocalMem};
-use crate::occupancy::{occupancy, KernelResources};
+use crate::occupancy::{occupancy, KernelResources, Occupancy};
 use crate::report::{KernelStats, TimeBounds};
 use crate::sched::{Pick, Scheduler, Watchdog, WarpId};
 use ipt_obs::{Counter, Level, NoopRecorder, Recorder};
+use std::sync::Mutex;
 
 /// Per-launch cap on recorded warp spans. Big grids retire millions of
 /// warps; a trace keeps the first `WARP_SPAN_CAP` and counts the rest in
@@ -61,6 +70,78 @@ pub enum Step {
     Done,
 }
 
+/// How a kernel's work-groups coordinate with each other — the declaration
+/// that decides whether the parallel work-group engine may run them on
+/// concurrent host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Coordination {
+    /// Work-groups are mutually independent: no work-group reads a global
+    /// word another work-group of the same launch writes (disjoint tiles,
+    /// grid-stride over disjoint rows, local-memory-only flags). Eligible
+    /// for concurrent execution with bit-identical results.
+    WgLocal,
+    /// Work-groups coordinate through global memory (e.g. the `100!`
+    /// kernel's global `atom_or` cycle claims). Always simulated serially so
+    /// the cross-WG interleaving stays the canonical round-robin schedule.
+    #[default]
+    CrossWg,
+}
+
+/// How the host executes one launch's work-groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The historic engine: one host thread, round-robin interleaving.
+    #[default]
+    Serial,
+    /// Run independent ([`Coordination::WgLocal`]) work-groups concurrently
+    /// on a scoped host-thread pool; results are bit-identical to
+    /// [`EngineMode::Serial`]. Ineligible launches (CrossWg kernels, custom
+    /// scheduler, fault source, or watchdog) silently fall back to serial.
+    Parallel {
+        /// Worker threads; `0` = auto (`RAYON_NUM_THREADS`, else the
+        /// machine's available parallelism).
+        threads: usize,
+    },
+}
+
+impl EngineMode {
+    /// The auto-sized parallel engine.
+    #[must_use]
+    pub fn parallel_auto() -> Self {
+        EngineMode::Parallel { threads: 0 }
+    }
+
+    /// Host threads this mode will actually use.
+    #[must_use]
+    pub fn resolved_threads(self) -> usize {
+        match self {
+            EngineMode::Serial => 1,
+            EngineMode::Parallel { threads: 0 } => auto_threads(),
+            EngineMode::Parallel { threads } => threads,
+        }
+    }
+
+    /// Short label for provenance records ("serial" / "parallel").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Serial => "serial",
+            EngineMode::Parallel { .. } => "parallel",
+        }
+    }
+}
+
+/// Worker-thread count when [`EngineMode::Parallel`] is asked to auto-size:
+/// `RAYON_NUM_THREADS` (the conventional pin, honoured so CI wall-clock
+/// tolerances are reproducible), else the machine's available parallelism.
+fn auto_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
 /// A simulated kernel.
 pub trait Kernel: Sync {
     /// Per-warp persistent state.
@@ -70,6 +151,12 @@ pub trait Kernel: Sync {
     fn name(&self) -> String;
     /// Launch geometry.
     fn grid(&self) -> Grid;
+    /// How this kernel's work-groups coordinate. The conservative default
+    /// keeps the serial engine; kernels whose work-groups are provably
+    /// independent opt in to [`Coordination::WgLocal`].
+    fn coordination(&self) -> Coordination {
+        Coordination::CrossWg
+    }
     /// Registers per thread (occupancy input); default typical.
     fn regs_per_thread(&self) -> usize {
         16
@@ -155,6 +242,31 @@ struct Counters {
     barriers: u64,
     warp_steps: u64,
     local_port_cycles: f64,
+}
+
+impl Counters {
+    /// Fold another work-group's subtotal in. The f64 fields only ever
+    /// accumulate integer-valued increments (transaction × byte products,
+    /// integer latency constants), so every partial sum below 2^53 is exact
+    /// and the fold is order-independent — merging per-WG subtotals in
+    /// canonical order is bit-identical to the serial engine's interleaved
+    /// accumulation.
+    fn merge(&mut self, o: &Counters) {
+        self.dram_bytes += o.dram_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.gld_transactions += o.gld_transactions;
+        self.gst_transactions += o.gst_transactions;
+        self.local_accesses += o.local_accesses;
+        self.local_atomics += o.local_atomics;
+        self.global_atomics += o.global_atomics;
+        self.position_conflicts += o.position_conflicts;
+        self.lock_conflicts += o.lock_conflicts;
+        self.bank_conflicts += o.bank_conflicts;
+        self.claim_retries += o.claim_retries;
+        self.barriers += o.barriers;
+        self.warp_steps += o.warp_steps;
+        self.local_port_cycles += o.local_port_cycles;
+    }
 }
 
 /// Per-warp-instruction context handed to [`Kernel::step`]: functional
@@ -332,6 +444,14 @@ impl WarpCtx<'_> {
             self.counters.useful_bytes += (abs.active() * 4) as f64;
             *self.chain_cycles += self.dev.lat_global + (t as f64 - 1.0) * self.dev.lat_replay;
         }
+        // Fully coalesced warps (every lane active, consecutive addresses —
+        // the common case for tile row streaming) load as one slice
+        // operation: a single bounds check instead of one per lane.
+        if let Some(base) = abs.contiguous_base() {
+            let mut run = [0u32; MAX_LANES];
+            self.global.read_run(base, &mut run[..abs.len()]);
+            return LaneVals::from_fn(abs.len(), |i| run[i]);
+        }
         abs.map(|a| a.map_or(0, |addr| self.global.read(addr)))
     }
 
@@ -344,6 +464,17 @@ impl WarpCtx<'_> {
             self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
             self.counters.useful_bytes += (abs.active() * 4) as f64;
             *self.chain_cycles += self.dev.lat_global_store + (t as f64 - 1.0) * self.dev.lat_replay;
+        }
+        // Slice-op fast path for fully coalesced stores (no same-address
+        // collisions possible: addresses are distinct by construction).
+        if let Some(base) = abs.contiguous_base() {
+            let mut run = [0u32; MAX_LANES];
+            let n = writes.len();
+            for (i, (_, w)) in writes.iter().enumerate() {
+                run[i] = w.map_or(0, |(_, v)| v);
+            }
+            self.global.write_run(base, &run[..n]);
+            return;
         }
         for (_, w) in writes.iter() {
             if let Some((off, v)) = w {
@@ -656,7 +787,7 @@ pub fn launch_traced<K: Kernel, R: Recorder>(
         dev,
         global,
         kernel,
-        LaunchConfig { fault, sched: None, watchdog: None },
+        LaunchConfig { fault, sched: None, watchdog: None, engine: EngineMode::Serial },
         rec,
         t0_s,
     )
@@ -678,6 +809,10 @@ pub struct LaunchConfig<'a> {
     /// Liveness watchdog converting hung launches into
     /// [`LaunchError::Stalled`].
     pub watchdog: Option<Watchdog>,
+    /// Host execution engine. [`EngineMode::Parallel`] only takes effect for
+    /// [`Coordination::WgLocal`] kernels launched with no custom scheduler,
+    /// fault source, or watchdog; everything else falls back to serial.
+    pub engine: EngineMode,
 }
 
 /// The fully configurable engine entry: [`launch_traced`] plus an optional
@@ -721,6 +856,32 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
 
     let warps_per_wg = dev.warps_per_wg(grid.wg_size);
     let resident_cap = (occ.wgs_per_sm * dev.num_sms).max(1);
+
+    // Parallel work-group engine: only for kernels that declare their
+    // work-groups independent, and only for plain launches (any scheduler,
+    // fault source, or watchdog pins the launch to the serial engine so the
+    // cross-WG interleaving those features observe stays canonical).
+    if matches!(cfg.engine, EngineMode::Parallel { .. })
+        && kernel.coordination() == Coordination::WgLocal
+        && cfg.sched.is_none()
+        && fault.is_none()
+        && watchdog.is_none()
+    {
+        let threads = cfg.engine.resolved_threads();
+        return Ok(launch_parallel(
+            dev,
+            global,
+            kernel,
+            grid,
+            occ,
+            warps_per_wg,
+            resident_cap,
+            threads,
+            rec,
+            t0_s,
+        ));
+    }
+
     let mut counters = Counters::default();
     let mut max_chain: f64 = 0.0;
     let mut total_chain: f64 = 0.0;
@@ -758,7 +919,6 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
     // barrier) — the preemption points schedule exploration keys on.
     let step_one =
         |wg: &mut WgRt<K::State>, w: usize, counters: &mut Counters| -> Result<bool, LaunchError> {
-            let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
             counters.warp_steps += 1;
             wg.warps[w].steps += 1;
             if let Some(wd) = watchdog {
@@ -790,51 +950,18 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                 }
             }
             let touch_before = counters.local_atomics + counters.global_atomics + counters.barriers;
-            let warp = &mut wg.warps[w];
-            let mut ctx = WarpCtx {
-                wg_id: wg.wg_id,
-                warp_id: w,
-                lanes,
-                wg_size: grid.wg_size,
-                num_wgs: grid.num_wgs,
-                dev,
-                global,
-                local: &mut wg.local,
-                counters: &mut *counters,
-                chain_cycles: &mut warp.chain_cycles,
-                fault,
-            };
-            let step = kernel.step(&mut warp.state, &mut ctx);
-            match step {
-                Step::Continue => {}
-                Step::Barrier => warp.status = WarpStatus::AtBarrier,
-                Step::Done => warp.status = WarpStatus::Done,
-            }
+            let step = exec_slice(dev, global, kernel, grid, fault, wg, w, counters);
             let touched = step == Step::Barrier
                 || counters.local_atomics + counters.global_atomics + counters.barriers
                     != touch_before;
             Ok(touched)
         };
 
-    // Barrier release: no warp of the group still running → all waiters
-    // resume. Safe to check after every slice — it only fires once the
-    // group's last running warp stops.
-    let release = |wg: &mut WgRt<K::State>, counters: &mut Counters| {
-        if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
-            let waiting = wg.warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
-            if waiting > 0 {
-                counters.barriers += 1;
-                for w in wg.warps.iter_mut() {
-                    if w.status == WarpStatus::AtBarrier {
-                        w.status = WarpStatus::Running;
-                        w.chain_cycles += dev.lat_barrier;
-                    }
-                }
-            }
-        }
-    };
-
     let mut rounds: u64 = 0;
+    // Scheduled-path round snapshots, hoisted out of the loop so the hot
+    // path reuses the allocations across rounds.
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    let mut ids: Vec<WarpId> = Vec::new();
     while !active.is_empty() {
         rounds += 1;
         match cfg.sched.as_deref_mut() {
@@ -848,7 +975,7 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                         }
                         step_one(wg, w, &mut counters)?;
                     }
-                    release(wg, &mut counters);
+                    release_wg(dev, wg, &mut counters);
                 }
             }
             // Scheduled path: snapshot the round's runnable warps, then let
@@ -858,8 +985,8 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
             // warp stays Running until its own slice (releases only affect
             // AtBarrier warps), so the snapshot never goes stale.
             Some(sched) => {
-                let mut pending: Vec<(usize, usize)> = Vec::new();
-                let mut ids: Vec<WarpId> = Vec::new();
+                pending.clear();
+                ids.clear();
                 for (slot, wg) in active.iter().enumerate() {
                     for w in 0..wg.warps.len() {
                         if wg.warps[w].status == WarpStatus::Running {
@@ -883,7 +1010,7 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                     let touched = step_one(&mut active[slot], w, &mut counters)?;
                     stepped_any = true;
                     sched.note_step(id, touched);
-                    release(&mut active[slot], &mut counters);
+                    release_wg(dev, &mut active[slot], &mut counters);
                 }
                 if !stepped_any {
                     // Forced progress: a scheduler that defers every warp
@@ -901,7 +1028,7 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                     if let Some((slot, w, wg_id)) = forced {
                         let touched = step_one(&mut active[slot], w, &mut counters)?;
                         sched.note_step(WarpId { wg: wg_id, warp: w }, touched);
-                        release(&mut active[slot], &mut counters);
+                        release_wg(dev, &mut active[slot], &mut counters);
                     }
                 }
             }
@@ -923,21 +1050,11 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                     }
                 }
                 if next_wg < grid.num_wgs {
-                    // Reuse the retired WG's local memory allocation (grids
-                    // can have millions of small work-groups).
-                    wg.local.clear();
-                    active.push(WgRt {
-                        wg_id: next_wg,
-                        warps: (0..warps_per_wg)
-                            .map(|w| WarpRt {
-                                state: kernel.init(next_wg, w),
-                                status: WarpStatus::Running,
-                                chain_cycles: 0.0,
-                                steps: 0,
-                            })
-                            .collect(),
-                        local: wg.local,
-                    });
+                    // Reuse the retired WG's local memory *and* warp-state
+                    // allocations (grids can have millions of small
+                    // work-groups — re-admission must not reallocate).
+                    reset_wg(kernel, dev, warps_per_wg, &mut wg, next_wg);
+                    active.push(wg);
                     next_wg += 1;
                 }
             } else {
@@ -946,6 +1063,314 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
         }
     }
 
+    Ok(finish_launch(
+        dev,
+        kernel.name(),
+        grid,
+        occ,
+        &counters,
+        rounds,
+        total_chain,
+        max_chain,
+        &warp_samples,
+        dropped_warp_spans,
+        rec,
+        t0_s,
+    ))
+}
+
+/// One warp scheduling slice's engine core — build the [`WarpCtx`], run
+/// [`Kernel::step`], record the resulting status. Shared verbatim by the
+/// serial engine (which wraps it with watchdog/fault handling) and the
+/// parallel per-work-group runner, so both execute kernels through exactly
+/// the same code.
+#[allow(clippy::too_many_arguments)]
+fn exec_slice<K: Kernel>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    grid: Grid,
+    fault: Option<&dyn FaultSource>,
+    wg: &mut WgRt<K::State>,
+    w: usize,
+    counters: &mut Counters,
+) -> Step {
+    let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
+    let warp = &mut wg.warps[w];
+    let mut ctx = WarpCtx {
+        wg_id: wg.wg_id,
+        warp_id: w,
+        lanes,
+        wg_size: grid.wg_size,
+        num_wgs: grid.num_wgs,
+        dev,
+        global,
+        local: &mut wg.local,
+        counters,
+        chain_cycles: &mut warp.chain_cycles,
+        fault,
+    };
+    let step = kernel.step(&mut warp.state, &mut ctx);
+    match step {
+        Step::Continue => {}
+        Step::Barrier => warp.status = WarpStatus::AtBarrier,
+        Step::Done => warp.status = WarpStatus::Done,
+    }
+    step
+}
+
+/// Barrier release: no warp of the group still running → all waiters
+/// resume. Safe to check after every slice — it only fires once the
+/// group's last running warp stops.
+fn release_wg<S>(dev: &DeviceSpec, wg: &mut WgRt<S>, counters: &mut Counters) {
+    if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
+        let waiting = wg.warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
+        if waiting > 0 {
+            counters.barriers += 1;
+            for w in wg.warps.iter_mut() {
+                if w.status == WarpStatus::AtBarrier {
+                    w.status = WarpStatus::Running;
+                    w.chain_cycles += dev.lat_barrier;
+                }
+            }
+        }
+    }
+}
+
+/// Re-initialise a work-group runtime in place for `wg_id`, reusing its
+/// warp-state and local-memory allocations.
+fn reset_wg<K: Kernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    warps_per_wg: usize,
+    wg: &mut WgRt<K::State>,
+    wg_id: usize,
+) {
+    wg.wg_id = wg_id;
+    wg.local.resize(kernel.local_mem_words(dev));
+    wg.warps.clear();
+    wg.warps.extend((0..warps_per_wg).map(|w| WarpRt {
+        state: kernel.init(wg_id, w),
+        status: WarpStatus::Running,
+        chain_cycles: 0.0,
+        steps: 0,
+    }));
+}
+
+/// What one isolated work-group run reports back to the merge step.
+struct WgOut {
+    /// Scheduling rounds this WG needed from admission to retirement (≥ 1).
+    rounds: u64,
+    /// This WG's share of every engine counter.
+    counters: Counters,
+    /// Final dependent-chain cycles per warp, in warp-index order.
+    warp_chains: Vec<f64>,
+}
+
+/// Run one work-group to completion in isolation (no fault source, no
+/// watchdog — the parallel-eligibility gate guarantees neither is armed).
+///
+/// For a [`Coordination::WgLocal`] kernel this is step-for-step identical to
+/// what the work-group executes inside the serial round-robin engine: the
+/// serial fast path steps each WG's live warps in warp order once per round
+/// and releases its barriers per round, and nothing a *different* WG does in
+/// between can be observed (no shared global words, private local memory,
+/// and the global `warp_steps` count is invisible to kernels).
+fn run_wg_isolated<K: Kernel>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    grid: Grid,
+    warps_per_wg: usize,
+    wg_id: usize,
+    scratch: &mut WgRt<K::State>,
+) -> WgOut {
+    reset_wg(kernel, dev, warps_per_wg, scratch, wg_id);
+    let mut counters = Counters::default();
+    let mut rounds = 0u64;
+    while scratch.warps.iter().any(|w| w.status != WarpStatus::Done) {
+        rounds += 1;
+        for w in 0..warps_per_wg {
+            if scratch.warps[w].status != WarpStatus::Running {
+                continue;
+            }
+            counters.warp_steps += 1;
+            scratch.warps[w].steps += 1;
+            exec_slice(dev, global, kernel, grid, None, scratch, w, &mut counters);
+        }
+        release_wg(dev, scratch, &mut counters);
+    }
+    WgOut {
+        rounds,
+        counters,
+        warp_chains: scratch.warps.iter().map(|w| w.chain_cycles).collect(),
+    }
+}
+
+/// The parallel work-group engine: run every work-group in isolation on a
+/// scoped host-thread pool, then deterministically reconstruct exactly what
+/// the serial round-robin engine would have produced:
+///
+/// * **Memory image** — WgLocal work-groups write disjoint global words, so
+///   execution order cannot change the final image.
+/// * **Counters** — merged from per-WG subtotals in canonical wg order; all
+///   f64 counter increments are integer-valued (see [`Counters::merge`]), so
+///   the regrouped sums are bit-exact.
+/// * **Round count and retirement order** — replayed over residency *slots*:
+///   each WG occupies a slot for its isolated round count `R_g` (its
+///   per-round behaviour depends only on itself), reproducing the serial
+///   engine's `rounds`, its swap-remove retire order (which orders
+///   `total_chain_cycles` accumulation and warp-span sampling), and its
+///   sequential admissions.
+#[allow(clippy::too_many_arguments)]
+fn launch_parallel<K: Kernel, R: Recorder>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    grid: Grid,
+    occ: Occupancy,
+    warps_per_wg: usize,
+    resident_cap: usize,
+    threads: usize,
+    rec: &R,
+    t0_s: f64,
+) -> KernelStats {
+    let num_wgs = grid.num_wgs;
+    let empty_scratch = || WgRt::<K::State> { wg_id: 0, warps: Vec::new(), local: LocalMem::new(0) };
+    let mut outs: Vec<Option<WgOut>> = Vec::new();
+    outs.resize_with(num_wgs, || None);
+    if threads <= 1 || num_wgs == 1 {
+        let mut scratch = empty_scratch();
+        for (g, slot) in outs.iter_mut().enumerate() {
+            *slot = Some(run_wg_isolated(dev, global, kernel, grid, warps_per_wg, g, &mut scratch));
+        }
+    } else {
+        // Engage atomic RMWs for the duration of multi-threaded stepping.
+        global.set_parallel(true);
+        let chunk = num_wgs.div_ceil(threads * 8).max(1);
+        let mut work: Vec<(usize, &mut [Option<WgOut>])> = Vec::new();
+        for (ci, slice) in outs.chunks_mut(chunk).enumerate() {
+            work.push((ci * chunk, slice));
+        }
+        work.reverse(); // workers pop from the back → grid order first
+        let work = Mutex::new(work);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut scratch = empty_scratch();
+                    loop {
+                        let item = work.lock().expect("sim worker poisoned").pop();
+                        let Some((start, slice)) = item else { break };
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(run_wg_isolated(
+                                dev,
+                                global,
+                                kernel,
+                                grid,
+                                warps_per_wg,
+                                start + off,
+                                &mut scratch,
+                            ));
+                        }
+                    }
+                });
+            }
+        });
+        global.set_parallel(false);
+    }
+    let outs: Vec<WgOut> = outs.into_iter().map(|o| o.expect("every WG ran")).collect();
+
+    // Canonical-order counter merge.
+    let mut counters = Counters::default();
+    for o in &outs {
+        debug_assert!(o.rounds >= 1);
+        counters.merge(&o.counters);
+    }
+
+    // Slot replay: reconstruct the serial engine's global round count and
+    // swap-remove retirement order without re-executing anything.
+    let initial = resident_cap.min(num_wgs);
+    let mut slots: Vec<usize> = (0..initial).collect();
+    let mut remaining: Vec<u64> = slots.iter().map(|&g| outs[g].rounds).collect();
+    let mut next_wg = initial;
+    let mut retire_order: Vec<usize> = Vec::with_capacity(num_wgs);
+    let mut rounds: u64 = 0;
+    while !slots.is_empty() {
+        rounds += 1;
+        for r in remaining.iter_mut() {
+            *r -= 1;
+        }
+        let mut i = 0;
+        while i < slots.len() {
+            if remaining[i] == 0 {
+                retire_order.push(slots[i]);
+                slots.swap_remove(i);
+                remaining.swap_remove(i);
+                if next_wg < num_wgs {
+                    slots.push(next_wg);
+                    remaining.push(outs[next_wg].rounds);
+                    next_wg += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Chain totals and span sampling in exact serial retirement order, so
+    // even non-integer chain cycles accumulate bit-identically.
+    let mut total_chain: f64 = 0.0;
+    let mut max_chain: f64 = 0.0;
+    let mut warp_samples: Vec<(usize, usize, f64)> = Vec::new();
+    let mut dropped_warp_spans: u64 = 0;
+    for &g in &retire_order {
+        for (wi, &chain) in outs[g].warp_chains.iter().enumerate() {
+            total_chain += chain;
+            max_chain = max_chain.max(chain);
+            if rec.enabled() {
+                if warp_samples.len() < WARP_SPAN_CAP {
+                    warp_samples.push((g, wi, chain));
+                } else {
+                    dropped_warp_spans += 1;
+                }
+            }
+        }
+    }
+
+    finish_launch(
+        dev,
+        kernel.name(),
+        grid,
+        occ,
+        &counters,
+        rounds,
+        total_chain,
+        max_chain,
+        &warp_samples,
+        dropped_warp_spans,
+        rec,
+        t0_s,
+    )
+}
+
+/// The launch epilogue shared bit-for-bit by the serial and parallel
+/// engines: the four-bound time model, [`KernelStats`] assembly, and trace
+/// recording.
+#[allow(clippy::too_many_arguments)]
+fn finish_launch<R: Recorder>(
+    dev: &DeviceSpec,
+    name: String,
+    grid: Grid,
+    occ: Occupancy,
+    counters: &Counters,
+    rounds: u64,
+    total_chain: f64,
+    max_chain: f64,
+    warp_samples: &[(usize, usize, f64)],
+    dropped_warp_spans: u64,
+    rec: &R,
+    t0_s: f64,
+) -> KernelStats {
     // ---- time model ----
     let clock_hz = dev.clock_ghz * 1e9;
     // Concurrency actually sustained: average live warps per scheduling
@@ -968,7 +1393,7 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
     let bounds = TimeBounds { bandwidth_s, latency_s, serial_s, local_port_s };
 
     let stats = KernelStats {
-        name: kernel.name(),
+        name,
         num_wgs: grid.num_wgs,
         wg_size: grid.wg_size,
         occupancy: occ,
@@ -1013,5 +1438,5 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
         }
     }
 
-    Ok(stats)
+    stats
 }

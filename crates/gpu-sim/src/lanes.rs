@@ -117,6 +117,24 @@ impl LaneAddrs {
     pub fn active(&self) -> usize {
         self.as_slice().iter().filter(|a| a.is_some()).count()
     }
+
+    /// `Some(base)` when every lane is active and lane `i` addresses
+    /// `base + i` — the fully coalesced pattern the engine can service with
+    /// one bounds-checked slice operation instead of a per-lane walk.
+    #[must_use]
+    pub fn contiguous_base(&self) -> Option<usize> {
+        let s = self.as_slice();
+        let base = match s.first() {
+            Some(&Some(b)) => b,
+            _ => return None,
+        };
+        for (i, a) in s.iter().enumerate() {
+            if *a != Some(base + i) {
+                return None;
+            }
+        }
+        Some(base)
+    }
 }
 
 impl LaneWrites {
@@ -124,6 +142,24 @@ impl LaneWrites {
     #[must_use]
     pub fn active(&self) -> usize {
         self.as_slice().iter().filter(|a| a.is_some()).count()
+    }
+
+    /// `Some(base)` when every lane is active and lane `i` writes
+    /// `base + i` (see [`LaneAddrs::contiguous_base`]).
+    #[must_use]
+    pub fn contiguous_base(&self) -> Option<usize> {
+        let s = self.as_slice();
+        let base = match s.first() {
+            Some(&Some((b, _))) => b,
+            _ => return None,
+        };
+        for (i, w) in s.iter().enumerate() {
+            match w {
+                Some((a, _)) if *a == base + i => {}
+                _ => return None,
+            }
+        }
+        Some(base)
     }
 }
 
@@ -156,6 +192,21 @@ mod tests {
     #[should_panic]
     fn oversize_panics() {
         let _ = Lanes::splat(65, 0u32);
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        let c = LaneAddrs::from_fn(4, |i| Some(10 + i));
+        assert_eq!(c.contiguous_base(), Some(10));
+        let gap = LaneAddrs::from_fn(4, |i| Some(10 + i * 2));
+        assert_eq!(gap.contiguous_base(), None);
+        let hole = LaneAddrs::from_fn(4, |i| if i == 2 { None } else { Some(10 + i) });
+        assert_eq!(hole.contiguous_base(), None);
+        assert_eq!(LaneAddrs::splat(0, None).contiguous_base(), None);
+        let w = LaneWrites::from_fn(3, |i| Some((5 + i, i as u32)));
+        assert_eq!(w.contiguous_base(), Some(5));
+        let wd = LaneWrites::from_fn(3, |i| Some((5 + 2 * i, i as u32)));
+        assert_eq!(wd.contiguous_base(), None);
     }
 
     #[test]

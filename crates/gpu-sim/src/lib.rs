@@ -18,7 +18,9 @@
 //! Nothing here knows about transposition: this crate is a generic little
 //! accelerator simulator; the paper's kernels live in `ipt-gpu`.
 
-#![forbid(unsafe_code)]
+// One audited unsafe block exists: `mem::zeroed_atomic_words` reinterprets a
+// bulk-zeroed `Vec<u32>` as `Vec<AtomicU32>`. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -35,8 +37,8 @@ pub mod sim;
 
 pub use device::{Arch, DeviceSpec, PcieSpec};
 pub use exec::{
-    launch_configured, launch_traced, launch_with_faults, Grid, Kernel, LaunchConfig, LaunchError,
-    Step, WarpCtx, WARP_SPAN_CAP,
+    launch_configured, launch_traced, launch_with_faults, Coordination, EngineMode, Grid, Kernel,
+    LaunchConfig, LaunchError, Step, WarpCtx, WARP_SPAN_CAP,
 };
 pub use fault::{
     AtomicTamper, ChaosConfig, ChaosPlan, FaultKind, FaultPlan, FaultRecord, FaultSource,

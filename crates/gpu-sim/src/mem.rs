@@ -3,7 +3,10 @@
 //! * [`GlobalMem`] — the single global address space, word (u32) addressed,
 //!   backed by `AtomicU32` so concurrently simulated work-groups (and real
 //!   host threads, when the engine parallelises independent work-groups) are
-//!   race-free. `f32` payloads travel as bit patterns.
+//!   race-free. `f32` payloads travel as bit patterns. The memory is
+//!   *dual-mode*: plain loads/stores and non-atomic read-modify-writes while
+//!   the engine is single-threaded, real atomic RMWs only while the parallel
+//!   work-group engine is engaged (see [`GlobalMem::set_parallel`]).
 //! * [`Buffer`] — a handle to an allocated region (base + length), the unit
 //!   kernels address relative to.
 //! * [`LocalMem`] — one work-group's scratchpad, plain words (the engine
@@ -15,20 +18,40 @@
 
 use ipt_obs::{Counter, Recorder};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Word-addressed global memory.
 pub struct GlobalMem {
     words: Vec<AtomicU32>,
+    /// True while the parallel work-group engine is stepping kernels on
+    /// multiple host threads. RMW primitives fall back to plain (cheaper)
+    /// read-modify-write sequences whenever this is false.
+    parallel: AtomicBool,
+}
+
+/// Reinterpret a zeroed `Vec<u32>` as `Vec<AtomicU32>` without touching the
+/// elements. `vec![0u32; n]` lands on the allocator's zeroed-page path, so a
+/// multi-GB simulated device does not pay a per-element constructor.
+fn zeroed_atomic_words(words: usize) -> Vec<AtomicU32> {
+    const _: () = assert!(std::mem::size_of::<AtomicU32>() == std::mem::size_of::<u32>());
+    const _: () = assert!(std::mem::align_of::<AtomicU32>() == std::mem::align_of::<u32>());
+    let mut v = ManuallyDrop::new(vec![0u32; words]);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: AtomicU32 has the same size, alignment, and (all-zero-valid)
+    // representation as u32, asserted above; `v` is leaked via ManuallyDrop
+    // so the allocation has exactly one owner.
+    #[allow(unsafe_code)]
+    unsafe {
+        Vec::from_raw_parts(ptr.cast::<AtomicU32>(), len, cap)
+    }
 }
 
 impl GlobalMem {
     /// Allocate a memory of `words` zeroed 32-bit words.
     #[must_use]
     pub fn new(words: usize) -> Self {
-        let mut v = Vec::with_capacity(words);
-        v.resize_with(words, || AtomicU32::new(0));
-        Self { words: v }
+        Self { words: zeroed_atomic_words(words), parallel: AtomicBool::new(false) }
     }
 
     /// Capacity in words.
@@ -43,38 +66,108 @@ impl GlobalMem {
         self.words.is_empty()
     }
 
+    /// Switch between serial (plain RMW) and parallel (atomic RMW) modes.
+    ///
+    /// The parallel engine sets this for the duration of a multi-threaded
+    /// launch and clears it before returning. Relaxed ordering everywhere is
+    /// sufficient: `WgLocal` kernels never race on a word by contract, and
+    /// `std::thread::scope`'s join edge publishes all worker writes.
+    pub fn set_parallel(&self, on: bool) {
+        self.parallel.store(on, Ordering::Release);
+    }
+
+    /// True while the parallel engine is stepping kernels.
+    #[must_use]
+    pub fn parallel_mode(&self) -> bool {
+        self.parallel.load(Ordering::Acquire)
+    }
+
     /// Read the word at `addr`.
     #[inline]
     #[must_use]
     pub fn read(&self, addr: usize) -> u32 {
-        self.words[addr].load(Ordering::Acquire)
+        self.words[addr].load(Ordering::Relaxed)
     }
 
     /// Write the word at `addr`.
     #[inline]
     pub fn write(&self, addr: usize, v: u32) {
-        self.words[addr].store(v, Ordering::Release);
+        self.words[addr].store(v, Ordering::Relaxed);
+    }
+
+    /// Copy `src` into the contiguous run starting at `base` (one bounds
+    /// check for the whole warp instead of one per lane).
+    ///
+    /// # Panics
+    /// Panics if `base + src.len()` exceeds capacity.
+    pub fn write_run(&self, base: usize, src: &[u32]) {
+        let cells = &self.words[base..base + src.len()];
+        for (c, &v) in cells.iter().zip(src) {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the contiguous run starting at `base` into `dst`.
+    ///
+    /// # Panics
+    /// Panics if `base + dst.len()` exceeds capacity.
+    pub fn read_run(&self, base: usize, dst: &mut [u32]) {
+        let cells = &self.words[base..base + dst.len()];
+        for (v, c) in dst.iter_mut().zip(cells) {
+            *v = c.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Fill the contiguous run `base .. base + len` with `v` (device memset).
+    ///
+    /// # Panics
+    /// Panics if the run exceeds capacity.
+    pub fn fill_run(&self, base: usize, len: usize, v: u32) {
+        for c in &self.words[base..base + len] {
+            c.store(v, Ordering::Relaxed);
+        }
     }
 
     /// Atomic OR; returns the previous value (the GPU `atom_or` primitive
     /// used to simulate bit-addressable flags, §5.1).
     #[inline]
     pub fn atomic_or(&self, addr: usize, v: u32) -> u32 {
-        self.words[addr].fetch_or(v, Ordering::AcqRel)
+        if self.parallel.load(Ordering::Relaxed) {
+            self.words[addr].fetch_or(v, Ordering::Relaxed)
+        } else {
+            let old = self.words[addr].load(Ordering::Relaxed);
+            self.words[addr].store(old | v, Ordering::Relaxed);
+            old
+        }
     }
 
     /// Atomic compare-exchange; returns the previous value.
     #[inline]
     pub fn atomic_cas(&self, addr: usize, expect: u32, new: u32) -> u32 {
-        match self.words[addr].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(old) | Err(old) => old,
+        if self.parallel.load(Ordering::Relaxed) {
+            match self.words[addr].compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(old) | Err(old) => old,
+            }
+        } else {
+            let old = self.words[addr].load(Ordering::Relaxed);
+            if old == expect {
+                self.words[addr].store(new, Ordering::Relaxed);
+            }
+            old
         }
     }
 
     /// Atomic add; returns the previous value.
     #[inline]
     pub fn atomic_add(&self, addr: usize, v: u32) -> u32 {
-        self.words[addr].fetch_add(v, Ordering::AcqRel)
+        if self.parallel.load(Ordering::Relaxed) {
+            self.words[addr].fetch_add(v, Ordering::Relaxed)
+        } else {
+            let old = self.words[addr].load(Ordering::Relaxed);
+            self.words[addr].store(old.wrapping_add(v), Ordering::Relaxed);
+            old
+        }
     }
 }
 
@@ -261,6 +354,50 @@ mod tests {
         assert_eq!(m.atomic_cas(2, 0, 9), 0);
         assert_eq!(m.atomic_cas(2, 0, 7), 9, "failed CAS returns current");
         assert_eq!(m.read(2), 9);
+    }
+
+    #[test]
+    fn global_atomics_parallel_mode() {
+        let m = GlobalMem::new(4);
+        m.set_parallel(true);
+        assert!(m.parallel_mode());
+        assert_eq!(m.atomic_or(0, 0b01), 0);
+        assert_eq!(m.atomic_or(0, 0b10), 0b01);
+        assert_eq!(m.atomic_add(1, 5), 0);
+        assert_eq!(m.atomic_cas(2, 0, 9), 0);
+        assert_eq!(m.atomic_cas(2, 0, 7), 9);
+        m.set_parallel(false);
+        assert!(!m.parallel_mode());
+        assert_eq!(m.read(0), 0b11);
+    }
+
+    #[test]
+    fn run_ops_roundtrip() {
+        let m = GlobalMem::new(16);
+        m.write_run(4, &[1, 2, 3, 4]);
+        let mut out = [0u32; 4];
+        m.read_run(4, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(m.read(3), 0);
+        assert_eq!(m.read(8), 0);
+        m.fill_run(4, 3, 7);
+        m.read_run(4, &mut out);
+        assert_eq!(out, [7, 7, 7, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn run_ops_bounds_checked() {
+        let m = GlobalMem::new(4);
+        m.write_run(2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bulk_zeroed_allocation_is_zero() {
+        let m = GlobalMem::new(1 << 16);
+        for a in [0usize, 1, 12345, (1 << 16) - 1] {
+            assert_eq!(m.read(a), 0);
+        }
     }
 
     #[test]

@@ -16,8 +16,13 @@
 use crate::device::DeviceSpec;
 use crate::fault::FaultSource;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One queued command.
+///
+/// Labels are `Arc<str>`: the DES hot loop stamps every scheduled [`Span`]
+/// with its command's label, and serving streams replay thousands of cached
+/// command lists — a reference-count bump per span instead of a heap copy.
 #[derive(Debug, Clone)]
 pub enum Cmd {
     /// Host-to-device copy of `bytes`.
@@ -34,8 +39,8 @@ pub enum Cmd {
     Kernel {
         /// Simulated kernel time, seconds.
         time_s: f64,
-        /// Label for the timeline.
-        name: String,
+        /// Label for the timeline (shared, cheap to clone per span).
+        name: Arc<str>,
     },
 }
 
@@ -61,11 +66,13 @@ impl Cmd {
         }
     }
 
-    fn label(&self) -> String {
+    fn label(&self) -> Arc<str> {
         match self {
-            Cmd::H2D { bytes } => format!("H2D {:.1} MB", bytes / 1e6),
-            Cmd::D2H { bytes } => format!("D2H {:.1} MB", bytes / 1e6),
-            Cmd::Kernel { name, .. } => name.clone(),
+            Cmd::H2D { bytes } => format!("H2D {:.1} MB", bytes / 1e6).into(),
+            Cmd::D2H { bytes } => format!("D2H {:.1} MB", bytes / 1e6).into(),
+            // Kernel labels are pre-shared: a span stamp is one refcount
+            // bump, not an allocation.
+            Cmd::Kernel { name, .. } => Arc::clone(name),
         }
     }
 }
@@ -83,8 +90,8 @@ pub struct Span {
     pub start_s: f64,
     /// End time, seconds.
     pub end_s: f64,
-    /// Human-readable label.
-    pub label: String,
+    /// Human-readable label (shared with the originating command).
+    pub label: Arc<str>,
 }
 
 /// The simulated execution timeline.
@@ -257,7 +264,7 @@ pub enum QueueError {
         /// True for host-to-device, false for device-to-host.
         h2d: bool,
         /// Timeline label of the failed command.
-        label: String,
+        label: Arc<str>,
     },
 }
 
@@ -385,8 +392,8 @@ pub struct ECmd {
     pub engine: usize,
     /// Duration, seconds.
     pub duration_s: f64,
-    /// Label for the timeline.
-    pub label: String,
+    /// Label for the timeline (shared, cheap to clone per span).
+    pub label: Arc<str>,
     /// Cross-queue event wait: `(queue, index)` of the prerequisite.
     pub wait: Option<(usize, usize)>,
 }

@@ -10,7 +10,7 @@ use serde::Serialize;
 /// The four candidate bounds of the time model; the simulated kernel time is
 /// their maximum. Keeping all four visible makes every experiment's
 /// mechanism inspectable ("this configuration is latency-bound").
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TimeBounds {
     /// DRAM-bandwidth bound: traffic / (peak × occupancy saturation).
     pub bandwidth_s: f64,
@@ -48,7 +48,11 @@ impl TimeBounds {
 }
 
 /// Everything measured while simulating one kernel launch.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Derives `PartialEq` so the engine-equivalence proptests can assert the
+/// parallel engine reproduces the serial report *bit for bit* (f64 fields
+/// compare exactly — no epsilon).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,

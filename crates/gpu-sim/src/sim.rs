@@ -8,7 +8,7 @@
 //! them without touching each kernel call site.
 
 use crate::device::DeviceSpec;
-use crate::exec::{launch_configured, Kernel, LaunchConfig, LaunchError};
+use crate::exec::{launch_configured, EngineMode, Kernel, LaunchConfig, LaunchError};
 use crate::fault::{ChaosPlan, FaultPlan, FaultRecord, FaultSource};
 use crate::mem::{Buffer, GlobalMem, MemTraffic, TrafficSnapshot};
 use crate::report::KernelStats;
@@ -53,6 +53,7 @@ pub struct Sim {
     chaos: Option<ChaosPlan>,
     sched: SchedPolicy,
     watchdog: Option<Watchdog>,
+    engine: EngineMode,
     launch_seq: AtomicU64,
     traffic: MemTraffic,
 }
@@ -69,6 +70,7 @@ impl Sim {
             chaos: None,
             sched: SchedPolicy::RoundRobin,
             watchdog: None,
+            engine: EngineMode::Serial,
             launch_seq: AtomicU64::new(0),
             traffic: MemTraffic::default(),
         }
@@ -151,6 +153,20 @@ impl Sim {
         self.sched = policy;
     }
 
+    /// Select the host execution engine for subsequent launches. Parallel
+    /// mode only engages for [`crate::exec::Coordination::WgLocal`] kernels
+    /// launched round-robin with no fault source or watchdog; everything
+    /// else falls back to serial, and results are bit-identical either way.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.engine = mode;
+    }
+
+    /// The current host execution engine.
+    #[must_use]
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine
+    }
+
     /// The current warp-scheduling policy.
     #[must_use]
     pub fn sched_policy(&self) -> SchedPolicy {
@@ -218,40 +234,39 @@ impl Sim {
     pub fn upload_u32(&self, buf: Buffer, data: &[u32]) {
         assert!(data.len() <= buf.len);
         self.traffic.add_h2d(data.len() as u64 * 4);
-        for (i, &v) in data.iter().enumerate() {
-            self.mem.write(buf.base + i, v);
-        }
+        self.mem.write_run(buf.base, data);
     }
 
     /// Upload f32 data (as bit patterns) into `buf`.
     pub fn upload_f32(&self, buf: Buffer, data: &[f32]) {
         assert!(data.len() <= buf.len);
         self.traffic.add_h2d(data.len() as u64 * 4);
-        for (i, &v) in data.iter().enumerate() {
-            self.mem.write(buf.base + i, v.to_bits());
-        }
+        let bits: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+        self.mem.write_run(buf.base, &bits);
     }
 
     /// Download `buf` as u32.
     #[must_use]
     pub fn download_u32(&self, buf: Buffer) -> Vec<u32> {
         self.traffic.add_d2h(buf.len as u64 * 4);
-        (0..buf.len).map(|i| self.mem.read(buf.base + i)).collect()
+        let mut out = vec![0u32; buf.len];
+        self.mem.read_run(buf.base, &mut out);
+        out
     }
 
     /// Download `buf` as f32.
     #[must_use]
     pub fn download_f32(&self, buf: Buffer) -> Vec<f32> {
         self.traffic.add_d2h(buf.len as u64 * 4);
-        (0..buf.len).map(|i| f32::from_bits(self.mem.read(buf.base + i))).collect()
+        let mut bits = vec![0u32; buf.len];
+        self.mem.read_run(buf.base, &mut bits);
+        bits.into_iter().map(f32::from_bits).collect()
     }
 
     /// Zero a buffer (host-side initialisation of flag arrays).
     pub fn zero(&self, buf: Buffer) {
         self.traffic.add_memset(buf.len as u64 * 4);
-        for i in 0..buf.len {
-            self.mem.write(buf.base + i, 0);
-        }
+        self.mem.fill_run(buf.base, buf.len, 0);
     }
 
     /// Host↔device traffic meters accumulated so far.
@@ -309,6 +324,7 @@ impl Sim {
                 fault: self.fault_source(),
                 sched: sched.as_deref_mut().map(|s| s as &mut dyn Scheduler),
                 watchdog: self.watchdog,
+                engine: self.engine,
             },
             rec,
             t0_s,
@@ -335,6 +351,7 @@ impl Sim {
                 fault: self.fault_source(),
                 sched: Some(sched),
                 watchdog: self.watchdog,
+                engine: EngineMode::Serial,
             },
             rec_noop(),
             0.0,

@@ -8,7 +8,7 @@
 //! phases, which is why BS is the kernel of choice for stage 2 (`0010!`)
 //! whenever `m·n` fits on chip (§7.4).
 
-use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
 /// BS kernel over `instances` contiguous tiles of `rows × cols`
@@ -52,6 +52,12 @@ impl Kernel for BsKernel {
 
     fn grid(&self) -> Grid {
         Grid { num_wgs: self.instances, wg_size: self.wg_size }
+    }
+
+    // Each work-group owns the disjoint tile `wg_id * tile_len`; no global
+    // word is shared across work-groups.
+    fn coordination(&self) -> Coordination {
+        Coordination::WgLocal
     }
 
     fn regs_per_thread(&self) -> usize {

@@ -13,7 +13,7 @@
 //!   better than the single-stage whole-matrix chase (see the `primes`
 //!   experiment).
 
-use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::coprime::{minv_for, phase1_src_col, phase2_src_row};
 
 /// Phase-1 kernel: row scramble.
@@ -61,6 +61,12 @@ impl Kernel for CoprimeRowScramble {
 
     fn grid(&self) -> Grid {
         Grid { num_wgs: self.rows.min(4096), wg_size: self.wg_size }
+    }
+
+    // Grid-stride over whole rows (`st.row += num_wgs`): each work-group
+    // touches only rows ≡ wg_id (mod num_wgs) — disjoint footprints.
+    fn coordination(&self) -> Coordination {
+        Coordination::WgLocal
     }
 
     fn regs_per_thread(&self) -> usize {
@@ -170,6 +176,12 @@ impl Kernel for CoprimeColShuffle {
 
     fn grid(&self) -> Grid {
         Grid { num_wgs: self.cols.min(4096), wg_size: self.wg_size }
+    }
+
+    // Grid-stride over whole columns: each work-group permutes only columns
+    // ≡ wg_id (mod num_wgs), so global footprints never overlap.
+    fn coordination(&self) -> Coordination {
+        Coordination::WgLocal
     }
 
     fn regs_per_thread(&self) -> usize {

@@ -85,7 +85,7 @@ pub fn run_host_sync(
     let bytes = matrix_bytes(rows, cols);
     let mut q = vec![QCmd::plain(Cmd::H2D { bytes })];
     for st in &stats.stages {
-        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.clone() }));
+        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.as_str().into() }));
     }
     if stats.overhead_s > 0.0 {
         q.push(QCmd::plain(Cmd::Kernel { time_s: stats.overhead_s, name: "flag memsets".into() }));
@@ -253,12 +253,12 @@ fn run_host_async_body(
         let mut cmds = Vec::new();
         let wait_stage1 = Some((0usize, 1usize)); // stage1 is queue 0, index 1
         cmds.push(QCmd {
-            cmd: Cmd::Kernel { time_s: st2.time_s, name: format!("stage2 chunk {ci}") },
+            cmd: Cmd::Kernel { time_s: st2.time_s, name: format!("stage2 chunk {ci}").into() },
             wait: wait_stage1,
         });
         cmds.push(QCmd::plain(Cmd::Kernel {
             time_s: st3.time_s,
-            name: format!("stage3 chunk {ci}"),
+            name: format!("stage3 chunk {ci}").into(),
         }));
         cmds.push(QCmd::plain(Cmd::D2H { bytes: d2h_bytes }));
         kernels.stages.push(st2);
@@ -318,7 +318,7 @@ pub fn run_host_oop(
     let bytes = matrix_bytes(rows, cols);
     let q = vec![
         QCmd::plain(Cmd::H2D { bytes }),
-        QCmd::plain(Cmd::Kernel { time_s: stats.time_s, name: stats.name.clone() }),
+        QCmd::plain(Cmd::Kernel { time_s: stats.time_s, name: stats.name.as_str().into() }),
         QCmd::plain(Cmd::D2H { bytes }),
     ];
     let timeline = simulate_queues_dep(dev, &[q]);
@@ -404,7 +404,7 @@ pub fn run_host_sync_recovering(
     let bytes = matrix_bytes(rows, cols);
     let mut q = vec![QCmd::plain(Cmd::H2D { bytes })];
     for st in &stats.stages {
-        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.clone() }));
+        q.push(QCmd::plain(Cmd::Kernel { time_s: st.time_s, name: st.name.as_str().into() }));
     }
     if stats.overhead_s > 0.0 {
         q.push(QCmd::plain(Cmd::Kernel { time_s: stats.overhead_s, name: "flag memsets".into() }));

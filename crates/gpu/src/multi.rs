@@ -192,19 +192,19 @@ pub fn run_multi_gpu(
                 ECmd {
                     engine: h2d_e,
                     duration_s: xfer,
-                    label: format!("H2D block {d}"),
+                    label: format!("H2D block {d}").into(),
                     wait: None,
                 },
                 ECmd {
                     engine: d,
                     duration_s: kernel_s[d],
-                    label: format!("3-stage block {d}"),
+                    label: format!("3-stage block {d}").into(),
                     wait: None,
                 },
                 ECmd {
                     engine: d2h_e,
                     duration_s: xfer,
-                    label: format!("D2H panel {d}"),
+                    label: format!("D2H panel {d}").into(),
                     wait: None,
                 },
             ]

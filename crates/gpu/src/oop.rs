@@ -6,7 +6,7 @@
 //! local accesses are bank-conflict-free. Needs a second buffer — the 100 %
 //! memory overhead that motivates the paper.
 
-use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 
 /// Tile edge (words).
 pub const TILE: usize = 32;
@@ -55,6 +55,12 @@ impl Kernel for OopTranspose {
         // One work-group per tile, grid-strided over tiles; 32×8 threads.
         let tiles = self.tiles_x() * self.tiles_y();
         Grid { num_wgs: tiles.clamp(1, 4096), wg_size: TILE * BLOCK_ROWS }
+    }
+
+    // Grid-strided disjoint destination tiles; the source is only read, so
+    // nothing a work-group writes is visible to any other.
+    fn coordination(&self) -> Coordination {
+        Coordination::WgLocal
     }
 
     fn regs_per_thread(&self) -> usize {

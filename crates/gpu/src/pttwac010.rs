@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::opts::{ClaimBackoff, FlagLayout};
-use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
 /// PTTWAC 010! kernel: `instances` tiles of `rows × cols` scalars.
@@ -92,6 +92,12 @@ impl Kernel for Pttwac010 {
 
     fn grid(&self) -> Grid {
         Grid { num_wgs: self.instances, wg_size: self.wg_size }
+    }
+
+    // One work-group per tile instance (`base = wg_id * tile_len`) with the
+    // claim flags in work-group-local memory — nothing global is shared.
+    fn coordination(&self) -> Coordination {
+        Coordination::WgLocal
     }
 
     fn regs_per_thread(&self) -> usize {

@@ -29,7 +29,7 @@
 //! whole-matrix single-stage transposition (the ≈1.5 GB/s baseline of §4.1).
 
 use crate::opts::{ClaimBackoff, Variant100};
-use gpu_sim::{Buffer, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
 /// PTTWAC 100!-family kernel.
@@ -146,6 +146,13 @@ impl Kernel for Pttwac100 {
                 Grid { num_wgs: wgs, wg_size: self.wg_size }
             }
         }
+    }
+
+    // Chains are claimed through `atom_or` flags in *global* memory: any
+    // work-group may race any other for a cycle head, so execution must keep
+    // the serial cross-work-group interleaving.
+    fn coordination(&self) -> Coordination {
+        Coordination::CrossWg
     }
 
     fn regs_per_thread(&self) -> usize {

@@ -27,7 +27,7 @@ use crate::pipeline::plan_flag_words;
 use crate::recover::{
     transpose_scheme_with_recovery, RecoveryPolicy, RecoveryReport, TransposeError,
 };
-use gpu_sim::{try_simulate_engines_at, DeviceSpec, ECmd, Sim, Timeline};
+use gpu_sim::{try_simulate_engines_at, DeviceSpec, ECmd, EngineMode, Sim, Timeline};
 use ipt_core::stages::StagePlan;
 use ipt_core::tiles::TileHeuristic;
 use ipt_core::{decide_scheme, PlanDecision, Scheme};
@@ -191,6 +191,9 @@ pub struct ServedResult {
     /// Simulated device-side seconds this request's kernels took
     /// (0 for the identity short-circuit).
     pub service_s: f64,
+    /// Simulation engine the request executed on (`"serial"` or
+    /// `"parallel"`) — per-request provenance for the wall-clock numbers.
+    pub engine: &'static str,
 }
 
 /// Serving-layer configuration.
@@ -411,19 +414,19 @@ impl Server {
                     ECmd {
                         engine: h2d_e,
                         duration_s: xfer,
-                        label: format!("H2D batch {q}"),
+                        label: format!("H2D batch {q}").into(),
                         wait: None,
                     },
                     ECmd {
                         engine: device,
                         duration_s: kernel_s,
-                        label: format!("{} batch {q}", key.scheme.name()),
+                        label: format!("{} batch {q}", key.scheme.name()).into(),
                         wait: None,
                     },
                     ECmd {
                         engine: d2h_e,
                         duration_s: xfer,
-                        label: format!("D2H batch {q}"),
+                        label: format!("D2H batch {q}").into(),
                         wait: None,
                     },
                 ]);
@@ -522,6 +525,13 @@ impl Server {
         // 2× data for the out-of-place recovery fallback, plus flag slack.
         let capacity = 2 * req.data.len() + elem_words * flag_words + 256;
         let mut sim = Sim::new(self.dev.clone(), capacity);
+        // Cache-hit batches re-execute a plan that already ran once, so the
+        // wall-clock win of the pooled engine is pure profit; the launch
+        // gate still falls back to serial for cross-work-group kernels.
+        if cache_hit {
+            sim.set_engine_mode(EngineMode::parallel_auto());
+        }
+        let engine = sim.engine_mode().label();
         let mut data = req.data.clone();
         let (stats, recovery) = transpose_scheme_with_recovery(
             &mut sim,
@@ -545,6 +555,7 @@ impl Server {
                 recovery,
                 queue_wait_s: 0.0,
                 service_s: stats.as_ref().map_or(0.0, gpu_sim::PipelineStats::time_s),
+                engine,
             },
             stats,
         ))

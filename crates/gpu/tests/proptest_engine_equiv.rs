@@ -1,0 +1,180 @@
+//! Property: the pooled parallel simulation engine is *observably
+//! indistinguishable* from the serial round-robin engine.
+//!
+//! For random shapes and every work-group-local kernel family the engines
+//! must produce byte-identical memory images, bit-identical
+//! [`KernelStats`] (simulated times, conflict counters, chain cycles — no
+//! epsilon), and identical Chrome-trace span trees; thread count (1, 2, N)
+//! must not be observable either. Cross-work-group kernels (`100!`) must
+//! silently fall back to the serial engine and still agree.
+
+use gpu_sim::{DeviceSpec, EngineMode, KernelStats, Sim};
+use ipt_core::InstancedTranspose;
+use ipt_gpu::bs::BsKernel;
+use ipt_gpu::coprime::{CoprimeColShuffle, CoprimeRowScramble};
+use ipt_gpu::oop::OopTranspose;
+use ipt_gpu::opts::{FlagLayout, Variant100};
+use ipt_gpu::pttwac010::Pttwac010;
+use ipt_gpu::pttwac100::Pttwac100;
+use ipt_obs::{chrome_trace_json, TraceRecorder};
+use proptest::prelude::*;
+
+/// Which kernel family the equivalence run drives.
+#[derive(Debug, Clone, Copy)]
+enum Fam {
+    Bs,
+    P010,
+    CoprimeRow,
+    CoprimeCol,
+    Oop,
+    /// Cross-work-group: must *fall back* to serial under a parallel
+    /// request, so both runs take the identical code path.
+    P100,
+}
+
+const FAMS: [Fam; 6] =
+    [Fam::Bs, Fam::P010, Fam::CoprimeRow, Fam::CoprimeCol, Fam::Oop, Fam::P100];
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+/// Everything an engine run can leak: final memory, the full stats report,
+/// and the rendered Chrome trace (span tree, counters, metadata).
+struct Observed {
+    mem: Vec<u32>,
+    stats: KernelStats,
+    trace: String,
+}
+
+/// One traced execution of `fam` on `rows × cols` under `engine`.
+fn run_under(fam: Fam, rows: usize, cols: usize, instances: usize, engine: EngineMode) -> Observed {
+    // Coprime stages need coprime dimensions; nudge cols until they are.
+    let (rows, cols) = match fam {
+        Fam::CoprimeRow | Fam::CoprimeCol => {
+            let mut c = cols;
+            while gcd(rows, c) != 1 {
+                c += 1;
+            }
+            (rows, c)
+        }
+        _ => (rows, cols),
+    };
+    let super_size = if matches!(fam, Fam::P100) { 2 } else { 1 };
+    let op = InstancedTranspose::new(instances, rows, cols, super_size);
+    let flag_words = Pttwac100::flag_words(rows * cols);
+    let mut sim =
+        Sim::new(DeviceSpec::tesla_k20(), 2 * op.total_len() + flag_words + 8);
+    sim.set_engine_mode(engine);
+    let data = sim.alloc(op.total_len());
+    sim.upload_u32(data, &(0..op.total_len() as u32).collect::<Vec<_>>());
+    let rec = TraceRecorder::new();
+    let stats = match fam {
+        Fam::Bs => {
+            let k = BsKernel { data, instances, rows, cols, super_size, wg_size: 64 };
+            sim.launch_rec(&k, &rec, 0.0).expect("bs launch")
+        }
+        Fam::P010 => {
+            let k = Pttwac010 {
+                data,
+                instances,
+                rows,
+                cols,
+                wg_size: 64,
+                flags: FlagLayout::Packed,
+                backoff: None,
+            };
+            sim.launch_rec(&k, &rec, 0.0).expect("010 launch")
+        }
+        Fam::CoprimeRow => {
+            let k = CoprimeRowScramble::new(data, rows, cols, 64);
+            sim.launch_rec(&k, &rec, 0.0).expect("coprime-row launch")
+        }
+        Fam::CoprimeCol => {
+            let k = CoprimeColShuffle { data, rows, cols, wg_size: 64 };
+            sim.launch_rec(&k, &rec, 0.0).expect("coprime-col launch")
+        }
+        Fam::Oop => {
+            let dst = sim.alloc(op.total_len());
+            let k = OopTranspose { src: data, dst, rows, cols };
+            let stats = sim.launch_rec(&k, &rec, 0.0).expect("oop launch");
+            // Observe the *destination* buffer for OOP.
+            return Observed {
+                mem: sim.download_u32(dst),
+                stats,
+                trace: chrome_trace_json(&rec),
+            };
+        }
+        Fam::P100 => {
+            let flags = sim.alloc(flag_words);
+            sim.zero(flags);
+            let k = Pttwac100 {
+                data,
+                flags,
+                instances,
+                rows,
+                cols,
+                super_size,
+                variant: Variant100::WarpLocalTile,
+                wg_size: 256,
+                fuse_tile: None,
+                backoff: None,
+            };
+            sim.launch_rec(&k, &rec, 0.0).expect("100 launch")
+        }
+    };
+    Observed { mem: sim.download_u32(data), stats, trace: chrome_trace_json(&rec) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tentpole invariant: parallel engine ≡ serial engine, bit for bit,
+    /// on every kernel family — memory, stats (incl. conflict counters
+    /// and f64 chain cycles), and the whole trace.
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial(
+        rows in 2usize..16,
+        cols in 2usize..16,
+        instances in 1usize..6,
+    ) {
+        for fam in FAMS {
+            // Coprime/OOP families ignore `instances` (single matrix).
+            let inst = if matches!(fam, Fam::Bs | Fam::P010) { instances } else { 1 };
+            let serial = run_under(fam, rows, cols, inst, EngineMode::Serial);
+            let par = run_under(fam, rows, cols, inst, EngineMode::Parallel { threads: 3 });
+            prop_assert_eq!(
+                &serial.mem, &par.mem,
+                "{:?} {}x{}x{}: memory diverged", fam, inst, rows, cols
+            );
+            prop_assert_eq!(
+                &serial.stats, &par.stats,
+                "{:?} {}x{}x{}: stats diverged", fam, inst, rows, cols
+            );
+            prop_assert_eq!(
+                &serial.trace, &par.trace,
+                "{:?} {}x{}x{}: trace diverged", fam, inst, rows, cols
+            );
+        }
+    }
+
+    /// Satellite invariant: the worker-thread count is unobservable —
+    /// 1, 2, and N threads produce byte-identical memory, stats, and
+    /// Chrome-trace span trees.
+    #[test]
+    fn thread_count_is_unobservable(
+        rows in 2usize..14,
+        cols in 2usize..14,
+        instances in 2usize..8,
+    ) {
+        let base = run_under(Fam::Bs, rows, cols, instances, EngineMode::Parallel { threads: 1 });
+        for threads in [2usize, 7] {
+            let other = run_under(
+                Fam::Bs, rows, cols, instances, EngineMode::Parallel { threads },
+            );
+            prop_assert_eq!(&base.mem, &other.mem, "threads={} memory", threads);
+            prop_assert_eq!(&base.stats, &other.stats, "threads={} stats", threads);
+            prop_assert_eq!(&base.trace, &other.trace, "threads={} trace", threads);
+        }
+    }
+}

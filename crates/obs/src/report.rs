@@ -39,6 +39,14 @@ pub struct Provenance {
     /// scheme name (`"identity"`, `"square-tiled"`, …) when one applies to
     /// the whole report.
     pub scheme: String,
+    /// Simulation engine the run executed on: `"serial"` or `"parallel"`.
+    /// Wall-clock (`wall_*`) metrics are only comparable between runs of
+    /// the same engine.
+    pub engine: String,
+    /// Worker threads the parallel engine used (1 for serial runs), so a
+    /// wall-clock baseline from a 1-core runner is never silently compared
+    /// against an 8-core run.
+    pub sim_threads: u64,
 }
 
 /// The versioned envelope every archived benchmark JSON uses.
@@ -124,7 +132,8 @@ impl std::fmt::Display for Regression {
 
 /// Walk a report's value tree and collect every higher-is-better
 /// throughput metric: numeric leaves whose key contains `gbps` or
-/// `speedup`.
+/// `speedup` — except `wall_`-prefixed keys (e.g. `wall_gbps`), which
+/// are host measurements and belong to [`extract_wall_metrics`].
 ///
 /// Paths are stable across runs because the serializer preserves field and
 /// row order, so a path identifies the same logical measurement in the
@@ -136,24 +145,47 @@ pub fn extract_metrics(report: &Value) -> Vec<Metric> {
     out
 }
 
+/// Walk a report's value tree and collect every **host wall-clock** metric:
+/// numeric leaves whose key starts with `wall_`.
+///
+/// These are deliberately a separate channel from [`extract_metrics`]: the
+/// simulated-throughput keys (`gbps`/`speedup`) are deterministic and gate
+/// with a tight tolerance, while `wall_*` numbers measure the real machine
+/// the harness ran on and need a far wider tolerance (shared CI runners
+/// jitter by tens of percent). Experiments therefore never name a host
+/// timing with `gbps`/`speedup`, and never name a simulated quantity with
+/// a `wall_` prefix.
+#[must_use]
+pub fn extract_wall_metrics(report: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    walk_by(report, "", &mut out, &|k| k.starts_with("wall_"));
+    out
+}
+
 fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
+    walk_by(v, path, out, &|k| {
+        (k.contains("gbps") || k.contains("speedup")) && !k.starts_with("wall_")
+    });
+}
+
+fn walk_by(v: &Value, path: &str, out: &mut Vec<Metric>, is_metric: &dyn Fn(&str) -> bool) {
     match v {
         Value::Obj(entries) => {
             for (k, val) in entries {
                 let child = if path.is_empty() { k.clone() } else { format!("{path}/{k}") };
-                if k.contains("gbps") || k.contains("speedup") {
+                if is_metric(k) {
                     if let Some(x) = val.as_f64() {
                         out.push(Metric { path: child, value: x });
                         continue;
                     }
                 }
-                walk(val, &child, out);
+                walk_by(val, &child, out, is_metric);
             }
         }
         Value::Arr(items) => {
             for (i, item) in items.iter().enumerate() {
                 let child = if path.is_empty() { i.to_string() } else { format!("{path}/{i}") };
-                walk(item, &child, out);
+                walk_by(item, &child, out, is_metric);
             }
         }
         _ => {}
@@ -231,6 +263,33 @@ mod tests {
     }
 
     #[test]
+    fn wall_metrics_are_a_separate_channel() {
+        let v = Value::Obj(vec![
+            ("gbps".to_string(), Value::Float(10.0)),
+            ("wall_gain_x".to_string(), Value::Float(2.5)),
+            (
+                "summary".to_string(),
+                Value::Obj(vec![("wall_serial_ms".to_string(), Value::Float(120.0))]),
+            ),
+            ("firewall_ms".to_string(), Value::Float(9.0)), // prefix, not substring
+            // A *host-measured* throughput: wall channel only, never tight.
+            ("wall_gbps".to_string(), Value::Float(6.0)),
+        ]);
+        let wall = extract_wall_metrics(&v);
+        assert_eq!(
+            wall,
+            vec![
+                Metric { path: "wall_gain_x".into(), value: 2.5 },
+                Metric { path: "summary/wall_serial_ms".into(), value: 120.0 },
+                Metric { path: "wall_gbps".into(), value: 6.0 },
+            ]
+        );
+        // The throughput channel must not see wall metrics and vice versa.
+        let sim = extract_metrics(&v);
+        assert_eq!(sim, vec![Metric { path: "gbps".into(), value: 10.0 }]);
+    }
+
+    #[test]
     fn self_comparison_is_clean() {
         let m = extract_metrics(&report_rows(&[10.0, 20.0, 0.5]));
         assert!(compare_metrics(&m, &m, 0.1).is_empty());
@@ -277,6 +336,8 @@ mod tests {
                 scale: "smoke".into(),
                 schedule: "round-robin".into(),
                 scheme: "heuristic".into(),
+                engine: "serial".into(),
+                sim_threads: 1,
             },
             &report_rows(&[10.0]),
         );
