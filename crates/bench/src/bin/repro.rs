@@ -21,6 +21,11 @@
 //!   serve         extension (batched, plan-cached serving layer: mixed
 //!                 1k-request stream, cache hit rate, amortization vs
 //!                 per-request autotuning)
+//!   soak          robustness gate (sharded serving fleet under a 100k-
+//!                 request mixed soak — 1M with `--full`: priority classes,
+//!                 bursts, one injected shard crash + warm restart from a
+//!                 plan-cache snapshot; exits 1 on any correctness failure
+//!                 or a cold cache)
 //!   simperf       engineering (parallel vs serial simulation engine:
 //!                 host wall clock per workload, asserted bit-identical;
 //!                 `--min-wall-gain X` fails the run below X× wall gain;
@@ -97,8 +102,8 @@ fn parse_args() -> Args {
                      [--inject-slowdown PCT] [--schedules N] [--seed S] \
                      [--min-wall-gain X]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation serve simperf trace \
-                     races all"
+                     table3 async phi primes multigpu ablation serve soak simperf \
+                     trace races all"
                 );
                 std::process::exit(0);
             }
@@ -256,8 +261,14 @@ fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
                 eprintln!("[check] {e}");
                 failed = true;
             }
-            Ok(CheckOutcome { experiment, metrics_compared, wall_compared, regressions }) => {
-                let wall = if wall_compared > 0 {
+            Ok(CheckOutcome {
+                experiment,
+                metrics_compared,
+                wall_compared,
+                slo_compared,
+                regressions,
+            }) => {
+                let mut wall = if wall_compared > 0 {
                     format!(
                         " + {wall_compared} wall-clock within {:.0}%",
                         DEFAULT_WALL_TOLERANCE * 100.0
@@ -265,6 +276,9 @@ fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
                 } else {
                     String::new()
                 };
+                if slo_compared > 0 {
+                    wall.push_str(&format!(" + {slo_compared} SLO (lower-is-better)"));
+                }
                 if regressions.is_empty() {
                     eprintln!(
                         "[check] {experiment}: OK ({metrics_compared} metrics within {:.0}%{wall})",
@@ -272,8 +286,9 @@ fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
                     );
                 } else {
                     failed = true;
+                    let total = metrics_compared + wall_compared + slo_compared;
                     eprintln!(
-                        "[check] {experiment}: {} of {metrics_compared} metrics{wall} regressed:",
+                        "[check] {experiment}: {} of {total} compared metrics regressed:",
                         regressions.len()
                     );
                     for r in &regressions {
@@ -291,8 +306,8 @@ fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "serve", "simperf", "trace",
-        "races", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "serve", "soak", "simperf",
+        "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -382,6 +397,19 @@ fn main() {
         println!("{}", ex::serve::render(&rows, &summary));
         sink.emit_scheme("serve", "plan-cache", &(&rows, &summary));
     }
+    let mut soak_failed = false;
+    if run("soak") {
+        let (rows, summary) = ex::soak::run(&args.device, args.scale);
+        println!("{}", ex::soak::render(&rows, &summary));
+        sink.emit_scheme("soak", "plan-cache", &(&rows, &summary));
+        if !summary.passed {
+            eprintln!(
+                "[soak] FAIL: {} correctness failures, hit rate {:.3} (floor 0.90)",
+                summary.correctness_failures, summary.hit_rate
+            );
+            soak_failed = true;
+        }
+    }
     // `simperf` is deliberately not part of `all`: its headline numbers
     // are host wall-clock (machine-specific), so it gates in its own CI
     // job with a pinned thread count rather than riding the deterministic
@@ -426,7 +454,7 @@ fn main() {
 
     let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
-    if failed || races_failed || wall_gain_failed {
+    if failed || races_failed || wall_gain_failed || soak_failed {
         std::process::exit(1);
     }
 }

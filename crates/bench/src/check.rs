@@ -8,8 +8,8 @@
 //! day the cost model legitimately moves and for real-hardware backends.
 
 use ipt_obs::{
-    compare_metrics, current_git_rev, extract_metrics, extract_wall_metrics, BenchReport,
-    Metric, Provenance, Regression, SCHEMA_VERSION,
+    compare_metrics, compare_slo_metrics, current_git_rev, extract_metrics, extract_slo_metrics,
+    extract_wall_metrics, BenchReport, Metric, Provenance, Regression, SCHEMA_VERSION,
 };
 use serde::{Serialize, Value};
 
@@ -85,6 +85,9 @@ pub struct CheckOutcome {
     /// How many host wall-clock (`wall_*`) metrics were compared (0 when
     /// the baseline has none, or its engine/thread provenance differs).
     pub wall_compared: usize,
+    /// How many lower-is-better SLO (`slo_*`) metrics were compared (0
+    /// when the baseline has none).
+    pub slo_compared: usize,
     /// Every metric that regressed past the tolerance.
     pub regressions: Vec<Regression>,
 }
@@ -183,10 +186,27 @@ pub fn check_report(
         regressions.extend(compare_metrics(&base_wall, &fresh_wall, DEFAULT_WALL_TOLERANCE));
     }
 
+    // SLO metrics (`slo_*`: queue-wait percentiles, shed/reject rates)
+    // gate in the opposite direction — lower is better, a *rise* past the
+    // tolerance regresses. The slowdown self-test hook accordingly scales
+    // them up.
+    let base_slo = extract_slo_metrics(base_rows);
+    if !base_slo.is_empty() {
+        let mut fresh_slo = extract_slo_metrics(&fresh.rows);
+        if inject_slowdown_pct != 0.0 {
+            let factor = 1.0 / (1.0 - inject_slowdown_pct / 100.0);
+            for m in &mut fresh_slo {
+                m.value *= factor;
+            }
+        }
+        regressions.extend(compare_slo_metrics(&base_slo, &fresh_slo, tolerance));
+    }
+
     Ok(CheckOutcome {
         experiment: fresh.experiment.clone(),
         metrics_compared: base_metrics.len(),
         wall_compared: base_wall.len(),
+        slo_compared: base_slo.len(),
         regressions,
     })
 }
@@ -314,6 +334,41 @@ mod tests {
             assert_eq!(out.wall_compared, 0, "provenance mismatch must skip wall gate");
             assert!(out.passed(), "{:?}", out.regressions);
         }
+    }
+
+    #[derive(Serialize)]
+    struct SloRow {
+        gbps: f64,
+        slo_p99_wait_us: f64,
+        slo_shed_rate: f64,
+    }
+
+    fn slo_report(p99: f64, shed: f64) -> BenchReport {
+        let rows = vec![SloRow { gbps: 40.0, slo_p99_wait_us: p99, slo_shed_rate: shed }];
+        make_report("soak", &DeviceSpec::tesla_k20(), "reduced", &rows)
+    }
+
+    #[test]
+    fn slo_metrics_gate_lower_is_better() {
+        let baseline = serde_json::to_string_pretty(&slo_report(120.0, 0.02)).unwrap();
+        // Identical and improved latency both pass.
+        let out = check_report(&baseline, &slo_report(120.0, 0.02), DEFAULT_TOLERANCE, 0.0)
+            .unwrap();
+        assert_eq!(out.slo_compared, 2);
+        assert!(out.passed(), "{:?}", out.regressions);
+        let out = check_report(&baseline, &slo_report(80.0, 0.0), DEFAULT_TOLERANCE, 0.0)
+            .unwrap();
+        assert!(out.passed(), "lower SLO values must pass: {:?}", out.regressions);
+        // A 20% latency rise trips the 10% tolerance.
+        let out = check_report(&baseline, &slo_report(144.0, 0.02), DEFAULT_TOLERANCE, 0.0)
+            .unwrap();
+        assert!(!out.passed(), "p99 rise must regress");
+        assert!(out.regressions[0].path.ends_with("slo_p99_wait_us"));
+        // The slowdown self-test hook inflates SLO values, so the harness
+        // can prove it fails on a degraded fleet.
+        let out = check_report(&baseline, &slo_report(120.0, 0.02), DEFAULT_TOLERANCE, 20.0)
+            .unwrap();
+        assert!(!out.passed(), "injected 20% degradation must fail the SLO gate");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod primes;
 pub mod races;
 pub mod serve;
 pub mod simperf;
+pub mod soak;
 pub mod sweep010;
 pub mod sweep100;
 pub mod table2;

@@ -17,7 +17,7 @@
 use crate::workloads::{serve_mix, Scale};
 use gpu_sim::DeviceSpec;
 use ipt_core::check::bytes_f64;
-use ipt_gpu::serve::{ServeConfig, ServeRequest, Server};
+use ipt_gpu::serve::{PriorityClass, ServeConfig, ServeRequest, Server};
 use ipt_gpu::TransposeError;
 use ipt_obs::TraceRecorder;
 use serde::Serialize;
@@ -99,7 +99,7 @@ pub fn request_stream(scale: Scale, n: usize) -> Vec<ServeRequest> {
             let data = (0..words as u32)
                 .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(id as u32))
                 .collect();
-            ServeRequest { id, rows, cols, elem_bytes, data }
+            ServeRequest { id, rows, cols, elem_bytes, priority: PriorityClass::Batch, data }
         })
         .collect()
 }

@@ -1,0 +1,585 @@
+//! **Robustness gate** — the sharded serving fleet under a long mixed soak.
+//!
+//! Drives `ipt_gpu::fleet` with a deterministic stream of 100k requests
+//! (1M under `--full`) over the reduced serving mix: three priority
+//! classes, periodic 2× bursts, one injected shard crash at 40% of the
+//! first period with orphan re-routing, and a warm restart from the
+//! crashed shard's persisted plan-cache snapshot at 50%. The stream is
+//! exactly periodic (shapes and payload seeds repeat every
+//! [`PERIOD`] requests) and the crash happens only in the first period, so
+//! the 1M run's SLO metrics can only improve on the committed 100k
+//! baseline — one `bench_out/soak.json` gates both scales.
+//!
+//! Correctness is continuously sampled, never assumed: every full
+//! device-path execution is verified against the host reference, and
+//! timing-replayed / host-shed results are spot-checked on a fixed
+//! deterministic cadence. Any mismatch fails the run (exit 1 in `repro`).
+//!
+//! Reported SLO metrics use the `slo_` prefix (lower-is-better channel of
+//! `repro --check`): p50/p99 queue waits, shed rate, reject rate. The
+//! aggregate plan-cache hit rate after the warm restart must stay ≥ 90% —
+//! the warm-start snapshot is what keeps it there.
+
+use crate::workloads::{serve_mix, Scale};
+use gpu_sim::DeviceSpec;
+use ipt_core::check::bytes_f64;
+use ipt_gpu::fleet::{Fleet, FleetConfig};
+use ipt_gpu::recover::host_transpose_elems;
+use ipt_gpu::serve::{DegradeLevel, PriorityClass, ServeRequest, ServedResult};
+use ipt_gpu::TransposeError;
+use ipt_obs::{Counter, TraceRecorder};
+use serde::Serialize;
+
+/// Stream period: shapes and payload seeds repeat exactly every this many
+/// requests, so longer soaks replay the first period's behaviour minus its
+/// crash.
+pub const PERIOD: usize = 100_000;
+/// Requests submitted per admission round.
+pub const ROUND_SIZE: usize = 96;
+/// Every this-many-th round is a 2× burst (the overload injector).
+pub const BURST_EVERY: usize = 8;
+/// Profile-replay resample cadence: every N-th eligible repeat still runs
+/// the full verified device path.
+pub const FULL_EXEC_EVERY: usize = 97;
+/// Spot-check cadence for timing-replayed / host-shed results.
+pub const VERIFY_SAMPLE_EVERY: u64 = 997;
+
+/// Per-priority-class accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassRow {
+    /// Priority class name.
+    pub class: &'static str,
+    /// Requests of this class served.
+    pub requests: u64,
+    /// Mean simulated queue wait, microseconds.
+    pub mean_wait_us: f64,
+    /// p99 simulated queue wait, microseconds.
+    pub p99_wait_us: f64,
+    /// Requests degraded to conservative options.
+    pub degraded: u64,
+    /// Requests shed to the host path.
+    pub shed: u64,
+}
+
+/// Soak-level summary. `slo_*` fields gate lower-is-better in
+/// `repro --check`; `effective_gbps` gates on the throughput channel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Requests served end to end.
+    pub requests: u64,
+    /// Stream period (shape/payload recurrence).
+    pub period: usize,
+    /// Fleet rounds processed.
+    pub rounds: u64,
+    /// Shard index crashed at `crash_at`.
+    pub crashed_shard: usize,
+    /// Request index of the injected crash.
+    pub crash_at: usize,
+    /// Request index of the warm restart.
+    pub restart_at: usize,
+    /// Admitted-but-unserved requests handed back by the crash and
+    /// re-routed to surviving shards.
+    pub orphans_rerouted: usize,
+    /// Plan-cache entries restored by the warm restart.
+    pub plans_restored: usize,
+    /// Results verified against the host reference.
+    pub correctness_checks: u64,
+    /// Verified results that did NOT match (must be 0).
+    pub correctness_failures: u64,
+    /// Aggregate plan-cache hit rate across shards at stream end
+    /// (post-restart; the acceptance floor is 0.90).
+    pub hit_rate: f64,
+    /// Deterministic aggregate throughput over the fleet timeline (GB/s,
+    /// paper convention, device-launched traffic only).
+    pub effective_gbps: f64,
+    /// p50 simulated queue wait, microseconds (SLO gate).
+    pub slo_p50_wait_us: f64,
+    /// p99 simulated queue wait, microseconds (SLO gate).
+    pub slo_p99_wait_us: f64,
+    /// Shed requests / served requests (SLO gate).
+    pub slo_shed_rate: f64,
+    /// Dropped requests / offered requests (SLO gate; the drain-and-retry
+    /// protocol keeps this at 0 unless the whole fleet is down).
+    pub slo_reject_rate: f64,
+    /// Requests degraded to conservative options.
+    pub degraded: u64,
+    /// Requests shed to the host path.
+    pub shed: u64,
+    /// Requests dropped after backpressure persisted through a drain.
+    pub rejected: u64,
+    /// Typed backpressure refusals absorbed by drain-and-retry.
+    pub backpressure_hits: u64,
+    /// Requests re-routed off the crashed shard.
+    pub failovers: u64,
+    /// Successful snapshot restores (the warm restart).
+    pub snapshot_restores: u64,
+    /// Full verified device executions (cold builds + resamples).
+    pub full_execs: u64,
+    /// Timing-replayed requests.
+    pub profiled_replays: u64,
+    /// Total simulated fleet makespan, seconds.
+    pub sim_makespan_s: f64,
+    /// Host wall requests/second (machine-specific; not a checked metric).
+    pub host_rps: f64,
+    /// Did the soak meet its acceptance floors (zero correctness failures,
+    /// hit rate ≥ 0.90)?
+    pub passed: bool,
+}
+
+/// Per-period shape table: the reduced serving mix, LCG-ordered. Re-seeded
+/// per period, so request `i` always maps to `table[i % period]`.
+#[must_use]
+pub fn shape_table(period: usize) -> Vec<(usize, usize, usize)> {
+    let mix = serve_mix(Scale::Reduced);
+    let mut state: u64 = 0xC0FF_EE11_D00D_F00D;
+    (0..period)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            mix[(state >> 33) as usize % mix.len()]
+        })
+        .collect()
+}
+
+/// Priority class of request `i`: 60% batch, 30% interactive, 10%
+/// background, deterministically interleaved.
+#[must_use]
+pub fn class_of(i: u64) -> PriorityClass {
+    match i % 10 {
+        6..=8 => PriorityClass::Interactive,
+        9 => PriorityClass::Background,
+        _ => PriorityClass::Batch,
+    }
+}
+
+/// Materialize request `i`. Payloads derive from the id alone, so results
+/// are verifiable without retaining the stream.
+#[must_use]
+pub fn make_request(table: &[(usize, usize, usize)], id: u64) -> ServeRequest {
+    let (rows, cols, elem_bytes) = table[id as usize % table.len()];
+    let words = rows * cols * (elem_bytes / 4);
+    let data = (0..words as u32)
+        .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(id as u32))
+        .collect();
+    ServeRequest { id, rows, cols, elem_bytes, priority: class_of(id), data }
+}
+
+fn class_idx(p: PriorityClass) -> usize {
+    match p {
+        PriorityClass::Interactive => 0,
+        PriorityClass::Batch => 1,
+        PriorityClass::Background => 2,
+    }
+}
+
+/// Streaming aggregation — results are observed and dropped, never
+/// retained, so a 1M soak stays at tens of megabytes.
+struct Agg<'a> {
+    table: &'a [(usize, usize, usize)],
+    waits_us: Vec<f64>,
+    class_waits_us: [Vec<f64>; 3],
+    class_requests: [u64; 3],
+    class_degraded: [u64; 3],
+    class_shed: [u64; 3],
+    launched_bytes: f64,
+    sim_makespan_s: f64,
+    rounds: u64,
+    served: u64,
+    degraded: u64,
+    shed: u64,
+    checks: u64,
+    failures: u64,
+}
+
+impl Agg<'_> {
+    fn observe(&mut self, res: &ServedResult) {
+        self.served += 1;
+        let wait_us = res.queue_wait_s * 1e6;
+        self.waits_us.push(wait_us);
+        let c = class_idx(res.priority);
+        self.class_waits_us[c].push(wait_us);
+        self.class_requests[c] += 1;
+        let (rows, cols, elem_bytes) = self.table[res.id as usize % self.table.len()];
+        match res.degrade {
+            DegradeLevel::Tuned => {}
+            DegradeLevel::Conservative => {
+                self.degraded += 1;
+                self.class_degraded[c] += 1;
+            }
+            DegradeLevel::HostShed => {
+                self.shed += 1;
+                self.class_shed[c] += 1;
+            }
+        }
+        if res.service_s > 0.0 {
+            self.launched_bytes += bytes_f64(rows, cols, elem_bytes);
+        }
+        // Verification: full device-path executions always; replayed and
+        // shed results on a fixed deterministic sample cadence.
+        let sampled = res.id.is_multiple_of(VERIFY_SAMPLE_EVERY);
+        let full_path = res.engine != "profiled" && res.engine != "host";
+        if full_path || sampled {
+            self.checks += 1;
+            let req = make_request(self.table, res.id);
+            let want = if rows <= 1 || cols <= 1 {
+                req.data
+            } else {
+                host_transpose_elems(&req.data, rows, cols, elem_bytes / 4)
+            };
+            if res.data != want {
+                self.failures += 1;
+            }
+        }
+    }
+}
+
+fn drain(fleet: &mut Fleet, agg: &mut Agg<'_>, rec: &TraceRecorder) {
+    let round = fleet.process_rounds(rec).expect("fleet round");
+    agg.rounds += 1;
+    agg.sim_makespan_s += round.makespan_s;
+    for (_, rep) in &round.rounds {
+        for res in &rep.results {
+            agg.observe(res);
+        }
+    }
+}
+
+/// Submit with the drain-and-retry protocol: one backpressure refusal
+/// drains a fleet round and retries; a second refusal drops the request
+/// (counted — a real rejection).
+fn submit_retry(
+    fleet: &mut Fleet,
+    req: ServeRequest,
+    agg: &mut Agg<'_>,
+    rec: &TraceRecorder,
+    backpressure_hits: &mut u64,
+    rejected: &mut u64,
+) {
+    match fleet.submit(req.clone(), rec) {
+        Ok(_) => {}
+        Err(TransposeError::Backpressure { .. }) => {
+            *backpressure_hits += 1;
+            drain(fleet, agg, rec);
+            match fleet.submit(req, rec) {
+                Ok(_) => {}
+                Err(TransposeError::Backpressure { .. }) => *rejected += 1,
+                Err(e) => panic!("soak request refused: {e}"),
+            }
+        }
+        Err(e) => panic!("soak request refused: {e}"),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the soak at the scale's request count (100k reduced, 1M full; the
+/// shape mix is always the reduced one — `--full` scales the stream, not
+/// the matrices, so the soak stays a serving-robustness gate rather than a
+/// kernel benchmark).
+#[must_use]
+pub fn run(dev: &DeviceSpec, scale: Scale) -> (Vec<ClassRow>, Summary) {
+    let n = match scale {
+        Scale::Reduced => 100_000,
+        Scale::Full => 1_000_000,
+    };
+    run_sized(dev, n, PERIOD.min(n), ROUND_SIZE, None)
+}
+
+/// [`run`] with explicit sizing (tests use shorter streams and a tighter
+/// admission queue to provoke the degradation ladder quickly).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_sized(
+    dev: &DeviceSpec,
+    n: usize,
+    period: usize,
+    round_size: usize,
+    queue_capacity: Option<usize>,
+) -> (Vec<ClassRow>, Summary) {
+    assert!(n >= period && n.is_multiple_of(period), "stream must be whole periods");
+    let table = shape_table(period);
+    let mut cfg = FleetConfig::new(dev);
+    cfg.serve.profile_replay = true;
+    cfg.serve.full_exec_every = FULL_EXEC_EVERY;
+    if let Some(cap) = queue_capacity {
+        cfg.serve.queue_capacity = cap;
+    }
+    let mut fleet = Fleet::new(dev.clone(), cfg);
+    // Bounded recorder: counters aggregate, spans/events drop — memory
+    // stays flat over a million requests.
+    let rec = TraceRecorder::counters_only();
+
+    // Crash the shard that owns the stream's first shape — guaranteed to
+    // hold cached plans and live traffic — at 40% of the first period;
+    // warm-restart it from its snapshot at 50%.
+    let (r0, c0, e0) = table[0];
+    let victim = fleet.preferred_shard(r0, c0, e0);
+    let crash_at = period * 2 / 5;
+    let restart_at = period / 2;
+
+    let mut agg = Agg {
+        table: &table,
+        waits_us: Vec::with_capacity(n),
+        class_waits_us: [Vec::new(), Vec::new(), Vec::new()],
+        class_requests: [0; 3],
+        class_degraded: [0; 3],
+        class_shed: [0; 3],
+        launched_bytes: 0.0,
+        sim_makespan_s: 0.0,
+        rounds: 0,
+        served: 0,
+        degraded: 0,
+        shed: 0,
+        checks: 0,
+        failures: 0,
+    };
+    let mut snapshot: Option<String> = None;
+    let mut orphans_rerouted = 0usize;
+    let mut plans_restored = 0usize;
+    let mut backpressure_hits = 0u64;
+    let mut rejected = 0u64;
+    let mut in_round = 0usize;
+    let mut round_idx = 0usize;
+    let t0 = std::time::Instant::now();
+
+    for i in 0..n as u64 {
+        if i as usize == crash_at {
+            let (snap, orphans) = fleet.crash_shard(victim, &rec);
+            orphans_rerouted = orphans.len();
+            for orphan in orphans {
+                submit_retry(
+                    &mut fleet,
+                    orphan,
+                    &mut agg,
+                    &rec,
+                    &mut backpressure_hits,
+                    &mut rejected,
+                );
+            }
+            snapshot = Some(snap);
+        }
+        if i as usize == restart_at {
+            let snap = snapshot.as_ref().expect("crash precedes restart");
+            plans_restored = fleet
+                .restart_shard(victim, snap, &rec)
+                .expect("a self-written snapshot must restore");
+        }
+        submit_retry(
+            &mut fleet,
+            make_request(&table, i),
+            &mut agg,
+            &rec,
+            &mut backpressure_hits,
+            &mut rejected,
+        );
+        in_round += 1;
+        // Every BURST_EVERY-th round doubles before draining — the
+        // overload injector that exercises the degradation ladder.
+        let target =
+            if (round_idx + 1).is_multiple_of(BURST_EVERY) { round_size * 2 } else { round_size };
+        if in_round >= target {
+            drain(&mut fleet, &mut agg, &rec);
+            in_round = 0;
+            round_idx += 1;
+        }
+    }
+    while fleet.backlog() > 0 {
+        drain(&mut fleet, &mut agg, &rec);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut rows = Vec::with_capacity(3);
+    for (c, name) in [(0usize, "interactive"), (1, "batch"), (2, "background")] {
+        let waits = &mut agg.class_waits_us[c];
+        waits.sort_by(f64::total_cmp);
+        let reqs = agg.class_requests[c];
+        rows.push(ClassRow {
+            class: name,
+            requests: reqs,
+            mean_wait_us: if reqs == 0 {
+                0.0
+            } else {
+                waits.iter().sum::<f64>() / reqs as f64
+            },
+            p99_wait_us: percentile(waits, 0.99),
+            degraded: agg.class_degraded[c],
+            shed: agg.class_shed[c],
+        });
+    }
+    agg.waits_us.sort_by(f64::total_cmp);
+
+    let hit_rate = fleet.aggregate_hit_rate();
+    let full_execs: u64 = (0..fleet.num_shards()).map(|s| fleet.shard(s).full_execs()).sum();
+    let replays: u64 =
+        (0..fleet.num_shards()).map(|s| fleet.shard(s).profiled_replays()).sum();
+    let failures = agg.failures;
+    let summary = Summary {
+        requests: agg.served,
+        period,
+        rounds: agg.rounds,
+        crashed_shard: victim,
+        crash_at,
+        restart_at,
+        orphans_rerouted,
+        plans_restored,
+        correctness_checks: agg.checks,
+        correctness_failures: failures,
+        hit_rate,
+        effective_gbps: if agg.sim_makespan_s > 0.0 {
+            2.0 * agg.launched_bytes / agg.sim_makespan_s / 1e9
+        } else {
+            0.0
+        },
+        slo_p50_wait_us: percentile(&agg.waits_us, 0.50),
+        slo_p99_wait_us: percentile(&agg.waits_us, 0.99),
+        slo_shed_rate: agg.shed as f64 / agg.served.max(1) as f64,
+        slo_reject_rate: rejected as f64 / (agg.served + rejected).max(1) as f64,
+        degraded: agg.degraded,
+        shed: agg.shed,
+        rejected,
+        backpressure_hits,
+        failovers: rec.counter("fleet", Counter::ShardFailovers),
+        snapshot_restores: rec.counter("serve", Counter::SnapshotRestores),
+        full_execs,
+        profiled_replays: replays,
+        sim_makespan_s: agg.sim_makespan_s,
+        host_rps: if wall_s > 0.0 { agg.served as f64 / wall_s } else { 0.0 },
+        passed: failures == 0 && hit_rate >= 0.90 && agg.served >= n as u64,
+    };
+    (rows, summary)
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[ClassRow], summary: &Summary) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.to_string(),
+                format!("{}", r.requests),
+                format!("{:.1}", r.mean_wait_us),
+                format!("{:.1}", r.p99_wait_us),
+                format!("{}", r.degraded),
+                format!("{}", r.shed),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        "Robustness: sharded fleet soak (priorities, bursts, crash + warm restart)",
+        &["class", "reqs", "mean us", "p99 us", "degraded", "shed"],
+        &table,
+    );
+    out.push_str(&format!(
+        "\n{} requests in {} rounds (period {}): p50 wait {:.1} us, p99 {:.1} us\n\
+         degradation ladder: {} degraded, {} shed ({:.3}%), {} dropped ({:.4}%), \
+         {} backpressure refusals absorbed\n\
+         crash drill: shard {} down at request {}, {} orphans re-routed \
+         ({} failovers), warm restart at {} restored {} plans \
+         ({} snapshot restore)\n\
+         plan-cache hit rate {:.2}% (floor 90%), {:.2} GB/s effective over {:.1} ms \
+         simulated\n\
+         verification: {} checks, {} failures; {} full executions, {} timing replays\n\
+         {}\n",
+        summary.requests,
+        summary.rounds,
+        summary.period,
+        summary.slo_p50_wait_us,
+        summary.slo_p99_wait_us,
+        summary.degraded,
+        summary.shed,
+        summary.slo_shed_rate * 100.0,
+        summary.rejected,
+        summary.slo_reject_rate * 100.0,
+        summary.backpressure_hits,
+        summary.crashed_shard,
+        summary.crash_at,
+        summary.orphans_rerouted,
+        summary.failovers,
+        summary.restart_at,
+        summary.plans_restored,
+        summary.snapshot_restores,
+        summary.hit_rate * 100.0,
+        summary.effective_gbps,
+        summary.sim_makespan_s * 1e3,
+        summary.correctness_checks,
+        summary.correctness_failures,
+        summary.full_execs,
+        summary.profiled_replays,
+        if summary.passed { "SOAK PASS" } else { "SOAK FAIL" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_periodic_and_mixed() {
+        let table = shape_table(240);
+        assert_eq!(table.len(), 240);
+        let a = make_request(&table, 17);
+        let b = make_request(&table, 17 + 240);
+        assert_eq!((a.rows, a.cols, a.elem_bytes), (b.rows, b.cols, b.elem_bytes));
+        // Payloads differ by id (the seed mixes the id in) but shapes
+        // repeat exactly — the periodicity the 1M gate relies on.
+        let classes: std::collections::HashSet<_> =
+            (0..240u64).map(|i| make_request(&table, i).priority).collect();
+        assert_eq!(classes.len(), 3, "all priority classes present");
+        let shapes: std::collections::HashSet<_> =
+            table.iter().copied().collect();
+        assert!(shapes.len() >= 6, "mix covers most shape classes");
+    }
+
+    #[test]
+    fn short_soak_passes_with_crash_and_degradation() {
+        let dev = DeviceSpec::tesla_k20();
+        // 2400 requests, tight queues (cap 24 → degrade at 18, shed at 22)
+        // so bursts trip the whole ladder quickly; crash at 960, restart
+        // at 1200.
+        let (rows, summary) = run_sized(&dev, 2400, 2400, ROUND_SIZE, Some(24));
+        assert_eq!(summary.requests, 2400 + summary.orphans_rerouted as u64 - summary.rejected,
+            "every admitted request must be served exactly once (orphans resubmit)");
+        assert_eq!(summary.correctness_failures, 0, "soak must be bit-correct");
+        assert!(summary.correctness_checks > 0);
+        assert!(summary.passed, "short soak must pass its own floors");
+        assert!(summary.hit_rate >= 0.90, "hit rate {:.3}", summary.hit_rate);
+        assert_eq!(summary.snapshot_restores, 1, "exactly one warm restart");
+        assert!(summary.plans_restored > 0, "the victim had cached plans");
+        assert!(summary.degraded > 0, "bursts must trip the conservative rung");
+        assert!(summary.shed > 0, "bursts must trip the shed rung");
+        assert!(summary.profiled_replays > summary.full_execs,
+            "replay must carry most of the stream");
+        assert!(summary.effective_gbps > 0.0 && summary.sim_makespan_s > 0.0);
+        let by_class: u64 = rows.iter().map(|r| r.requests).sum();
+        assert_eq!(by_class, summary.requests);
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let dev = DeviceSpec::tesla_k20();
+        let (ra, sa) = run_sized(&dev, 1200, 1200, ROUND_SIZE, Some(24));
+        let (rb, sb) = run_sized(&dev, 1200, 1200, ROUND_SIZE, Some(24));
+        assert_eq!(sa.requests, sb.requests);
+        assert_eq!(sa.rounds, sb.rounds);
+        assert_eq!(sa.slo_p50_wait_us, sb.slo_p50_wait_us);
+        assert_eq!(sa.slo_p99_wait_us, sb.slo_p99_wait_us);
+        assert_eq!(sa.slo_shed_rate, sb.slo_shed_rate);
+        assert_eq!(sa.degraded, sb.degraded);
+        assert_eq!(sa.shed, sb.shed);
+        assert_eq!(sa.sim_makespan_s, sb.sim_makespan_s);
+        assert_eq!(sa.effective_gbps, sb.effective_gbps);
+        for (a, b) in ra.iter().zip(&rb) {
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.p99_wait_us, b.p99_wait_us);
+        }
+    }
+}

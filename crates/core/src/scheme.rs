@@ -61,6 +61,21 @@ impl Scheme {
             Self::SingleStage => "single-stage",
         }
     }
+
+    /// Inverse of [`Scheme::name`] — used when deserializing archived
+    /// provenance (plan-cache snapshots). `None` for unknown names.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "identity" => Some(Self::Identity),
+            "square-tiled" => Some(Self::SquareTiled),
+            "staged" => Some(Self::Staged),
+            "gcd-tiled" => Some(Self::GcdTiled),
+            "coprime" => Some(Self::Coprime),
+            "single-stage" => Some(Self::SingleStage),
+            _ => None,
+        }
+    }
 }
 
 /// Why [`decide_scheme`] picked the scheme it did — recorded provenance, so

@@ -503,6 +503,51 @@ pub fn try_simulate_engines_at(
     Ok(Timeline { spans, total_s, setup_s })
 }
 
+/// One shard's DES load for [`try_simulate_shards_at`]: its command queues
+/// and per-queue arrival times (same conventions as
+/// [`try_simulate_engines_at`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLoad<'a> {
+    /// Command queues, one per batch.
+    pub queues: &'a [Vec<ECmd>],
+    /// Per-queue arrival times; missing entries mean "available at setup".
+    pub arrivals: &'a [f64],
+}
+
+/// Timelines of a fleet round: one [`Timeline`] per shard plus the
+/// fleet-wide makespan.
+#[derive(Debug, Clone)]
+pub struct FleetTimeline {
+    /// Per-shard timelines, in [`try_simulate_shards_at`] input order.
+    pub shards: Vec<Timeline>,
+    /// Fleet makespan: the latest shard completion (`setup_s` when every
+    /// shard is idle).
+    pub makespan_s: f64,
+}
+
+/// Simulate several shards' rounds at once. Each shard owns an independent
+/// block of `num_engines` engines — shards never contend with each other,
+/// only their own queues do — so per-shard timelines are identical to
+/// running [`try_simulate_engines_at`] per shard, and the fleet makespan is
+/// their max.
+///
+/// # Errors
+/// The first shard's [`QueueError`], in input order.
+pub fn try_simulate_shards_at(
+    num_engines: usize,
+    setup_s: f64,
+    shards: &[ShardLoad<'_>],
+) -> Result<FleetTimeline, QueueError> {
+    let mut timelines = Vec::with_capacity(shards.len());
+    let mut makespan_s = setup_s;
+    for shard in shards {
+        let t = try_simulate_engines_at(num_engines, setup_s, shard.queues, shard.arrivals)?;
+        makespan_s = makespan_s.max(t.total_s);
+        timelines.push(t);
+    }
+    Ok(FleetTimeline { shards: timelines, makespan_s })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,5 +693,51 @@ mod tests {
             .collect();
         let asy = simulate_queues(&dev, &chunks);
         assert!(asy.total_s < sync.total_s, "async {} < sync {}", asy.total_s, sync.total_s);
+    }
+
+    #[test]
+    fn shard_timelines_match_independent_runs() {
+        let q = |e: usize, d: f64| {
+            vec![ECmd { engine: e, duration_s: d, label: "x".into(), wait: None }]
+        };
+        let s0 = [q(0, 1.0), q(0, 2.0)];
+        let a0 = [0.0, 0.5];
+        let s1 = [q(1, 4.0)];
+        let a1 = [0.25];
+        let fleet = try_simulate_shards_at(
+            2,
+            0.1,
+            &[
+                ShardLoad { queues: &s0, arrivals: &a0 },
+                ShardLoad { queues: &s1, arrivals: &a1 },
+            ],
+        )
+        .unwrap();
+        // Shards own independent engine blocks: each timeline equals the
+        // single-shard simulation of its own load.
+        let solo0 = try_simulate_engines_at(2, 0.1, &s0, &a0).unwrap();
+        let solo1 = try_simulate_engines_at(2, 0.1, &s1, &a1).unwrap();
+        assert_eq!(fleet.shards.len(), 2);
+        assert_eq!(fleet.shards[0].total_s, solo0.total_s);
+        assert_eq!(fleet.shards[1].total_s, solo1.total_s);
+        assert_eq!(fleet.shards[0].spans.len(), solo0.spans.len());
+        // Makespan is the max shard completion.
+        assert_eq!(fleet.makespan_s, solo0.total_s.max(solo1.total_s));
+    }
+
+    #[test]
+    fn idle_fleet_makespan_is_setup_and_errors_propagate() {
+        let fleet = try_simulate_shards_at(1, 0.3, &[]).unwrap();
+        assert!(fleet.shards.is_empty());
+        assert_eq!(fleet.makespan_s, 0.3);
+        // A bad engine index in any shard fails the whole call.
+        let bad = [vec![ECmd { engine: 9, duration_s: 1.0, label: "x".into(), wait: None }]];
+        let err = try_simulate_shards_at(
+            1,
+            0.0,
+            &[ShardLoad { queues: &bad, arrivals: &[] }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueueError::BadDependency { queue: 0, index: 0 }));
     }
 }

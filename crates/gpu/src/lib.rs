@@ -22,8 +22,11 @@
 //!   paper's footnote 6 points at,
 //! * [`multi`] — the multi-GPU scheme of the paper's future-work section,
 //! * [`serve`] — a batched, plan-cached serving layer over all of the
-//!   above (bounded admission, same-shape coalescing, multi-device
-//!   sharding, recovery-chain execution).
+//!   above (deadline-ordered bounded admission, same-shape coalescing,
+//!   multi-device sharding, graceful degradation, warm-start snapshots,
+//!   recovery-chain execution),
+//! * [`fleet`] — a sharded serving fleet with shape-affinity routing,
+//!   failover, and crash/warm-restart support.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod autotune;
 pub mod bs;
 pub mod coprime;
 pub mod explore;
+pub mod fleet;
 pub mod host;
 pub mod multi;
 pub mod oop;
@@ -72,9 +76,11 @@ pub use recover::{
     verify_exact, verify_exact_elems, RecoveryPath, RecoveryPolicy, RecoveryReport,
     StageRetryInfo, TransposeError, VerifyError,
 };
+pub use fleet::{Fleet, FleetConfig, FleetRound};
 pub use serve::{
-    build_plan, CachedPlan, PlanCache, PlanKey, RoundReport, ServeConfig, ServeRequest,
-    ServedResult, Server,
+    build_plan, CachedPlan, DegradeLevel, PlanCache, PlanKey, PreparedRound, PriorityClass,
+    RoundReport, ServeConfig, ServeRequest, ServedResult, Server, SnapshotError,
+    SNAPSHOT_VERSION,
 };
 pub use pipt::PiptKernel;
 pub use pttwac010::Pttwac010;

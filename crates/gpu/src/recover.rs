@@ -99,10 +99,15 @@ pub enum TransposeError {
         last: Box<TransposeError>,
     },
     /// The serving layer's bounded admission queue is full: the request was
-    /// refused, not silently dropped — the caller should drain and resubmit.
+    /// refused, not silently dropped — the caller should drain and resubmit
+    /// no sooner than the hinted delay.
     Backpressure {
         /// Configured queue capacity that was hit.
         capacity: usize,
+        /// Typed retry hint: simulated seconds until the server expects to
+        /// have drained enough backlog to admit this request (an EWMA of
+        /// observed per-request service time times the backlog depth).
+        retry_after_s: f64,
     },
 }
 
@@ -125,8 +130,13 @@ impl std::fmt::Display for TransposeError {
             TransposeError::RecoveryExhausted { attempts, last } => {
                 write!(f, "recovery exhausted after {attempts} attempts; last error: {last}")
             }
-            TransposeError::Backpressure { capacity } => {
-                write!(f, "admission queue full ({capacity} requests): backpressure")
+            TransposeError::Backpressure { capacity, retry_after_s } => {
+                write!(
+                    f,
+                    "admission queue full ({capacity} requests): backpressure, retry \
+                     after {:.1} us",
+                    retry_after_s * 1e6
+                )
             }
         }
     }

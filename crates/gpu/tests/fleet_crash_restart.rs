@@ -1,0 +1,174 @@
+//! Crash/warm-restart drill for the sharded fleet: a shard dies mid-stream,
+//! its admitted-but-unserved requests are re-routed to survivors, and it
+//! later rejoins warm from its own plan-cache snapshot. The interrupted
+//! fleet must serve the *same id set* with *bit-identical payloads* as an
+//! uninterrupted fleet — persistence and failover may change timing and
+//! placement, never results.
+
+use gpu_sim::DeviceSpec;
+use ipt_gpu::fleet::{Fleet, FleetConfig};
+use ipt_gpu::serve::{PriorityClass, ServeRequest};
+use ipt_gpu::TransposeError;
+use ipt_obs::{Counter, TraceRecorder};
+use std::collections::HashMap;
+
+const N: u64 = 300;
+const ROUND: u64 = 24;
+// Mid-round indices (not multiples of ROUND): the crash must catch
+// admitted-but-unserved requests in the victim's queue.
+const CRASH_AT: u64 = 130;
+const RESTART_AT: u64 = 155;
+
+fn request(id: u64) -> ServeRequest {
+    let shapes = [
+        (72usize, 60usize, 4usize),
+        (96, 72, 4),
+        (60, 60, 4),
+        (47, 47, 4),
+        (127, 61, 4),
+        (1, 512, 4),
+        (72, 60, 8),
+    ];
+    let (rows, cols, elem_bytes) = shapes[id as usize % shapes.len()];
+    let words = rows * cols * (elem_bytes / 4);
+    ServeRequest {
+        id,
+        rows,
+        cols,
+        elem_bytes,
+        priority: match id % 3 {
+            0 => PriorityClass::Interactive,
+            1 => PriorityClass::Batch,
+            _ => PriorityClass::Background,
+        },
+        data: (0..words as u32)
+            .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(id as u32))
+            .collect(),
+    }
+}
+
+fn submit_or_drain(
+    fleet: &mut Fleet,
+    req: ServeRequest,
+    out: &mut HashMap<u64, Vec<u32>>,
+    rec: &TraceRecorder,
+) {
+    if let Err(TransposeError::Backpressure { .. }) = fleet.submit(req.clone(), rec) {
+        drain(fleet, out, rec);
+        fleet.submit(req, rec).expect("fleet accepts after a drain");
+    }
+}
+
+fn drain(fleet: &mut Fleet, out: &mut HashMap<u64, Vec<u32>>, rec: &TraceRecorder) {
+    let round = fleet.process_rounds(rec).expect("fleet round");
+    for (_, rep) in &round.rounds {
+        for res in &rep.results {
+            assert!(
+                out.insert(res.id, res.data.clone()).is_none(),
+                "request {} served twice",
+                res.id
+            );
+        }
+    }
+}
+
+/// Run the stream; `interrupt` injects the crash + warm restart.
+fn run_stream(interrupt: bool, rec: &TraceRecorder) -> (HashMap<u64, Vec<u32>>, usize) {
+    let dev = DeviceSpec::tesla_k20();
+    let mut fleet = Fleet::new(dev.clone(), FleetConfig::new(&dev));
+    // Crash the shard that owns the stream's first shape so the drill hits
+    // a shard with live traffic and cached plans.
+    let first = request(0);
+    let victim = fleet.preferred_shard(first.rows, first.cols, first.elem_bytes);
+    let mut out = HashMap::new();
+    let mut snapshot = None;
+    let mut plans_restored = 0usize;
+
+    for id in 0..N {
+        if interrupt && id == CRASH_AT {
+            let (snap, orphans) = fleet.crash_shard(victim, rec);
+            assert!(!orphans.is_empty(), "victim must hold admitted requests");
+            for orphan in orphans {
+                submit_or_drain(&mut fleet, orphan, &mut out, rec);
+            }
+            snapshot = Some(snap);
+        }
+        if interrupt && id == RESTART_AT {
+            plans_restored = fleet
+                .restart_shard(victim, snapshot.as_ref().unwrap(), rec)
+                .expect("self-written snapshot restores");
+            assert!(fleet.is_healthy(victim));
+        }
+        submit_or_drain(&mut fleet, request(id), &mut out, rec);
+        if (id + 1) % ROUND == 0 {
+            drain(&mut fleet, &mut out, rec);
+        }
+    }
+    while fleet.backlog() > 0 {
+        drain(&mut fleet, &mut out, rec);
+    }
+    (out, plans_restored)
+}
+
+#[test]
+fn interrupted_fleet_serves_bit_identically_to_uninterrupted() {
+    let rec_smooth = TraceRecorder::counters_only();
+    let rec_crash = TraceRecorder::counters_only();
+    let (smooth, _) = run_stream(false, &rec_smooth);
+    let (crashed, plans_restored) = run_stream(true, &rec_crash);
+
+    // Same id set: the crash loses no admitted request and serves none twice.
+    assert_eq!(smooth.len(), N as usize);
+    assert_eq!(crashed.len(), N as usize);
+
+    // Bit-identical payloads per id, crash or no crash.
+    for (id, want) in &smooth {
+        let got = crashed.get(id).unwrap_or_else(|| panic!("id {id} lost in crash run"));
+        assert_eq!(got, want, "id {id}: crash/restart changed the bits");
+    }
+
+    // The drill actually exercised the machinery it claims to.
+    assert!(plans_restored > 0, "victim rejoined with a warm cache");
+    assert_eq!(rec_crash.counter("serve", Counter::SnapshotRestores), 1);
+    assert!(
+        rec_crash.counter("fleet", Counter::ShardFailovers) >= 1,
+        "traffic for the dead shard must fail over"
+    );
+    assert_eq!(rec_smooth.counter("serve", Counter::SnapshotRestores), 0);
+    assert_eq!(rec_smooth.counter("fleet", Counter::ShardFailovers), 0);
+}
+
+#[test]
+fn post_restart_traffic_hits_the_restored_cache() {
+    let dev = DeviceSpec::tesla_k20();
+    let rec = TraceRecorder::counters_only();
+    let mut fleet = Fleet::new(dev.clone(), FleetConfig::new(&dev));
+    let first = request(0);
+    let victim = fleet.preferred_shard(first.rows, first.cols, first.elem_bytes);
+    let mut out = HashMap::new();
+
+    // Warm every shard over the full shape set.
+    for id in 0..70 {
+        submit_or_drain(&mut fleet, request(id), &mut out, &rec);
+    }
+    drain(&mut fleet, &mut out, &rec);
+
+    let (snapshot, orphans) = fleet.crash_shard(victim, &rec);
+    assert!(orphans.is_empty(), "post-drain crash holds nothing");
+    let restored = fleet.restart_shard(victim, &snapshot, &rec).unwrap();
+    assert!(restored > 0);
+
+    // Replay the same shapes: the restored shard serves its share entirely
+    // from the restored cache — zero fresh plan builds.
+    let misses_before = fleet.shard(victim).cache().misses();
+    for id in 70..140 {
+        submit_or_drain(&mut fleet, request(id), &mut out, &rec);
+    }
+    drain(&mut fleet, &mut out, &rec);
+    assert_eq!(
+        fleet.shard(victim).cache().misses(),
+        misses_before,
+        "restored shard must not rebuild known plans"
+    );
+    assert!(fleet.shard(victim).cache().hits() > 0);
+}

@@ -15,7 +15,7 @@ use ipt_core::{decide_scheme, FallbackReason, Scheme};
 use ipt_gpu::opts::GpuOptions;
 use ipt_gpu::pipeline::plan_flag_words;
 use ipt_gpu::recover::{host_transpose_elems, transpose_scheme_with_recovery, RecoveryPolicy};
-use ipt_gpu::serve::{build_plan, ServeConfig, ServeRequest, Server};
+use ipt_gpu::serve::{build_plan, PriorityClass, ServeConfig, ServeRequest, Server};
 use ipt_obs::NoopRecorder;
 use proptest::prelude::*;
 
@@ -113,7 +113,14 @@ proptest! {
             let data = (0..(rows * cols) as u32)
                 .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(seed as u32))
                 .collect();
-            ServeRequest { id: i, rows, cols, elem_bytes: 4, data }
+            ServeRequest {
+                id: i,
+                rows,
+                cols,
+                elem_bytes: 4,
+                priority: PriorityClass::Batch,
+                data,
+            }
         }).collect();
 
         let run_once = || {
@@ -162,5 +169,56 @@ proptest! {
         let again = build_plan(&dev, rows, cols, &cfg.heuristic, &cfg.opts, &NoopRecorder);
         prop_assert_eq!(fresh.decision, again.decision, "planning must be deterministic");
         prop_assert_eq!(fresh.plan, again.plan);
+    }
+
+    /// Warm-start round trip: serialize a warmed server's plan cache,
+    /// restore it into a fresh server, and the restored server serves any
+    /// shape subset bit-identically to a cold server — with every restored
+    /// shape hitting the cache on first sight.
+    #[test]
+    fn snapshot_round_trip_serves_bit_identically(seed in 0u64..10_000) {
+        let dev = DeviceSpec::tesla_k20();
+        let shapes = [(72usize, 60usize), (60, 60), (127, 61), (1, 64), (47, 47), (24, 36)];
+        let mk = |id: u64, rows: usize, cols: usize| ServeRequest {
+            id,
+            rows,
+            cols,
+            elem_bytes: 4,
+            priority: PriorityClass::Batch,
+            data: (0..(rows * cols) as u32)
+                .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(seed as u32))
+                .collect(),
+        };
+
+        // Warm a server over a seed-dependent subset of shapes.
+        let mut warm = Server::new(dev.clone(), ServeConfig::new(&dev));
+        let picked: Vec<(usize, usize)> = (0..4u64)
+            .map(|i| shapes[((seed ^ (i * 7)) % shapes.len() as u64) as usize])
+            .collect();
+        for (i, (r, c)) in picked.iter().enumerate() {
+            warm.submit(mk(i as u64, *r, *c), &NoopRecorder).unwrap();
+        }
+        warm.process_round(&NoopRecorder).unwrap();
+        let snapshot = warm.snapshot_json();
+        prop_assert_eq!(&warm.snapshot_json(), &snapshot, "snapshot is deterministic");
+
+        let mut restored = Server::new(dev.clone(), ServeConfig::new(&dev));
+        restored.restore_snapshot(&snapshot, &NoopRecorder).unwrap();
+        let mut cold = Server::new(dev.clone(), ServeConfig::new(&dev));
+        for (i, (r, c)) in picked.iter().enumerate() {
+            restored.submit(mk(100 + i as u64, *r, *c), &NoopRecorder).unwrap();
+            cold.submit(mk(100 + i as u64, *r, *c), &NoopRecorder).unwrap();
+        }
+        let w = restored.process_round(&NoopRecorder).unwrap();
+        let c = cold.process_round(&NoopRecorder).unwrap();
+        prop_assert_eq!(w.results.len(), c.results.len());
+        for (x, y) in w.results.iter().zip(&c.results) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert!(x.cache_hit, "restored shape must hit on first sight");
+            prop_assert_eq!(&x.data, &y.data, "warm-restored serving must be bit-identical");
+            prop_assert_eq!(x.scheme, y.scheme);
+        }
+        // Timing parity too: the restored plan is the same plan.
+        prop_assert!((w.sim_total_s - c.sim_total_s).abs() < 1e-12);
     }
 }

@@ -36,6 +36,7 @@ pub use recorder::{
     Counter, EventRec, Level, NoopRecorder, Recorder, SpanRec, TraceRecorder,
 };
 pub use report::{
-    compare_metrics, current_git_rev, extract_metrics, extract_wall_metrics, BenchReport,
-    Metric, Provenance, Regression, SCHEMA_VERSION,
+    compare_metrics, compare_slo_metrics, current_git_rev, extract_metrics,
+    extract_slo_metrics, extract_wall_metrics, BenchReport, Metric, Provenance, Regression,
+    SCHEMA_VERSION,
 };

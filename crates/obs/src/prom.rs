@@ -143,6 +143,30 @@ mod tests {
     }
 
     #[test]
+    fn fleet_counters_export_exactly() {
+        // The serving-fleet counters render under their stable stems with
+        // exact values — byte-for-byte lines, not substring guesses.
+        let r = TraceRecorder::new();
+        r.add("fleet", Counter::RequestsShed, 7);
+        r.add("fleet", Counter::PlansDegraded, 3);
+        r.add("fleet", Counter::SnapshotRestores, 1);
+        r.add("fleet", Counter::ShardFailovers, 2);
+        let text = prometheus_text(&r);
+        for line in [
+            "# TYPE ipt_requests_shed_total counter",
+            "ipt_requests_shed_total{scope=\"fleet\"} 7",
+            "# TYPE ipt_plans_degraded_total counter",
+            "ipt_plans_degraded_total{scope=\"fleet\"} 3",
+            "# TYPE ipt_snapshot_restores_total counter",
+            "ipt_snapshot_restores_total{scope=\"fleet\"} 1",
+            "# TYPE ipt_shard_failovers_total counter",
+            "ipt_shard_failovers_total{scope=\"fleet\"} 2",
+        ] {
+            assert!(text.lines().any(|l| l == line), "missing {line:?} in:\n{text}");
+        }
+    }
+
+    #[test]
     fn empty_recorder_renders_empty() {
         assert!(prometheus_text(&TraceRecorder::new()).is_empty());
     }

@@ -125,6 +125,16 @@ pub enum Counter {
     QueueWaitUs,
     /// Requests refused at admission because the bounded queue was full.
     AdmissionRejections,
+    /// Requests shed to the host path under overload (served correct but
+    /// never launched on a device).
+    RequestsShed,
+    /// Requests degraded from the tuned plan to conservative options under
+    /// overload (the graceful-degradation ladder's first rung).
+    PlansDegraded,
+    /// Plan-cache snapshots successfully restored on warm restart.
+    SnapshotRestores,
+    /// Requests re-routed because their affinity shard was unhealthy.
+    ShardFailovers,
 }
 
 impl Counter {
@@ -161,6 +171,10 @@ impl Counter {
             Counter::BatchedRequests => "batched_requests",
             Counter::QueueWaitUs => "queue_wait_us",
             Counter::AdmissionRejections => "admission_rejections",
+            Counter::RequestsShed => "requests_shed",
+            Counter::PlansDegraded => "plans_degraded",
+            Counter::SnapshotRestores => "snapshot_restores",
+            Counter::ShardFailovers => "shard_failovers",
         }
     }
 }
@@ -262,14 +276,17 @@ struct TraceData {
 #[derive(Default)]
 pub struct TraceRecorder {
     inner: Mutex<TraceData>,
-    on: bool,
+    /// Collect spans and events (the unbounded streams).
+    streams_on: bool,
+    /// Collect counters, gauges, and histograms (bounded aggregates).
+    aggregates_on: bool,
 }
 
 impl TraceRecorder {
     /// An enabled recorder.
     #[must_use]
     pub fn new() -> Self {
-        Self { inner: Mutex::default(), on: true }
+        Self { inner: Mutex::default(), streams_on: true, aggregates_on: true }
     }
 
     /// A *disabled* collecting recorder: every emission is dropped. Used by
@@ -277,7 +294,17 @@ impl TraceRecorder {
     /// (the monomorphized-noop guarantee, observable).
     #[must_use]
     pub fn disabled() -> Self {
-        Self { inner: Mutex::default(), on: false }
+        Self { inner: Mutex::default(), streams_on: false, aggregates_on: false }
+    }
+
+    /// A bounded recorder for long soaks: counters, gauges, and histograms
+    /// aggregate normally, but the unbounded streams (spans, events) are
+    /// dropped — memory stays O(distinct scopes) over millions of
+    /// requests. `enabled()` is false, so hot paths also skip span
+    /// argument marshalling.
+    #[must_use]
+    pub fn counters_only() -> Self {
+        Self { inner: Mutex::default(), streams_on: false, aggregates_on: true }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TraceData> {
@@ -357,7 +384,7 @@ impl TraceRecorder {
 
 impl Recorder for TraceRecorder {
     fn enabled(&self) -> bool {
-        self.on
+        self.streams_on
     }
 
     fn span(
@@ -369,7 +396,7 @@ impl Recorder for TraceRecorder {
         track: u32,
         args: &[(&'static str, f64)],
     ) {
-        if !self.on {
+        if !self.streams_on {
             return;
         }
         self.lock().spans.push(SpanRec {
@@ -383,28 +410,28 @@ impl Recorder for TraceRecorder {
     }
 
     fn add(&self, scope: &str, counter: Counter, delta: u64) {
-        if !self.on || delta == 0 {
+        if !self.aggregates_on || delta == 0 {
             return;
         }
         *self.lock().counters.entry((scope.to_string(), counter)).or_insert(0) += delta;
     }
 
     fn gauge(&self, scope: &str, name: &'static str, value: f64) {
-        if !self.on {
+        if !self.aggregates_on {
             return;
         }
         self.lock().gauges.insert((scope.to_string(), name), value);
     }
 
     fn cycles(&self, scope: &str, len: usize, count: u64) {
-        if !self.on || count == 0 {
+        if !self.aggregates_on || count == 0 {
             return;
         }
         *self.lock().cycle_hist.entry((scope.to_string(), len)).or_insert(0) += count;
     }
 
     fn event(&self, ts_us: f64, name: &'static str, detail: &str) {
-        if !self.on {
+        if !self.streams_on {
             return;
         }
         self.lock().events.push(EventRec {
@@ -448,6 +475,21 @@ mod tests {
         assert_eq!(r.cycle_histogram(), vec![("k".to_string(), 3, 7)]);
         assert_eq!(r.events().len(), 1);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn counters_only_drops_streams_keeps_aggregates() {
+        let r = TraceRecorder::counters_only();
+        assert!(!r.enabled(), "hot paths must skip span marshalling");
+        r.span(Level::Warp, "w", 0.0, 1.0, 9, &[]);
+        r.event(0.0, "e", "d");
+        r.add("soak", Counter::RequestsShed, 4);
+        r.gauge("soak", "occupancy", 0.5);
+        r.cycles("soak", 2, 3);
+        assert!(r.spans().is_empty() && r.events().is_empty(), "streams dropped");
+        assert_eq!(r.counter("soak", Counter::RequestsShed), 4);
+        assert_eq!(r.gauges().len(), 1);
+        assert_eq!(r.cycle_histogram(), vec![("soak".to_string(), 2, 3)]);
     }
 
     #[test]

@@ -162,6 +162,65 @@ pub fn extract_wall_metrics(report: &Value) -> Vec<Metric> {
     out
 }
 
+/// Walk a report's value tree and collect every **lower-is-better SLO**
+/// metric: numeric leaves whose key starts with `slo_` (queue-wait
+/// percentiles, shed/reject rates from the soak harness).
+///
+/// A third channel next to [`extract_metrics`] (higher-is-better
+/// throughput) and [`extract_wall_metrics`] (host wall clock): SLO numbers
+/// are deterministic simulated quantities, but *lower* is better, so they
+/// gate with the inverted comparison of [`compare_slo_metrics`].
+/// Experiments therefore never name a throughput with an `slo_` prefix.
+#[must_use]
+pub fn extract_slo_metrics(report: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    walk_by(report, "", &mut out, &|k| k.starts_with("slo_"));
+    out
+}
+
+/// Compare fresh **lower-is-better** metrics against a baseline.
+///
+/// The mirror image of [`compare_metrics`]: a regression is a metric that
+/// *rose* above `baseline * (1 + tolerance)`, or that exists in the
+/// baseline but not in the fresh report. Improvements (drops) and new
+/// metrics never fail. A zero baseline fails on any fresh value above
+/// `tolerance` (absolute), so a baseline with zero sheds still gates.
+#[must_use]
+pub fn compare_slo_metrics(
+    baseline: &[Metric],
+    fresh: &[Metric],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.path == b.path) {
+            None => regressions.push(Regression {
+                path: b.path.clone(),
+                baseline: b.value,
+                fresh: f64::NAN,
+                change: f64::NAN,
+            }),
+            Some(f) => {
+                let limit = if b.value > 0.0 { b.value * (1.0 + tolerance) } else { tolerance };
+                if f.value > limit {
+                    let change = if b.value > 0.0 {
+                        (f.value - b.value) / b.value
+                    } else {
+                        f64::INFINITY
+                    };
+                    regressions.push(Regression {
+                        path: b.path.clone(),
+                        baseline: b.value,
+                        fresh: f.value,
+                        change,
+                    });
+                }
+            }
+        }
+    }
+    regressions
+}
+
 fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
     walk_by(v, path, out, &|k| {
         (k.contains("gbps") || k.contains("speedup")) && !k.starts_with("wall_")
@@ -287,6 +346,52 @@ mod tests {
         // The throughput channel must not see wall metrics and vice versa.
         let sim = extract_metrics(&v);
         assert_eq!(sim, vec![Metric { path: "gbps".into(), value: 10.0 }]);
+    }
+
+    #[test]
+    fn slo_metrics_are_lower_is_better() {
+        let report = |p50: f64, shed: f64| {
+            Value::Obj(vec![
+                ("slo_p50_wait_us".to_string(), Value::Float(p50)),
+                ("slo_shed_rate".to_string(), Value::Float(shed)),
+                ("gbps".to_string(), Value::Float(40.0)),
+            ])
+        };
+        let base = extract_slo_metrics(&report(100.0, 0.0));
+        assert_eq!(
+            base,
+            vec![
+                Metric { path: "slo_p50_wait_us".into(), value: 100.0 },
+                Metric { path: "slo_shed_rate".into(), value: 0.0 },
+            ],
+            "slo channel must not see throughput keys"
+        );
+        // Identical and improved (lower) values pass.
+        assert!(compare_slo_metrics(&base, &base, 0.1).is_empty());
+        let better = extract_slo_metrics(&report(50.0, 0.0));
+        assert!(compare_slo_metrics(&base, &better, 0.1).is_empty());
+        // A 20% rise fails a 10% tolerance.
+        let worse = extract_slo_metrics(&report(120.0, 0.0));
+        let regs = compare_slo_metrics(&base, &worse, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "slo_p50_wait_us");
+        assert!((regs[0].change - 0.2).abs() < 1e-12);
+        // A zero baseline still gates: rising past the absolute tolerance
+        // fails, staying under it passes.
+        let shedding = extract_slo_metrics(&report(100.0, 0.5));
+        let regs = compare_slo_metrics(&base, &shedding, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "slo_shed_rate");
+        let tiny = extract_slo_metrics(&report(100.0, 0.05));
+        assert!(compare_slo_metrics(&base, &tiny, 0.1).is_empty());
+        // Disappearing slo metrics are a regression.
+        let gone = vec![Metric { path: "slo_p50_wait_us".into(), value: 90.0 }];
+        let regs = compare_slo_metrics(&base, &gone, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].fresh.is_nan());
+        // And the throughput channel never sees slo keys.
+        let sim = extract_metrics(&report(100.0, 0.0));
+        assert_eq!(sim, vec![Metric { path: "gbps".into(), value: 40.0 }]);
     }
 
     #[test]
