@@ -30,12 +30,17 @@
 //!                 host wall clock per workload, asserted bit-identical;
 //!                 `--min-wall-gain X` fails the run below X× wall gain;
 //!                 pin RAYON_NUM_THREADS for reproducible thread counts)
+//!   telemetry     observability gate (the 100k soak twice: counters-only
+//!                 vs full tracing; aggregates must be bit-identical and
+//!                 the streams' wall overhead must stay under
+//!                 `--max-overhead-pct`, default 5 — exits 1 otherwise)
 //!   trace         observability showcase (traced 3-stage run → Chrome trace
 //!                 + Prometheus exposition; written next to the JSON archive)
 //!   races         schedule-exploration campaign: seeded PCT sweep
 //!                 (`--schedules N --seed S`) + bounded exhaustive pass +
 //!                 planted-bug catch; exits 1 on any failing schedule
-//!   all           everything above except `races` and `simperf`
+//!   all           everything above except `races`, `simperf` and
+//!                 `telemetry`
 //! ```
 //!
 //! Default scale is 1/5-reduced matrices (minutes); `--full` uses the
@@ -74,6 +79,7 @@ struct Args {
     schedules: usize,
     seed: u64,
     min_wall_gain: f64,
+    max_overhead_pct: f64,
 }
 
 fn parse_args() -> Args {
@@ -91,6 +97,7 @@ fn parse_args() -> Args {
     let mut schedules = 64usize;
     let mut seed = 0xA11CE_u64;
     let mut min_wall_gain = 0.0f64;
+    let mut max_overhead_pct = ex::telemetry::DEFAULT_MAX_OVERHEAD_PCT;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -100,10 +107,10 @@ fn parse_args() -> Args {
                      [--json DIR] [--single-stage] [--slow]\n\
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
                      [--inject-slowdown PCT] [--schedules N] [--seed S] \
-                     [--min-wall-gain X]\n\
+                     [--min-wall-gain X] [--max-overhead-pct P]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
                      table3 async phi primes multigpu ablation serve soak simperf \
-                     trace races all"
+                     telemetry trace races all"
                 );
                 std::process::exit(0);
             }
@@ -150,6 +157,13 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--max-overhead-pct" => {
+                i += 1;
+                max_overhead_pct = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--max-overhead-pct wants a percentage, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
             "--device" => {
                 i += 1;
                 device = device_by_name(&argv[i]).unwrap_or_else(|| {
@@ -183,6 +197,7 @@ fn parse_args() -> Args {
         schedules,
         seed,
         min_wall_gain,
+        max_overhead_pct,
     }
 }
 
@@ -307,7 +322,7 @@ fn main() {
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
         "async", "phi", "primes", "multigpu", "ablation", "serve", "soak", "simperf",
-        "trace", "races", "all",
+        "telemetry", "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -428,6 +443,25 @@ fn main() {
             wall_gain_failed = true;
         }
     }
+    // `telemetry` is deliberately not part of `all`: its overhead gate is
+    // host wall-clock (machine-specific), so it runs in its own CI job;
+    // the deterministic soak aggregates it re-derives still archive and
+    // gate against the committed baseline under `--check`.
+    let mut telemetry_failed = false;
+    if args.experiment == "telemetry" {
+        let (rows, summary) = ex::telemetry::run(&args.device, args.scale, args.max_overhead_pct);
+        println!("{}", ex::telemetry::render(&rows, &summary));
+        sink.emit_scheme("telemetry", "plan-cache", &(&rows, &summary));
+        if !summary.passed {
+            eprintln!(
+                "[telemetry] FAIL: aggregates match: {}, overhead {:+.2}% (ceiling {:.1}%), \
+                 false positives {}",
+                summary.aggregates_match, summary.overhead_pct, summary.max_overhead_pct,
+                summary.slo_false_positive_alerts
+            );
+            telemetry_failed = true;
+        }
+    }
     // `races` is deliberately not part of `all`: it is a correctness
     // campaign with its own pass/fail verdict and (in CI) a much larger
     // schedule count, not a throughput measurement.
@@ -454,7 +488,7 @@ fn main() {
 
     let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
-    if failed || races_failed || wall_gain_failed || soak_failed {
+    if failed || races_failed || wall_gain_failed || soak_failed || telemetry_failed {
         std::process::exit(1);
     }
 }

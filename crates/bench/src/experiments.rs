@@ -21,6 +21,7 @@ pub mod sweep010;
 pub mod sweep100;
 pub mod table2;
 pub mod table3;
+pub mod telemetry;
 pub mod trace;
 
 /// Render a uniform text table: header + rows of equal arity.

@@ -27,7 +27,7 @@ use ipt_gpu::fleet::{Fleet, FleetConfig};
 use ipt_gpu::recover::host_transpose_elems;
 use ipt_gpu::serve::{DegradeLevel, PriorityClass, ServeRequest, ServedResult};
 use ipt_gpu::TransposeError;
-use ipt_obs::{Counter, TraceRecorder};
+use ipt_obs::{Counter, LogHisto, TraceRecorder};
 use serde::Serialize;
 
 /// Stream period: shapes and payload seeds repeat exactly every this many
@@ -121,8 +121,16 @@ pub struct Summary {
     pub sim_makespan_s: f64,
     /// Host wall requests/second (machine-specific; not a checked metric).
     pub host_rps: f64,
+    /// Burn-rate SLO alerts fired over the whole soak (bursts and the
+    /// crash drill must raise some).
+    pub alerts: u64,
+    /// Alerts that fired outside every expected-hot interval (burst
+    /// rounds, backpressure drains, the crash→restart window, each padded
+    /// by the longest alert window). Gated at its committed baseline of
+    /// 0 — clean periods must stay silent.
+    pub slo_false_positive_alerts: u64,
     /// Did the soak meet its acceptance floors (zero correctness failures,
-    /// hit rate ≥ 0.90)?
+    /// hit rate ≥ 0.90, no false-positive alerts)?
     pub passed: bool,
 }
 
@@ -174,11 +182,10 @@ fn class_idx(p: PriorityClass) -> usize {
 }
 
 /// Streaming aggregation — results are observed and dropped, never
-/// retained, so a 1M soak stays at tens of megabytes.
+/// retained (queue-wait distributions live in the recorder's bounded
+/// log2 histograms), so a 1M soak stays at tens of megabytes.
 struct Agg<'a> {
     table: &'a [(usize, usize, usize)],
-    waits_us: Vec<f64>,
-    class_waits_us: [Vec<f64>; 3],
     class_requests: [u64; 3],
     class_degraded: [u64; 3],
     class_shed: [u64; 3],
@@ -190,15 +197,15 @@ struct Agg<'a> {
     shed: u64,
     checks: u64,
     failures: u64,
+    /// Fleet-clock intervals where SLO alerts are expected (burst rounds,
+    /// backpressure drains, the crash→restart window).
+    hot_intervals: Vec<(f64, f64)>,
 }
 
 impl Agg<'_> {
     fn observe(&mut self, res: &ServedResult) {
         self.served += 1;
-        let wait_us = res.queue_wait_s * 1e6;
-        self.waits_us.push(wait_us);
         let c = class_idx(res.priority);
-        self.class_waits_us[c].push(wait_us);
         self.class_requests[c] += 1;
         let (rows, cols, elem_bytes) = self.table[res.id as usize % self.table.len()];
         match res.degrade {
@@ -234,10 +241,16 @@ impl Agg<'_> {
     }
 }
 
-fn drain(fleet: &mut Fleet, agg: &mut Agg<'_>, rec: &TraceRecorder) {
+/// Drain one fleet round. `hot` marks the drained interval as
+/// expected-alert territory (burst rounds, backpressure overload).
+fn drain(fleet: &mut Fleet, agg: &mut Agg<'_>, rec: &TraceRecorder, hot: bool) {
+    let start_s = fleet.clock_s();
     let round = fleet.process_rounds(rec).expect("fleet round");
     agg.rounds += 1;
     agg.sim_makespan_s += round.makespan_s;
+    if hot {
+        agg.hot_intervals.push((start_s, fleet.clock_s()));
+    }
     for (_, rep) in &round.rounds {
         for res in &rep.results {
             agg.observe(res);
@@ -260,7 +273,9 @@ fn submit_retry(
         Ok(_) => {}
         Err(TransposeError::Backpressure { .. }) => {
             *backpressure_hits += 1;
-            drain(fleet, agg, rec);
+            // Backpressure means overload: the drain it forces may
+            // legitimately shed, so alerts here are expected.
+            drain(fleet, agg, rec, true);
             match fleet.submit(req, rec) {
                 Ok(_) => {}
                 Err(TransposeError::Backpressure { .. }) => *rejected += 1,
@@ -269,14 +284,6 @@ fn submit_retry(
         }
         Err(e) => panic!("soak request refused: {e}"),
     }
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Run the soak at the scale's request count (100k reduced, 1M full; the
@@ -293,15 +300,33 @@ pub fn run(dev: &DeviceSpec, scale: Scale) -> (Vec<ClassRow>, Summary) {
 }
 
 /// [`run`] with explicit sizing (tests use shorter streams and a tighter
-/// admission queue to provoke the degradation ladder quickly).
+/// admission queue to provoke the degradation ladder quickly). Uses a
+/// bounded counters-only recorder: counters and latency histograms
+/// aggregate, spans/events drop — memory stays flat over a million
+/// requests.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_sized(
     dev: &DeviceSpec,
     n: usize,
     period: usize,
     round_size: usize,
     queue_capacity: Option<usize>,
+) -> (Vec<ClassRow>, Summary) {
+    run_with(dev, n, period, round_size, queue_capacity, &TraceRecorder::counters_only())
+}
+
+/// [`run_sized`] against a caller-supplied recorder — the telemetry
+/// experiment runs the same stream under counters-only and full tracing
+/// to price the streams' overhead and prove the aggregates match.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_with(
+    dev: &DeviceSpec,
+    n: usize,
+    period: usize,
+    round_size: usize,
+    queue_capacity: Option<usize>,
+    rec: &TraceRecorder,
 ) -> (Vec<ClassRow>, Summary) {
     assert!(n >= period && n.is_multiple_of(period), "stream must be whole periods");
     let table = shape_table(period);
@@ -312,9 +337,6 @@ pub fn run_sized(
         cfg.serve.queue_capacity = cap;
     }
     let mut fleet = Fleet::new(dev.clone(), cfg);
-    // Bounded recorder: counters aggregate, spans/events drop — memory
-    // stays flat over a million requests.
-    let rec = TraceRecorder::counters_only();
 
     // Crash the shard that owns the stream's first shape — guaranteed to
     // hold cached plans and live traffic — at 40% of the first period;
@@ -326,8 +348,6 @@ pub fn run_sized(
 
     let mut agg = Agg {
         table: &table,
-        waits_us: Vec::with_capacity(n),
-        class_waits_us: [Vec::new(), Vec::new(), Vec::new()],
         class_requests: [0; 3],
         class_degraded: [0; 3],
         class_shed: [0; 3],
@@ -339,6 +359,7 @@ pub fn run_sized(
         shed: 0,
         checks: 0,
         failures: 0,
+        hot_intervals: Vec::new(),
     };
     let mut snapshot: Option<String> = None;
     let mut orphans_rerouted = 0usize;
@@ -349,16 +370,19 @@ pub fn run_sized(
     let mut round_idx = 0usize;
     let t0 = std::time::Instant::now();
 
+    let mut crash_hot_start: Option<f64> = None;
+
     for i in 0..n as u64 {
         if i as usize == crash_at {
-            let (snap, orphans) = fleet.crash_shard(victim, &rec);
+            crash_hot_start = Some(fleet.clock_s());
+            let (snap, orphans) = fleet.crash_shard(victim, rec);
             orphans_rerouted = orphans.len();
             for orphan in orphans {
                 submit_retry(
                     &mut fleet,
                     orphan,
                     &mut agg,
-                    &rec,
+                    rec,
                     &mut backpressure_hits,
                     &mut rejected,
                 );
@@ -368,52 +392,77 @@ pub fn run_sized(
         if i as usize == restart_at {
             let snap = snapshot.as_ref().expect("crash precedes restart");
             plans_restored = fleet
-                .restart_shard(victim, snap, &rec)
+                .restart_shard(victim, snap, rec)
                 .expect("a self-written snapshot must restore");
+            // The crash→restart window concentrates load on the
+            // survivors; alerts in it are expected.
+            let from = crash_hot_start.take().expect("crash precedes restart");
+            agg.hot_intervals.push((from, fleet.clock_s()));
         }
         submit_retry(
             &mut fleet,
             make_request(&table, i),
             &mut agg,
-            &rec,
+            rec,
             &mut backpressure_hits,
             &mut rejected,
         );
         in_round += 1;
         // Every BURST_EVERY-th round doubles before draining — the
         // overload injector that exercises the degradation ladder.
-        let target =
-            if (round_idx + 1).is_multiple_of(BURST_EVERY) { round_size * 2 } else { round_size };
+        let burst = (round_idx + 1).is_multiple_of(BURST_EVERY);
+        let target = if burst { round_size * 2 } else { round_size };
         if in_round >= target {
-            drain(&mut fleet, &mut agg, &rec);
+            drain(&mut fleet, &mut agg, rec, burst);
             in_round = 0;
             round_idx += 1;
         }
     }
     while fleet.backlog() > 0 {
-        drain(&mut fleet, &mut agg, &rec);
+        drain(&mut fleet, &mut agg, rec, false);
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
+    // Quantiles come from the recorder's bounded log2 latency histograms
+    // (deterministic bucket upper edges, identical across engines).
+    let wait_histo = |scope: &str| {
+        rec.latency_histogram(scope, "queue_wait_us").unwrap_or_default()
+    };
     let mut rows = Vec::with_capacity(3);
-    for (c, name) in [(0usize, "interactive"), (1, "batch"), (2, "background")] {
-        let waits = &mut agg.class_waits_us[c];
-        waits.sort_by(f64::total_cmp);
-        let reqs = agg.class_requests[c];
+    let mut all_waits = LogHisto::new();
+    for (c, name, scope) in [
+        (0usize, "interactive", "class:interactive"),
+        (1, "batch", "class:batch"),
+        (2, "background", "class:background"),
+    ] {
+        let h = wait_histo(scope);
+        all_waits.merge(&h);
         rows.push(ClassRow {
             class: name,
-            requests: reqs,
-            mean_wait_us: if reqs == 0 {
-                0.0
-            } else {
-                waits.iter().sum::<f64>() / reqs as f64
-            },
-            p99_wait_us: percentile(waits, 0.99),
+            requests: agg.class_requests[c],
+            mean_wait_us: h.mean_us(),
+            p99_wait_us: h.p99_us(),
             degraded: agg.class_degraded[c],
             shed: agg.class_shed[c],
         });
     }
-    agg.waits_us.sort_by(f64::total_cmp);
+
+    // Alerts outside every padded expected-hot interval are false
+    // positives: clean periods must stay silent. The pad covers the
+    // longest rule's look-back — a burst keeps burn rates above
+    // threshold until its windows rotate out of the long window.
+    let tcfg = fleet.telemetry().config();
+    let pad_s = tcfg.window_s
+        * tcfg.rules.iter().map(|r| r.long_windows).max().unwrap_or(0) as f64;
+    let alerts = fleet.telemetry().alerts();
+    let false_positives = alerts
+        .iter()
+        .filter(|a| {
+            !agg.hot_intervals
+                .iter()
+                .any(|&(from, to)| a.at_s >= from && a.at_s <= to + pad_s)
+        })
+        .count() as u64;
 
     let hit_rate = fleet.aggregate_hit_rate();
     let full_execs: u64 = (0..fleet.num_shards()).map(|s| fleet.shard(s).full_execs()).sum();
@@ -437,8 +486,8 @@ pub fn run_sized(
         } else {
             0.0
         },
-        slo_p50_wait_us: percentile(&agg.waits_us, 0.50),
-        slo_p99_wait_us: percentile(&agg.waits_us, 0.99),
+        slo_p50_wait_us: all_waits.p50_us(),
+        slo_p99_wait_us: all_waits.p99_us(),
         slo_shed_rate: agg.shed as f64 / agg.served.max(1) as f64,
         slo_reject_rate: rejected as f64 / (agg.served + rejected).max(1) as f64,
         degraded: agg.degraded,
@@ -451,7 +500,12 @@ pub fn run_sized(
         profiled_replays: replays,
         sim_makespan_s: agg.sim_makespan_s,
         host_rps: if wall_s > 0.0 { agg.served as f64 / wall_s } else { 0.0 },
-        passed: failures == 0 && hit_rate >= 0.90 && agg.served >= n as u64,
+        alerts: alerts.len() as u64,
+        slo_false_positive_alerts: false_positives,
+        passed: failures == 0
+            && hit_rate >= 0.90
+            && agg.served >= n as u64
+            && false_positives == 0,
     };
     (rows, summary)
 }
@@ -487,6 +541,7 @@ pub fn render(rows: &[ClassRow], summary: &Summary) -> String {
          plan-cache hit rate {:.2}% (floor 90%), {:.2} GB/s effective over {:.1} ms \
          simulated\n\
          verification: {} checks, {} failures; {} full executions, {} timing replays\n\
+         SLO burn-rate alerts: {} fired, {} outside expected-hot windows (must be 0)\n\
          {}\n",
         summary.requests,
         summary.rounds,
@@ -513,6 +568,8 @@ pub fn render(rows: &[ClassRow], summary: &Summary) -> String {
         summary.correctness_failures,
         summary.full_execs,
         summary.profiled_replays,
+        summary.alerts,
+        summary.slo_false_positive_alerts,
         if summary.passed { "SOAK PASS" } else { "SOAK FAIL" },
     ));
     out
@@ -556,6 +613,8 @@ mod tests {
         assert!(summary.plans_restored > 0, "the victim had cached plans");
         assert!(summary.degraded > 0, "bursts must trip the conservative rung");
         assert!(summary.shed > 0, "bursts must trip the shed rung");
+        assert!(summary.alerts > 0, "the crash drill and bursts must raise burn-rate alerts");
+        assert_eq!(summary.slo_false_positive_alerts, 0, "clean periods must stay silent");
         assert!(summary.profiled_replays > summary.full_execs,
             "replay must carry most of the stream");
         assert!(summary.effective_gbps > 0.0 && summary.sim_makespan_s > 0.0);
@@ -577,6 +636,8 @@ mod tests {
         assert_eq!(sa.shed, sb.shed);
         assert_eq!(sa.sim_makespan_s, sb.sim_makespan_s);
         assert_eq!(sa.effective_gbps, sb.effective_gbps);
+        assert_eq!(sa.alerts, sb.alerts);
+        assert_eq!(sa.slo_false_positive_alerts, sb.slo_false_positive_alerts);
         for (a, b) in ra.iter().zip(&rb) {
             assert_eq!(a.requests, b.requests);
             assert_eq!(a.p99_wait_us, b.p99_wait_us);

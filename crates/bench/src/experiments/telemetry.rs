@@ -1,0 +1,284 @@
+//! **Observability gate** — prices full tracing against counters-only and
+//! proves the streams never change the aggregates.
+//!
+//! Runs the soak's deterministic 100k-request stream twice through
+//! [`super::soak::run_with`]: once under a bounded counters-only recorder
+//! (the production default — histograms and counters aggregate, spans and
+//! events drop) and once under a full [`TraceRecorder`] that retains the
+//! whole causal span/event stream. The run is always the reduced 100k
+//! stream regardless of `--full`: streams-mode memory grows linearly with
+//! spans, and pricing the overhead does not need a longer soak.
+//!
+//! Two properties gate:
+//!
+//! * **The streams are pure observation.** Every deterministic aggregate —
+//!   class rows, queue-wait quantiles, shed/reject rates, burn-rate alert
+//!   and false-positive counts, throughput, makespan, and every log2
+//!   latency histogram bucket — must be bit-identical between the two
+//!   modes. Tracing that perturbs what it observes is a bug, not a tax.
+//! * **The streams are affordable.** Full tracing must add at most
+//!   `--max-overhead-pct` (CI passes 5) host wall time over counters-only,
+//!   measured as the ratio of per-mode minimum walls over [`TIMING_PAIRS`]
+//!   interleaved attempts so background noise prices neither mode
+//!   unfairly. Wall time is
+//!   machine-specific, so the gate is evaluated in-process (exit 1 in
+//!   `repro`) rather than against the committed baseline; the baseline
+//!   gates the deterministic `slo_*`/throughput channels instead.
+
+use crate::workloads::Scale;
+use gpu_sim::DeviceSpec;
+use ipt_obs::TraceRecorder;
+use serde::Serialize;
+
+use super::soak::{self, ClassRow, ROUND_SIZE};
+
+/// Stream length priced by the telemetry gate (one soak period).
+pub const REQUESTS: usize = 100_000;
+
+/// Interleaved timing attempts per recorder mode; the gated overhead is
+/// the ratio of the per-mode minimum walls (see [`run`]).
+pub const TIMING_PAIRS: usize = 3;
+
+/// Default ceiling on the full-tracing wall-time overhead, percent.
+pub const DEFAULT_MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// One recorder mode's cost and stream volume.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeRow {
+    /// Recorder mode (`counters-only` / `full-tracing`).
+    pub mode: &'static str,
+    /// Best host wall time for the whole soak over the timing pairs,
+    /// seconds (machine-specific; `host_` keys are not checked metrics).
+    pub host_wall_s: f64,
+    /// Host wall requests/second (machine-specific).
+    pub host_rps: f64,
+    /// Distinct trace ids retained (0 in counters-only mode).
+    pub traces: u64,
+    /// Spans retained (0 in counters-only mode).
+    pub spans: u64,
+    /// Events retained (0 in counters-only mode).
+    pub events: u64,
+}
+
+/// Telemetry-gate summary. `slo_*` and `effective_gbps` gate against the
+/// committed baseline; the overhead gate is in-process via `passed`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Requests served per mode.
+    pub requests: u64,
+    /// Fleet rounds processed per mode.
+    pub rounds: u64,
+    /// Deterministic aggregate throughput (GB/s; throughput gate).
+    pub effective_gbps: f64,
+    /// p50 simulated queue wait, microseconds (SLO gate).
+    pub slo_p50_wait_us: f64,
+    /// p99 simulated queue wait, microseconds (SLO gate).
+    pub slo_p99_wait_us: f64,
+    /// Shed requests / served requests (SLO gate).
+    pub slo_shed_rate: f64,
+    /// Burn-rate alerts outside expected-hot windows (SLO gate; the
+    /// committed baseline of 0 gates absolutely).
+    pub slo_false_positive_alerts: u64,
+    /// Burn-rate alerts fired over the soak (identical in both modes).
+    pub alerts: u64,
+    /// Best counters-only wall time over the timing pairs, seconds
+    /// (machine-specific).
+    pub host_wall_counters_s: f64,
+    /// Best full-tracing wall time over the timing pairs, seconds
+    /// (machine-specific).
+    pub host_wall_full_s: f64,
+    /// Full-tracing overhead over counters-only: the ratio of the
+    /// per-mode minimum walls, percent (machine-specific; gated
+    /// in-process).
+    pub overhead_pct: f64,
+    /// The in-process ceiling `overhead_pct` was gated against.
+    pub max_overhead_pct: f64,
+    /// Were all deterministic aggregates (rows, summary fields, every
+    /// latency histogram) bit-identical between the two modes?
+    pub aggregates_match: bool,
+    /// Both soaks passed, the aggregates match, and the overhead is under
+    /// the ceiling.
+    pub passed: bool,
+}
+
+/// Everything about a soak run that must not depend on the recorder mode.
+/// `host_rps` (wall-clock) is deliberately excluded.
+fn deterministic_view(
+    rows: &[ClassRow],
+    summary: &soak::Summary,
+    rec: &TraceRecorder,
+) -> String {
+    let histos: Vec<String> = rec
+        .latency_histograms()
+        .iter()
+        .map(|(scope, name, h)| {
+            format!("{scope}/{name}: n={} sum={} p50={} p99={}",
+                h.count(), h.sum_us(), h.p50_us(), h.p99_us())
+        })
+        .collect();
+    format!(
+        "rows={} req={} rounds={} p50={} p99={} shed={} reject={} gbps={} \
+         makespan={} degraded={} shed_n={} alerts={} fp={} hit={} full={} \
+         replays={} histos={histos:?}",
+        serde_json::to_string(&rows).expect("rows serialize"),
+        summary.requests,
+        summary.rounds,
+        summary.slo_p50_wait_us,
+        summary.slo_p99_wait_us,
+        summary.slo_shed_rate,
+        summary.slo_reject_rate,
+        summary.effective_gbps,
+        summary.sim_makespan_s,
+        summary.degraded,
+        summary.shed,
+        summary.alerts,
+        summary.slo_false_positive_alerts,
+        summary.hit_rate,
+        summary.full_execs,
+        summary.profiled_replays,
+    )
+}
+
+/// Run the gate. `scale` is accepted for harness uniformity but the stream
+/// is always the reduced 100k soak (see module docs).
+#[must_use]
+pub fn run(dev: &DeviceSpec, _scale: Scale, max_overhead_pct: f64) -> (Vec<ModeRow>, Summary) {
+    let n = REQUESTS;
+
+    // Host wall clock on a shared machine jitters by more than the gate's
+    // ceiling, so single-shot timing is untrustworthy in either direction.
+    // Each mode gets [`TIMING_PAIRS`] interleaved attempts and the gated
+    // overhead is the ratio of the per-mode *minimum* walls: the minimum
+    // converges on the machine's quiet-time cost of the work, and
+    // interleaving keeps slow weather from landing entirely on one mode.
+    // The aggregates are deterministic, so keeping the last run of each
+    // mode loses nothing.
+    let mut wall_counters_s = f64::INFINITY;
+    let mut wall_full_s = f64::INFINITY;
+    let mut counters_out = None;
+    let mut full_out = None;
+    for _ in 0..TIMING_PAIRS {
+        let counters = TraceRecorder::counters_only();
+        let t0 = std::time::Instant::now();
+        let out = soak::run_with(dev, n, n, ROUND_SIZE, None, &counters);
+        wall_counters_s = wall_counters_s.min(t0.elapsed().as_secs_f64());
+        counters_out = Some((out, counters));
+
+        let full = TraceRecorder::new();
+        let t0 = std::time::Instant::now();
+        let out = soak::run_with(dev, n, n, ROUND_SIZE, None, &full);
+        wall_full_s = wall_full_s.min(t0.elapsed().as_secs_f64());
+        full_out = Some((out, full));
+    }
+    let ((rows_c, sum_c), counters) = counters_out.expect("timing rounds ran");
+    let ((rows_f, sum_f), full) = full_out.expect("timing rounds ran");
+
+    let aggregates_match = deterministic_view(&rows_c, &sum_c, &counters)
+        == deterministic_view(&rows_f, &sum_f, &full);
+    let overhead_pct = if wall_counters_s > 0.0 {
+        (wall_full_s - wall_counters_s) / wall_counters_s * 100.0
+    } else {
+        0.0
+    };
+
+    let mode_row = |mode, wall_s: f64, sum: &soak::Summary, rec: &TraceRecorder| ModeRow {
+        mode,
+        host_wall_s: wall_s,
+        host_rps: if wall_s > 0.0 { sum.requests as f64 / wall_s } else { 0.0 },
+        traces: rec.trace_ids().len() as u64,
+        spans: rec.spans().len() as u64,
+        events: rec.events().len() as u64,
+    };
+    let rows = vec![
+        mode_row("counters-only", wall_counters_s, &sum_c, &counters),
+        mode_row("full-tracing", wall_full_s, &sum_f, &full),
+    ];
+
+    let summary = Summary {
+        requests: sum_c.requests,
+        rounds: sum_c.rounds,
+        effective_gbps: sum_c.effective_gbps,
+        slo_p50_wait_us: sum_c.slo_p50_wait_us,
+        slo_p99_wait_us: sum_c.slo_p99_wait_us,
+        slo_shed_rate: sum_c.slo_shed_rate,
+        slo_false_positive_alerts: sum_c.slo_false_positive_alerts,
+        alerts: sum_c.alerts,
+        host_wall_counters_s: wall_counters_s,
+        host_wall_full_s: wall_full_s,
+        overhead_pct,
+        max_overhead_pct,
+        aggregates_match,
+        passed: sum_c.passed
+            && sum_f.passed
+            && aggregates_match
+            && overhead_pct <= max_overhead_pct,
+    };
+    (rows, summary)
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render(rows: &[ModeRow], summary: &Summary) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.2}", r.host_wall_s),
+                format!("{:.0}", r.host_rps),
+                format!("{}", r.traces),
+                format!("{}", r.spans),
+                format!("{}", r.events),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        "Observability: telemetry overhead and aggregate-purity gate",
+        &["recorder", "wall s", "req/s", "traces", "spans", "events"],
+        &table,
+    );
+    out.push_str(&format!(
+        "\n{} requests in {} rounds: p50 wait {:.1} us, p99 {:.1} us, \
+         {:.2} GB/s effective\n\
+         alerts: {} fired, {} false positives (must be 0)\n\
+         aggregates bit-identical across recorder modes: {}\n\
+         full-tracing overhead: {:+.2}% wall over counters-only \
+         (ceiling {:.1}%)\n\
+         {}\n",
+        summary.requests,
+        summary.rounds,
+        summary.slo_p50_wait_us,
+        summary.slo_p99_wait_us,
+        summary.effective_gbps,
+        summary.alerts,
+        summary.slo_false_positive_alerts,
+        if summary.aggregates_match { "yes" } else { "NO" },
+        summary.overhead_pct,
+        summary.max_overhead_pct,
+        if summary.passed { "TELEMETRY PASS" } else { "TELEMETRY FAIL" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature of the gate: same stream, both recorder modes, the
+    /// deterministic views must collide and the short soaks must pass.
+    #[test]
+    fn aggregates_are_recorder_independent() {
+        let dev = DeviceSpec::tesla_k20();
+        let counters = TraceRecorder::counters_only();
+        let (rc, sc) = soak::run_with(&dev, 1200, 1200, ROUND_SIZE, Some(24), &counters);
+        let full = TraceRecorder::new();
+        let (rf, sf) = soak::run_with(&dev, 1200, 1200, ROUND_SIZE, Some(24), &full);
+        assert!(sc.passed && sf.passed, "both modes pass the soak floors");
+        assert_eq!(
+            deterministic_view(&rc, &sc, &counters),
+            deterministic_view(&rf, &sf, &full),
+            "streams must not perturb the aggregates"
+        );
+        assert!(!full.spans().is_empty() && counters.spans().is_empty());
+    }
+}

@@ -66,7 +66,7 @@ pub fn run(dev: &DeviceSpec, scale: Scale) -> Report {
     let stages = spans
         .iter()
         .filter(|s| s.level == Level::Stage)
-        .map(|s| s.name.clone())
+        .map(|s| s.name.to_string())
         .collect();
     Report {
         rows,

@@ -47,7 +47,11 @@ use std::sync::Mutex;
 /// Per-launch cap on recorded warp spans. Big grids retire millions of
 /// warps; a trace keeps the first `WARP_SPAN_CAP` and counts the rest in
 /// [`Counter::DroppedWarpSpans`] — truncation is visible, never silent.
-pub const WARP_SPAN_CAP: usize = 256;
+/// Sized at 8 spans per display track: warp spans are a sample for the
+/// viewer, and they dominate full-tracing's footprint under serving load
+/// (every span carries a formatted name), so the cap is also what keeps
+/// the telemetry overhead gate comfortably under its ceiling.
+pub const WARP_SPAN_CAP: usize = 64;
 
 /// Launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -25,10 +25,15 @@
 //! before it sheds requests.
 
 use crate::recover::TransposeError;
-use crate::serve::{RoundReport, ServeConfig, ServeRequest, Server, SnapshotError};
+use crate::serve::{
+    trace_id, DegradeLevel, RoundReport, ServeConfig, ServeRequest, Server, SnapshotError,
+    ROOT_SPAN, ROUTE_SPAN,
+};
 use gpu_sim::sched::mix64;
 use gpu_sim::{try_simulate_shards_at, DeviceSpec, ShardLoad, Timeline};
-use ipt_obs::{Counter, Recorder};
+use ipt_obs::{
+    Alert, Counter, Level, Recorder, SloClass, SpanCtx, Telemetry, TelemetryConfig,
+};
 
 /// Fleet configuration: shard count plus the per-shard serving config.
 #[derive(Debug, Clone)]
@@ -37,28 +42,44 @@ pub struct FleetConfig {
     pub shards: usize,
     /// Per-shard serving configuration.
     pub serve: ServeConfig,
+    /// SLO windowing and burn-rate alert rules.
+    pub telemetry: TelemetryConfig,
+    /// Per-priority-class error budgets (tolerated bad-outcome fraction),
+    /// indexed by [`crate::serve::PriorityClass::index`]:
+    /// `[interactive, batch, background]`.
+    pub class_budgets: [f64; 3],
 }
 
 impl FleetConfig {
     /// Fleet defaults for `dev`: three shards with the overload ladder
-    /// armed — degrade past 75% of admission capacity, shed past 90%.
+    /// armed — degrade past 75% of admission capacity, shed past 90% —
+    /// and burn-rate alerting over 250 µs SLO windows with budgets
+    /// tightening with priority (0.1% interactive, 2% batch,
+    /// 5% background).
     #[must_use]
     pub fn new(dev: &DeviceSpec) -> Self {
         let mut serve = ServeConfig::new(dev);
         serve.degrade_at = 0.75;
         serve.shed_at = 0.9;
-        Self { shards: 3, serve }
+        Self {
+            shards: 3,
+            serve,
+            telemetry: TelemetryConfig::fleet_default(),
+            class_budgets: [0.001, 0.02, 0.05],
+        }
     }
 }
 
 /// One fleet round: every healthy shard's drained round plus the
-/// fleet-wide makespan.
+/// fleet-wide makespan and any SLO alerts that fired.
 #[derive(Debug)]
 pub struct FleetRound {
     /// `(shard index, round report)` per processed shard.
     pub rounds: Vec<(usize, RoundReport)>,
     /// Latest shard completion this round, simulated seconds.
     pub makespan_s: f64,
+    /// Burn-rate alerts that fired on this round's telemetry tick.
+    pub alerts: Vec<Alert>,
 }
 
 impl FleetRound {
@@ -80,12 +101,20 @@ struct Shard {
     healthy: bool,
 }
 
-/// A sharded serving fleet with shape-affinity routing, failover, and
-/// crash/warm-restart support.
+/// A sharded serving fleet with shape-affinity routing, failover,
+/// crash/warm-restart support, and fleet-wide SLO telemetry.
 pub struct Fleet {
     dev: DeviceSpec,
     cfg: FleetConfig,
     shards: Vec<Shard>,
+    /// Fleet clock: simulated seconds across processed rounds (advanced
+    /// by the round makespan — shards run concurrently).
+    clock_s: f64,
+    /// Windowed per-class SLO tracking and burn-rate alerting.
+    telemetry: Telemetry,
+    /// Pre-built per-shard latency scopes (`"shard:0"`, ...), so the hot
+    /// path never formats.
+    shard_scopes: Vec<String>,
 }
 
 impl Fleet {
@@ -96,13 +125,33 @@ impl Fleet {
     #[must_use]
     pub fn new(dev: DeviceSpec, cfg: FleetConfig) -> Self {
         assert!(cfg.shards > 0, "a fleet needs at least one shard");
-        let shards = (0..cfg.shards)
+        let shards: Vec<Shard> = (0..cfg.shards)
             .map(|_| Shard {
                 server: Server::new(dev.clone(), cfg.serve.clone()),
                 healthy: true,
             })
             .collect();
-        Self { dev, cfg, shards }
+        let classes = vec![
+            SloClass::new("interactive", cfg.class_budgets[0]),
+            SloClass::new("batch", cfg.class_budgets[1]),
+            SloClass::new("background", cfg.class_budgets[2]),
+        ];
+        let telemetry = Telemetry::new(cfg.telemetry.clone(), classes);
+        let shard_scopes = (0..cfg.shards).map(|s| format!("shard:{s}")).collect();
+        Self { dev, cfg, shards, clock_s: 0.0, telemetry, shard_scopes }
+    }
+
+    /// Fleet clock: simulated seconds of fleet-wide service so far.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// The fleet's SLO telemetry: per-class window series and the alerts
+    /// fired so far.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Shard count.
@@ -156,23 +205,24 @@ impl Fleet {
     }
 
     /// Route a shape: the preferred shard when healthy, else the
-    /// highest-weight healthy shard (a failover), else `None`.
+    /// highest-weight healthy shard (a failover), else `None`. The flag
+    /// reports whether the pick was a failover.
     fn route<R: Recorder>(
         &self,
         rows: usize,
         cols: usize,
         elem_bytes: usize,
         rec: &R,
-    ) -> Option<usize> {
+    ) -> Option<(usize, bool)> {
         let preferred = self.preferred_shard(rows, cols, elem_bytes);
         if self.shards[preferred].healthy {
-            return Some(preferred);
+            return Some((preferred, false));
         }
         let fallback = (0..self.shards.len())
             .filter(|&s| self.shards[s].healthy)
             .max_by_key(|&s| Self::weight(rows, cols, elem_bytes, s))?;
         rec.add("fleet", Counter::ShardFailovers, 1);
-        Some(fallback)
+        Some((fallback, true))
     }
 
     /// Admit one request on its affinity shard, returning the shard index
@@ -188,14 +238,34 @@ impl Fleet {
         req: ServeRequest,
         rec: &R,
     ) -> Result<usize, TransposeError> {
-        let Some(s) = self.route(req.rows, req.cols, req.elem_bytes, rec) else {
+        let Some((s, failed_over)) = self.route(req.rows, req.cols, req.elem_bytes, rec) else {
             rec.add("fleet", Counter::AdmissionRejections, 1);
             return Err(TransposeError::Backpressure {
                 capacity: 0,
                 retry_after_s: self.dev.queue_create_overhead_s.max(1e-6),
             });
         };
+        let id = req.id;
+        let track = Level::Request.base_track() + req.priority.index() as u32;
         self.shards[s].server.submit(req, rec)?;
+        if rec.enabled() {
+            // Routing decision span: an instant child of the request's
+            // (future) root span, stamped at the admitting shard's clock.
+            let ctx = SpanCtx {
+                trace_id: trace_id(id),
+                span_id: ROUTE_SPAN,
+                parent_span_id: ROOT_SPAN,
+            };
+            rec.span_ctx(
+                ctx,
+                Level::Request,
+                "route",
+                self.shards[s].server.clock_s() * 1e6,
+                0.0,
+                track,
+                &[("shard", s as f64), ("failed_over", f64::from(failed_over))],
+            );
+        }
         Ok(s)
     }
 
@@ -237,7 +307,46 @@ impl Fleet {
             };
             rounds.push((s, self.shards[s].server.finish_round(p, tl, rec)));
         }
-        Ok(FleetRound { rounds, makespan_s })
+
+        // Fleet SLO telemetry: every result is one good/bad outcome for
+        // its priority class, placed on the fleet clock at completion. A
+        // bad outcome is a shed request or an end-to-end latency past the
+        // class's deadline budget. The tick lands at the clock of the
+        // last recorded outcome (not the window boundary past it), so the
+        // short burn window always sees the outcomes it gates on.
+        let round_start = self.clock_s;
+        let mut t_last = round_start;
+        for (s, round) in &rounds {
+            let scope = self.shard_scopes[*s].as_str();
+            for res in &round.results {
+                let e2e_s = res.queue_wait_s + res.service_s;
+                let bad = res.degrade == DegradeLevel::HostShed
+                    || e2e_s > res.priority.deadline_budget_s();
+                let at_s = round_start + e2e_s;
+                t_last = t_last.max(at_s);
+                self.telemetry.record(res.priority.index(), at_s, !bad);
+                if bad {
+                    rec.add("fleet", Counter::SloViolations, 1);
+                }
+                rec.latency(scope, "e2e_us", e2e_s * 1e6, Some(trace_id(res.id)));
+            }
+        }
+        self.clock_s += makespan_s;
+        let alerts = self.telemetry.tick(t_last);
+        if !alerts.is_empty() {
+            rec.add("fleet", Counter::AlertsRaised, alerts.len() as u64);
+            for a in &alerts {
+                rec.event(
+                    a.at_s * 1e6,
+                    "slo_alert",
+                    &format!(
+                        "rule {} class {}: burn {:.2} long / {:.2} short",
+                        a.rule, a.class, a.burn_long, a.burn_short
+                    ),
+                );
+            }
+        }
+        Ok(FleetRound { rounds, makespan_s, alerts })
     }
 
     /// Crash shard `s`: mark it unhealthy and hand back its warm-start

@@ -25,10 +25,11 @@
 //! the price of trusting an unreliable device.
 
 use crate::opts::GpuOptions;
-use crate::pipeline::{plan_flag_words, run_stage};
+use crate::pipeline::{plan_flag_words, run_stage_rec};
 use gpu_sim::{
     Buffer, FaultRecord, LaunchError, PipelineStats, QueueError, Sim,
 };
+use ipt_obs::{NoopRecorder, Recorder};
 use ipt_core::stages::{PlanError, StagePlan};
 use ipt_core::TransposePerm;
 
@@ -314,6 +315,36 @@ impl RecoveryReport {
             rec.event(ts_us, "primary_path_abandoned", e);
         }
     }
+
+    /// [`RecoveryReport::record`] with causal provenance: every emitted
+    /// event detail is prefixed with the request's trace id, so recovery
+    /// incidents in a serving trace can be joined back to the request
+    /// that suffered them.
+    pub fn record_traced<R: ipt_obs::Recorder>(&self, rec: &R, ts_us: f64, trace_id: u64) {
+        if !rec.enabled() {
+            return;
+        }
+        use ipt_obs::Counter;
+        rec.add("recovery", Counter::FaultsInjected, self.faults.len() as u64);
+        rec.add("recovery", Counter::StageRetries, self.stage_retries as u64);
+        rec.add("recovery", Counter::TransferRetries, self.transfer_retries as u64);
+        rec.add("recovery", Counter::SchemeRetries, self.scheme_retries as u64);
+        rec.gauge("recovery", "penalty_s", self.penalty_s);
+        for f in &self.faults {
+            rec.event(
+                ts_us,
+                "fault",
+                &format!("trace {trace_id:016x}: {:?} at {}: {}", f.kind, f.site, f.detail),
+            );
+        }
+        if let Some(e) = &self.primary_error {
+            rec.event(
+                ts_us,
+                "primary_path_abandoned",
+                &format!("trace {trace_id:016x}: {e}"),
+            );
+        }
+    }
 }
 
 /// Order-independent multiset checksum: wrapping sum + xor of all words.
@@ -426,6 +457,30 @@ pub fn run_plan_validated(
     opts: &GpuOptions,
     policy: &RecoveryPolicy,
 ) -> Result<(PipelineStats, StageRetryInfo), TransposeError> {
+    run_plan_validated_rec(sim, data, flags, plan, opts, policy, &NoopRecorder, 0.0)
+}
+
+/// [`run_plan_validated`] instrumented with a [`Recorder`]: successful
+/// stage attempts emit kernel-launch and stage spans on the cumulative
+/// DES clock starting at `t0_s` (via
+/// [`run_stage_rec`](crate::pipeline::run_stage_rec)), so a serving-layer
+/// trace context pushed around this call captures genuine device-level
+/// child spans. With [`NoopRecorder`] this is exactly
+/// [`run_plan_validated`].
+///
+/// # Errors
+/// Same contract as [`run_plan_validated`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_validated_rec<R: Recorder>(
+    sim: &Sim,
+    data: Buffer,
+    flags: Buffer,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+    rec: &R,
+    t0_s: f64,
+) -> Result<(PipelineStats, StageRetryInfo), TransposeError> {
     let mut out = PipelineStats::default();
     let mut info = StageRetryInfo::default();
     for stage in &plan.stages {
@@ -435,8 +490,9 @@ pub fn run_plan_validated(
         loop {
             let stages_before = out.stages.len();
             let overhead_before = out.overhead_s;
-            let failure: TransposeError = match run_stage(sim, data, flags, stage, opts, &mut out)
-            {
+            let start_s = t0_s + out.time_s();
+            let failure: TransposeError =
+                match run_stage_rec(sim, data, flags, stage, opts, &mut out, rec, start_s) {
                 Ok(()) => {
                     let after = sim.download_u32(data);
                     if multiset_checksum(&after) == want {
@@ -526,6 +582,40 @@ pub fn transpose_with_recovery_elems(
     opts: &GpuOptions,
     policy: &RecoveryPolicy,
 ) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
+    transpose_with_recovery_elems_rec(
+        sim,
+        host_data,
+        rows,
+        cols,
+        elem_words,
+        plan,
+        opts,
+        policy,
+        &NoopRecorder,
+        0.0,
+    )
+}
+
+/// [`transpose_with_recovery_elems`] instrumented with a [`Recorder`]:
+/// the validated primary and conservative attempts emit device-level
+/// spans on the cumulative DES clock starting at `t0_s`. With
+/// [`NoopRecorder`] this is exactly [`transpose_with_recovery_elems`].
+///
+/// # Errors
+/// Same contract as [`transpose_with_recovery`].
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_with_recovery_elems_rec<R: Recorder>(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+    rec: &R,
+    t0_s: f64,
+) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
     if elem_words == 0 {
         return Err(TransposeError::InvalidConfig { what: "elem_words must be ≥ 1".into() });
     }
@@ -582,7 +672,7 @@ pub fn transpose_with_recovery_elems(
         };
 
     // Primary: requested options, per-stage validation, final exact check.
-    let primary = run_plan_validated(sim, data, flags, plan, opts, policy).and_then(
+    let primary = run_plan_validated_rec(sim, data, flags, plan, opts, policy, rec, t0_s).and_then(
         |(stats, info)| {
             let result = sim.download_u32(data);
             verify_exact_elems(&original, &result, rows, cols, elem_words)?;
@@ -608,8 +698,9 @@ pub fn transpose_with_recovery_elems(
     sim.upload_u32(data, &original);
     report.path = RecoveryPath::ConservativeOptions;
     let conservative = GpuOptions::baseline_for(sim.device());
-    if let Ok((stats, info, result)) = run_plan_validated(sim, data, flags, plan, &conservative, policy)
-        .and_then(|(stats, info)| {
+    if let Ok((stats, info, result)) =
+        run_plan_validated_rec(sim, data, flags, plan, &conservative, policy, rec, t0_s)
+            .and_then(|(stats, info)| {
             let result = sim.download_u32(data);
             verify_exact_elems(&original, &result, rows, cols, elem_words)?;
             Ok((stats, info, result))
@@ -680,6 +771,43 @@ pub fn transpose_scheme_with_recovery(
     decision: &ipt_core::PlanDecision,
     opts: &GpuOptions,
     policy: &RecoveryPolicy,
+) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
+    transpose_scheme_with_recovery_rec(
+        sim,
+        host_data,
+        rows,
+        cols,
+        elem_words,
+        decision,
+        opts,
+        policy,
+        &NoopRecorder,
+        0.0,
+    )
+}
+
+/// [`transpose_scheme_with_recovery`] instrumented with a [`Recorder`]:
+/// staged-family schemes thread the recorder through validated recovery,
+/// so kernel-launch spans land inside any ambient trace context the
+/// serving layer pushed (coprime/identity short-circuits stay
+/// span-silent; their outcome is still visible in the returned report).
+/// With [`NoopRecorder`] this is exactly
+/// [`transpose_scheme_with_recovery`].
+///
+/// # Errors
+/// Same contract as [`transpose_scheme_with_recovery`].
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_scheme_with_recovery_rec<R: Recorder>(
+    sim: &mut Sim,
+    host_data: &mut Vec<u32>,
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+    decision: &ipt_core::PlanDecision,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+    rec: &R,
+    t0_s: f64,
 ) -> Result<(PipelineStats, RecoveryReport), TransposeError> {
     use ipt_core::Scheme;
     if elem_words == 0 {
@@ -797,8 +925,8 @@ pub fn transpose_scheme_with_recovery(
             let plan = decision
                 .staged_plan(rows, cols)
                 .expect("staged-family schemes always yield a plan");
-            transpose_with_recovery_elems(
-                sim, host_data, rows, cols, elem_words, &plan, opts, policy,
+            transpose_with_recovery_elems_rec(
+                sim, host_data, rows, cols, elem_words, &plan, opts, policy, rec, t0_s,
             )
         }
     }

@@ -59,18 +59,39 @@ use crate::multi::LinkTopology;
 use crate::opts::GpuOptions;
 use crate::pipeline::plan_flag_words;
 use crate::recover::{
-    host_transpose_elems, transpose_scheme_with_recovery, RecoveryPath, RecoveryPolicy,
+    host_transpose_elems, transpose_scheme_with_recovery_rec, RecoveryPath, RecoveryPolicy,
     RecoveryReport, TransposeError,
 };
+use gpu_sim::sched::mix64;
 use gpu_sim::{try_simulate_engines_at, DeviceSpec, ECmd, EngineMode, Sim, Timeline};
 use ipt_core::stages::{StagePlan, TileConfig};
 use ipt_core::tiles::TileHeuristic;
 use ipt_core::{decide_scheme, FallbackReason, PlanDecision, Scheme};
-use ipt_obs::{Counter, Level, Recorder};
+use ipt_obs::{Counter, Level, Recorder, SpanCtx};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Salt mixed into every request trace id, so trace ids cannot collide
+/// with raw request ids in log output.
+const TRACE_SALT: u64 = 0x7261_6365_5f69_6474; // "race_idt"
+
+/// Span id of a request's root span within its trace.
+pub const ROOT_SPAN: u64 = 1;
+/// Span id of the fleet routing span (rendezvous pick + failover).
+pub const ROUTE_SPAN: u64 = 2;
+/// Span id of the admission-queue wait span.
+pub const QUEUE_SPAN: u64 = 3;
+/// Span id of the execution span (device batch or host shed).
+pub const EXEC_SPAN: u64 = 4;
+
+/// Deterministic trace id for a request id: a SplitMix64 hash, so ids are
+/// well-spread in hex output yet reproducible across runs and engines.
+#[must_use]
+pub fn trace_id(req_id: u64) -> u64 {
+    mix64(req_id, TRACE_SALT)
+}
 
 /// Plan-cache key: everything a cached plan depends on. Two requests with
 /// equal keys are guaranteed to plan identically (planning is
@@ -254,6 +275,26 @@ impl PriorityClass {
             PriorityClass::Background => "background",
         }
     }
+
+    /// Dense index (0..3) for per-class telemetry arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Batch => 1,
+            PriorityClass::Background => 2,
+        }
+    }
+
+    /// Latency-histogram scope for this class.
+    #[must_use]
+    pub fn scope(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "class:interactive",
+            PriorityClass::Batch => "class:batch",
+            PriorityClass::Background => "class:background",
+        }
+    }
 }
 
 /// How much service quality one request gave up under overload. Ordered:
@@ -414,8 +455,10 @@ pub struct RoundReport {
 /// fleet uses the split to batch every shard's launches into one
 /// multi-shard DES call; single servers use [`Server::process_round`].
 pub struct PreparedRound {
-    round_start: f64,
     results: Vec<ServedResult>,
+    /// Absolute admission time of each result, parallel to `results` —
+    /// the root of each request's trace span starts here.
+    result_arrivals_s: Vec<f64>,
     queues: Vec<Vec<ECmd>>,
     arrivals: Vec<f64>,
     /// (DES queue index, result indices) per launched batch.
@@ -853,6 +896,7 @@ impl Server {
         let shed_start = (self.cfg.shed_at * cap).ceil() as usize;
 
         let mut results: Vec<ServedResult> = Vec::new();
+        let mut result_arrivals_s: Vec<f64> = Vec::new();
         // Coalesce same-shape requests, preserving EDF order within a
         // shape class. Shed requests never enter a batch.
         type Group = (PlanKey, Vec<(ServeRequest, f64, DegradeLevel)>);
@@ -873,6 +917,7 @@ impl Server {
                     &format!("req {} ({}x{}) shed to host", p.req.id, p.req.rows, p.req.cols),
                 );
                 results.push(self.host_shed(&p.req));
+                result_arrivals_s.push(p.arrival_s);
                 continue;
             }
             if level == DegradeLevel::Conservative {
@@ -922,13 +967,22 @@ impl Server {
                         Some((p, h)) => (Arc::clone(p), *h),
                         None => self.lookup_plan(&key, rec),
                     };
-                    let (res, service_s) =
-                        self.serve_one(req, &key, &plan, hit, device, *level, rec)?;
+                    // Execution-layer spans (kernel launches, recovery
+                    // retries) tag themselves as children of this
+                    // request's exec span via the ambient ctx stack.
+                    let ctx = SpanCtx {
+                        trace_id: trace_id(req.id),
+                        span_id: EXEC_SPAN,
+                        parent_span_id: ROOT_SPAN,
+                    };
+                    let (res, service_s) = self
+                        .serve_one(req, &key, &plan, hit, device, *level, round_start, ctx, rec)?;
                     kernel_s += service_s;
                     batch_bytes +=
                         ipt_core::check::bytes_f64(req.rows, req.cols, req.elem_bytes);
                     idxs.push(results.len());
                     results.push(res);
+                    result_arrivals_s.push(*at);
                 }
                 if key.scheme == Scheme::Identity {
                     // Identity requests complete in-memory; no launch.
@@ -964,8 +1018,8 @@ impl Server {
         }
 
         Ok(PreparedRound {
-            round_start,
             results,
+            result_arrivals_s,
             queues,
             arrivals,
             launched,
@@ -983,8 +1037,14 @@ impl Server {
         timeline: Timeline,
         rec: &R,
     ) -> RoundReport {
-        let PreparedRound { round_start, mut results, arrivals, launched, batched_requests, .. } =
-            prepared;
+        let PreparedRound {
+            mut results,
+            result_arrivals_s,
+            arrivals,
+            launched,
+            batched_requests,
+            ..
+        } = prepared;
         let mut total_wait_us = 0.0;
         for (q, idxs) in &launched {
             let start = timeline.queue_start_s(*q).unwrap_or(arrivals[*q]);
@@ -992,20 +1052,68 @@ impl Server {
             total_wait_us += wait * 1e6 * idxs.len() as f64;
             for &i in idxs {
                 results[i].queue_wait_s = wait;
-                if rec.enabled() {
-                    let t0 = (round_start + start) * 1e6;
-                    rec.span(
-                        Level::Algorithm,
-                        &format!("serve req {}", results[i].id),
-                        t0,
-                        (timeline.total_s - start).max(0.0) * 1e6,
-                        results[i].device as u32,
-                        &[("wait_us", wait * 1e6), ("cache_hit", f64::from(results[i].cache_hit))],
-                    );
-                }
             }
         }
         self.clock_s += timeline.total_s;
+
+        // Per-request telemetry: latency histograms for every result
+        // (they self-gate on the recorder's aggregate switch, so the
+        // bounded counters-only mode still collects quantiles), plus —
+        // when streams are on — the causal span tree: root "request"
+        // covering admission→completion, a queue child, and an exec
+        // child the kernel-launch spans hang off.
+        {
+            for (i, res) in results.iter().enumerate() {
+                let tid = trace_id(res.id);
+                let arrival_us = result_arrivals_s[i] * 1e6;
+                let wait_us = res.queue_wait_s * 1e6;
+                let service_us = res.service_s * 1e6;
+                let e2e_us = wait_us + service_us;
+                let scope = res.priority.scope();
+                rec.latency(scope, "queue_wait_us", wait_us, Some(tid));
+                rec.latency(scope, "service_us", service_us, Some(tid));
+                rec.latency(scope, "e2e_us", e2e_us, Some(tid));
+                if !rec.enabled() {
+                    continue;
+                }
+                let root = SpanCtx { trace_id: tid, span_id: ROOT_SPAN, parent_span_id: 0 };
+                let track = Level::Request.base_track() + res.priority.index() as u32;
+                rec.span_ctx(
+                    root,
+                    Level::Request,
+                    "request",
+                    arrival_us,
+                    e2e_us,
+                    track,
+                    &[
+                        ("id", res.id as f64),
+                        ("wait_us", wait_us),
+                        ("cache_hit", f64::from(res.cache_hit)),
+                    ],
+                );
+                rec.span_ctx(
+                    root.child(QUEUE_SPAN),
+                    Level::Request,
+                    "queue",
+                    arrival_us,
+                    wait_us,
+                    track,
+                    &[],
+                );
+                rec.span_ctx(
+                    root.child(EXEC_SPAN),
+                    Level::Kernel,
+                    if res.degrade == DegradeLevel::HostShed { "host-shed" } else { "exec" },
+                    arrival_us + wait_us,
+                    service_us,
+                    Level::Kernel.base_track() + res.device as u32,
+                    &[("device", res.device as f64)],
+                );
+                if !res.recovery.clean() {
+                    res.recovery.record_traced(rec, arrival_us + e2e_us, tid);
+                }
+            }
+        }
 
         // Calibrate the backpressure hint from observed service time.
         if !results.is_empty() && timeline.total_s > 0.0 {
@@ -1094,7 +1202,9 @@ impl Server {
         cache_hit: bool,
         device: usize,
         level: DegradeLevel,
-        _rec: &R,
+        t0_s: f64,
+        ctx: SpanCtx,
+        rec: &R,
     ) -> Result<(ServedResult, f64), TransposeError> {
         if self.cfg.profile_replay {
             let pkey = (key.clone(), level);
@@ -1108,14 +1218,14 @@ impl Server {
                     return Ok((res, service_s));
                 }
             }
-            let (res, stats) = self.execute(req, plan, cache_hit, device, level)?;
+            let (res, stats) = self.execute(req, plan, cache_hit, device, level, t0_s, ctx, rec)?;
             let service_s = stats.as_ref().map_or(0.0, gpu_sim::PipelineStats::time_s);
             self.profiles.insert(pkey, service_s);
             self.replays_since_full = 0;
             self.full_execs += 1;
             return Ok((res, service_s));
         }
-        let (res, stats) = self.execute(req, plan, cache_hit, device, level)?;
+        let (res, stats) = self.execute(req, plan, cache_hit, device, level, t0_s, ctx, rec)?;
         self.full_execs += 1;
         let service_s = stats.as_ref().map_or(0.0, gpu_sim::PipelineStats::time_s);
         Ok((res, service_s))
@@ -1124,13 +1234,17 @@ impl Server {
     /// Execute one request through the recovery chain on a fresh simulator
     /// for `device`. Returns the result and the device-side stats (`None`
     /// for identity short-circuits).
-    fn execute(
+    #[allow(clippy::too_many_arguments)]
+    fn execute<R: Recorder>(
         &self,
         req: &ServeRequest,
         plan: &CachedPlan,
         cache_hit: bool,
         device: usize,
         level: DegradeLevel,
+        t0_s: f64,
+        ctx: SpanCtx,
+        rec: &R,
     ) -> Result<(ServedResult, Option<gpu_sim::PipelineStats>), TransposeError> {
         let elem_words = req.elem_bytes / 4;
         let flag_words = plan.plan.as_ref().map_or(0, plan_flag_words);
@@ -1154,7 +1268,10 @@ impl Server {
             &self.cfg.opts
         };
         let mut data = req.data.clone();
-        let (stats, recovery) = transpose_scheme_with_recovery(
+        // Kernel-launch spans emitted inside the recovery chain tag
+        // themselves as children of this request's exec span.
+        rec.push_ctx(ctx);
+        let run = transpose_scheme_with_recovery_rec(
             &mut sim,
             &mut data,
             req.rows,
@@ -1163,7 +1280,11 @@ impl Server {
             &plan.decision,
             opts,
             &self.cfg.policy,
-        )?;
+            rec,
+            t0_s,
+        );
+        rec.pop_ctx();
+        let (stats, recovery) = run?;
         let stats =
             if plan.decision.scheme == Scheme::Identity { None } else { Some(stats) };
         Ok((

@@ -42,7 +42,7 @@ fn traced_three_stage_run_produces_nested_chrome_trace() {
     assert_eq!(algos.len(), 1, "one algorithm span");
     assert_eq!(stages.len(), 3, "3-stage plan → three stage spans");
     assert_eq!(
-        stages.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+        stages.iter().map(|s| s.name.as_ref()).collect::<Vec<_>>(),
         vec!["100!", "0010!", "0100!"],
         "stage spans carry the factorial codes in execution order"
     );

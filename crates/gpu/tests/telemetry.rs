@@ -1,0 +1,199 @@
+//! Acceptance tests for fleet-wide request telemetry: one request served
+//! through the fleet — including a request that fails over off a crashed
+//! shard and one that degrades to the host-shed rung — yields one
+//! causally-complete trace (every span reachable from the root via parent
+//! links); latency quantiles, exemplars, and the burn-rate alert stream
+//! are byte-identical across repeated runs and across the serial and
+//! parallel DES engines.
+
+use std::collections::HashSet;
+
+use gpu_sim::DeviceSpec;
+use ipt_gpu::fleet::{Fleet, FleetConfig};
+use ipt_gpu::serve::{trace_id, DegradeLevel, PriorityClass, ServeRequest, ROOT_SPAN};
+use ipt_obs::{prometheus_text, TraceRecorder};
+
+fn req(id: u64, rows: usize, cols: usize, priority: PriorityClass) -> ServeRequest {
+    let data = (0..(rows * cols) as u32)
+        .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(id as u32))
+        .collect();
+    ServeRequest { id, rows, cols, elem_bytes: 4, priority, data }
+}
+
+/// Ids of the requests the scenario (a) fails over and (b) drives into the
+/// host-shed rung, plus every shed result id observed.
+struct ScenarioOutcome {
+    failover_id: u64,
+    shed_ids: Vec<u64>,
+}
+
+/// A small end-to-end fleet drill: a warm round, a shard crash with
+/// failover traffic, one overloaded round that trips the whole
+/// degradation ladder, and a warm restart.
+fn scenario(rec: &TraceRecorder) -> (Fleet, ScenarioOutcome) {
+    let dev = DeviceSpec::tesla_k20();
+    let mut cfg = FleetConfig::new(&dev);
+    // Tight queues: degrade from position ceil(0.75*16)=12, shed from
+    // ceil(0.9*16)=15 — one 16-deep same-shape burst trips both rungs.
+    cfg.serve.queue_capacity = 16;
+    cfg.serve.profile_replay = true;
+    cfg.serve.full_exec_every = 7;
+    let mut fleet = Fleet::new(dev, cfg);
+
+    // Warm round: one request per shape, all tuned.
+    let shapes = [(72usize, 60usize), (96, 72), (60, 60), (47, 47)];
+    let mut id = 0u64;
+    for (r, c) in shapes {
+        fleet.submit(req(id, r, c, PriorityClass::Batch), rec).unwrap();
+        id += 1;
+    }
+    fleet.process_rounds(rec).unwrap();
+
+    // Crash (72,60)'s home shard; the next (72,60) request must fail over.
+    let home = fleet.preferred_shard(72, 60, 4);
+    let (snapshot, orphans) = fleet.crash_shard(home, rec);
+    assert!(orphans.is_empty(), "backlog was drained before the crash");
+    let failover_id = id;
+    fleet.submit(req(id, 72, 60, PriorityClass::Interactive), rec).unwrap();
+    id += 1;
+    fleet.process_rounds(rec).unwrap();
+
+    // Overload: 16 interactive requests of one surviving shape pile onto
+    // one shard — positions 12..14 degrade, 15 sheds.
+    let (sr, sc) = shapes
+        .iter()
+        .copied()
+        .find(|&(r, c)| fleet.preferred_shard(r, c, 4) != home)
+        .expect("some shape prefers a surviving shard");
+    for _ in 0..16 {
+        fleet.submit(req(id, sr, sc, PriorityClass::Interactive), rec).unwrap();
+        id += 1;
+    }
+    let round = fleet.process_rounds(rec).unwrap();
+    let shed_ids: Vec<u64> = round
+        .rounds
+        .iter()
+        .flat_map(|(_, r)| &r.results)
+        .filter(|res| res.degrade == DegradeLevel::HostShed)
+        .map(|res| res.id)
+        .collect();
+    assert!(!shed_ids.is_empty(), "the overload round must shed");
+
+    // Warm restart, one clean closing round.
+    fleet.restart_shard(home, &snapshot, rec).unwrap();
+    fleet.submit(req(id, 72, 60, PriorityClass::Background), rec).unwrap();
+    fleet.process_rounds(rec).unwrap();
+
+    (fleet, ScenarioOutcome { failover_id, shed_ids })
+}
+
+/// Every span of the trace carries the trace id, exactly one span is the
+/// root, and every other span's parent is present in the trace — i.e. the
+/// whole tree is reachable from the root.
+fn assert_causally_complete(rec: &TraceRecorder, tid: u64) {
+    let spans = rec.trace_spans(tid);
+    assert!(!spans.is_empty(), "trace {tid:016x} has spans");
+    let ids: HashSet<u64> =
+        spans.iter().map(|s| s.ctx.expect("trace spans carry ctx").span_id).collect();
+    let mut roots = 0;
+    for s in &spans {
+        let ctx = s.ctx.expect("trace spans carry ctx");
+        assert_eq!(ctx.trace_id, tid);
+        if ctx.parent_span_id == 0 {
+            assert_eq!(ctx.span_id, ROOT_SPAN, "only the root span has no parent");
+            roots += 1;
+        } else {
+            assert!(
+                ids.contains(&ctx.parent_span_id),
+                "span {} of trace {tid:016x} has dangling parent {}",
+                ctx.span_id,
+                ctx.parent_span_id
+            );
+        }
+    }
+    assert_eq!(roots, 1, "trace {tid:016x} has exactly one root");
+}
+
+#[test]
+fn served_failover_and_shed_requests_yield_complete_traces() {
+    let rec = TraceRecorder::new();
+    let (fleet, outcome) = scenario(&rec);
+
+    // Every request the fleet served has a causally-complete trace.
+    for tid in rec.trace_ids() {
+        assert_causally_complete(&rec, tid);
+    }
+
+    // The failed-over request's trace records the failover on its route
+    // span and still execs (it reached a surviving shard).
+    let tid = trace_id(outcome.failover_id);
+    let spans = rec.trace_spans(tid);
+    let route = spans.iter().find(|s| s.name == "route").expect("route span");
+    let failed_over = route
+        .args
+        .iter()
+        .find(|(k, _)| *k == "failed_over")
+        .map(|(_, v)| *v)
+        .expect("route spans carry the failover flag");
+    assert!((failed_over - 1.0).abs() < f64::EPSILON, "failover recorded on the route span");
+    assert!(spans.iter().any(|s| s.name == "exec"), "failed-over request still executed");
+
+    // A shed request's trace ends in the host-shed rung, not a device
+    // exec — the degradation is visible in the trace itself.
+    let tid = trace_id(outcome.shed_ids[0]);
+    let spans = rec.trace_spans(tid);
+    assert!(spans.iter().any(|s| s.name == "host-shed"), "shed rung appears in the trace");
+    assert!(!spans.iter().any(|s| s.name == "exec"), "shed requests never exec on device");
+
+    // The overload drill melted the interactive SLO: alerts fired and are
+    // retained on the fleet's telemetry.
+    assert!(!fleet.telemetry().alerts().is_empty(), "overload must raise a burn-rate alert");
+    assert!(
+        fleet.telemetry().alerts().iter().any(|a| a.class == "interactive"),
+        "the melted class is the interactive one"
+    );
+
+    // Kernel-level spans emitted inside the recovery chain joined the
+    // request traces as leaf children (ambient-context propagation).
+    let any_leaf = rec
+        .trace_ids()
+        .iter()
+        .flat_map(|&t| rec.trace_spans(t))
+        .any(|s| s.ctx.is_some_and(|c| c.span_id == 0));
+    assert!(any_leaf, "execution-layer spans must join the traces via the ctx stack");
+}
+
+/// One full scenario reduced to its observable telemetry: the Prometheus
+/// export (counters, gauges, latency histograms with exemplars) and the
+/// serialized alert stream.
+fn observable_telemetry() -> (String, String) {
+    let rec = TraceRecorder::new();
+    let (fleet, _) = scenario(&rec);
+    let alerts = serde_json::to_string(fleet.telemetry().alerts()).expect("alerts serialize");
+    (prometheus_text(&rec), alerts)
+}
+
+#[test]
+fn quantiles_and_alerts_are_byte_identical_across_runs_and_engines() {
+    let (prom_a, alerts_a) = observable_telemetry();
+    let (prom_b, alerts_b) = observable_telemetry();
+    assert_eq!(prom_a, prom_b, "repeated runs must export identical telemetry");
+    assert_eq!(alerts_a, alerts_b, "repeated runs must fire identical alerts");
+
+    // Across engines: pin the parallel DES engine to one worker, then
+    // two. Cache-hit batches take the parallel engine path, so the pin is
+    // exercised; bit-identity of the simulation makes the telemetry
+    // byte-identical too.
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = observable_telemetry();
+    std::env::set_var("RAYON_NUM_THREADS", "2");
+    let parallel = observable_telemetry();
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    assert_eq!(serial.0, parallel.0, "engine choice must not change exported telemetry");
+    assert_eq!(serial.1, parallel.1, "engine choice must not change the alert stream");
+    assert_eq!(prom_a, serial.0, "pinned runs match the unpinned baseline");
+}

@@ -1,0 +1,164 @@
+//! Multi-window burn-rate SLO alerting.
+//!
+//! Implements the SRE multi-window, multi-burn-rate pattern: a
+//! [`BurnRule`] fires only when **both** a long window and a short window
+//! burn the error budget faster than `threshold`. The long window keeps
+//! the alert meaningful (sustained damage, not a blip); the short window
+//! makes it reset quickly once the incident ends. Rules are evaluated
+//! against [`crate::window::WindowRing`]s on the DES clock, so alert
+//! streams are byte-identical across runs and engines. Each firing is a
+//! typed [`Alert`] record; a rule re-arms (rising-edge dedup) only after
+//! the long-window burn drops back under threshold.
+
+use crate::window::WindowRing;
+use serde::Serialize;
+
+/// One multi-window burn-rate rule.
+#[derive(Debug, Clone, Serialize)]
+pub struct BurnRule {
+    /// Rule name, e.g. `"fast-burn"`.
+    pub name: String,
+    /// Number of ring windows in the long (sustain) view.
+    pub long_windows: usize,
+    /// Number of ring windows in the short (reset) view.
+    pub short_windows: usize,
+    /// Fire when both window burn rates reach this multiple of the
+    /// error budget.
+    pub threshold: f64,
+}
+
+impl BurnRule {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, long_windows: usize, short_windows: usize, threshold: f64) -> Self {
+        Self { name: name.to_string(), long_windows, short_windows, threshold }
+    }
+}
+
+/// A typed record of one rule firing for one tracked class.
+#[derive(Debug, Clone, Serialize)]
+pub struct Alert {
+    /// Name of the [`BurnRule`] that fired.
+    pub rule: String,
+    /// The tracked class (e.g. priority class) whose budget is burning.
+    pub class: String,
+    /// DES time of the evaluation that fired, seconds.
+    pub at_s: f64,
+    /// Ordinal of the newest window at firing time.
+    pub window_index: u64,
+    /// Long-window burn rate at firing time.
+    pub burn_long: f64,
+    /// Short-window burn rate at firing time.
+    pub burn_short: f64,
+}
+
+/// Per-rule rising-edge state machine: evaluates one [`BurnRule`]
+/// against a ring and deduplicates while the condition stays true.
+#[derive(Debug, Clone)]
+pub struct RuleState {
+    rule: BurnRule,
+    active: bool,
+}
+
+impl RuleState {
+    /// Fresh (armed) state for `rule`.
+    #[must_use]
+    pub fn new(rule: BurnRule) -> Self {
+        Self { rule, active: false }
+    }
+
+    /// The rule under evaluation.
+    #[must_use]
+    pub fn rule(&self) -> &BurnRule {
+        &self.rule
+    }
+
+    /// Whether the rule is currently firing (condition held at the last
+    /// evaluation).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Evaluate against `ring` at DES time `t_s` with the class's error
+    /// budget. Returns an [`Alert`] only on the rising edge.
+    pub fn evaluate(
+        &mut self,
+        ring: &WindowRing,
+        class: &str,
+        error_budget: f64,
+        t_s: f64,
+    ) -> Option<Alert> {
+        let burn_long = ring.burn_rate(self.rule.long_windows, error_budget);
+        let burn_short = ring.burn_rate(self.rule.short_windows, error_budget);
+        let firing = burn_long >= self.rule.threshold && burn_short >= self.rule.threshold;
+        if firing && !self.active {
+            self.active = true;
+            return Some(Alert {
+                rule: self.rule.name.clone(),
+                class: class.to_string(),
+                at_s: t_s,
+                window_index: ring.index_of(t_s),
+                burn_long,
+                burn_short,
+            });
+        }
+        // Re-arm only once the sustained view cools off, so one incident
+        // is one alert even if the short window flaps.
+        if self.active && burn_long < self.rule.threshold {
+            self.active = false;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(ring: &mut WindowRing, t0: f64, windows: usize, per: u64, bad_per: u64) {
+        for w in 0..windows {
+            for j in 0..per {
+                ring.record(t0 + w as f64 + 0.01 * j as f64, j >= bad_per);
+            }
+        }
+    }
+
+    #[test]
+    fn fires_only_when_both_windows_burn() {
+        let mut ring = WindowRing::new(1.0, 16);
+        let mut st = RuleState::new(BurnRule::new("fast-burn", 4, 1, 2.0));
+        // 4 clean-ish windows: 5% bad on a 10% budget → burn 0.5, silent.
+        fill(&mut ring, 0.0, 4, 20, 1);
+        assert!(st.evaluate(&ring, "batch", 0.10, 4.0).is_none());
+        // One hot window (100% bad): short burns at 10× but long is still
+        // 24/100/0.1 = 2.4 ≥ 2 → both over threshold → fire.
+        fill(&mut ring, 4.0, 1, 20, 20);
+        let a = st.evaluate(&ring, "batch", 0.10, 5.0).expect("alert");
+        assert_eq!(a.rule, "fast-burn");
+        assert_eq!(a.class, "batch");
+        assert!(a.burn_short >= 2.0 && a.burn_long >= 2.0);
+        // Still burning → deduplicated.
+        assert!(st.evaluate(&ring, "batch", 0.10, 5.1).is_none());
+        assert!(st.is_active());
+        // Cool off: enough clean windows push the long view under
+        // threshold → re-arm, then a new incident fires again.
+        fill(&mut ring, 5.0, 4, 20, 0);
+        assert!(st.evaluate(&ring, "batch", 0.10, 9.0).is_none());
+        assert!(!st.is_active());
+        fill(&mut ring, 9.0, 1, 20, 20);
+        assert!(st.evaluate(&ring, "batch", 0.10, 10.0).is_some());
+    }
+
+    #[test]
+    fn short_window_gates_stale_long_burn() {
+        let mut ring = WindowRing::new(1.0, 16);
+        let mut st = RuleState::new(BurnRule::new("sustain", 8, 2, 2.0));
+        // A hot burst long ago...
+        fill(&mut ring, 0.0, 2, 10, 10);
+        // ...followed by clean traffic: long view still burns (20 bad of
+        // 60 → 3.3×) but the short view is clean → no alert.
+        fill(&mut ring, 2.0, 4, 10, 0);
+        assert!(st.evaluate(&ring, "interactive", 0.10, 6.0).is_none());
+    }
+}

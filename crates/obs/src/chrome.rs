@@ -5,10 +5,14 @@
 //! and [Perfetto](https://ui.perfetto.dev). Spans become complete (`"X"`)
 //! events with DES timestamps in **microseconds**; recorder events become
 //! global instant (`"i"`) events; display tracks get thread-name metadata
-//! so the hierarchy reads algorithm → stage → kernel → warp → DES engines
-//! top to bottom.
+//! so the hierarchy reads algorithm → stage → request phases → kernel →
+//! warp → DES engines top to bottom. Spans carrying a causal
+//! [`crate::recorder::SpanCtx`] additionally emit flow events
+//! (`"s"`/`"t"`/`"f"` keyed by trace id), so one request's
+//! admission→route→queue→exec→kernel journey renders as a connected
+//! arrow chain across tracks and shards.
 
-use crate::recorder::{Level, TraceRecorder};
+use crate::recorder::{Level, SpanCtx, TraceRecorder};
 use serde::Value;
 use std::collections::BTreeMap;
 
@@ -38,6 +42,9 @@ pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
             Level::Stage => "stages".to_string(),
             Level::Kernel => "kernel launches".to_string(),
             Level::Warp => format!("warps #{}", track.saturating_sub(Level::Warp.base_track())),
+            Level::Request => {
+                format!("requests #{}", track.saturating_sub(Level::Request.base_track()))
+            }
             Level::Queue => {
                 format!("DES engine {}", track.saturating_sub(Level::Queue.base_track()))
             }
@@ -52,24 +59,72 @@ pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
     }
 
     for sp in &spans {
-        let args = Value::Obj(
-            sp.args.iter().map(|(k, v)| (k.clone(), Value::Float(*v))).collect(),
-        );
+        let mut entries: Vec<(String, Value)> =
+            sp.args.iter().map(|&(k, v)| (k.to_string(), Value::Float(v))).collect();
+        if let Some(ctx) = sp.ctx {
+            entries.push(("trace_id".to_string(), Value::Str(format!("{:016x}", ctx.trace_id))));
+            entries.push(("span_id".to_string(), Value::UInt(ctx.span_id)));
+            entries.push(("parent_span_id".to_string(), Value::UInt(ctx.parent_span_id)));
+        }
         events.push(obj(vec![
-            ("name", Value::Str(sp.name.clone())),
+            ("name", Value::Str(sp.name.to_string())),
             ("cat", s(sp.level.cat())),
             ("ph", s("X")),
             ("ts", Value::Float(sp.start_us)),
             ("dur", Value::Float(sp.dur_us)),
             ("pid", Value::UInt(0)),
             ("tid", Value::UInt(u64::from(sp.track))),
-            ("args", args),
+            ("args", Value::Obj(entries)),
         ]));
+    }
+
+    // Flow events: each trace's spans become one arrow chain in causal
+    // order (start time, then span id), so a request's journey connects
+    // across tracks/shards in the viewer.
+    let mut traced: BTreeMap<u64, Vec<(f64, SpanCtx, u32)>> = BTreeMap::new();
+    for sp in &spans {
+        if let Some(ctx) = sp.ctx {
+            traced.entry(ctx.trace_id).or_default().push((sp.start_us, ctx, sp.track));
+        }
+    }
+    for (trace_id, mut chain) in traced {
+        if chain.len() < 2 {
+            continue;
+        }
+        chain.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.span_id.cmp(&b.1.span_id))
+        });
+        let last = chain.len() - 1;
+        for (i, (ts, _, track)) in chain.into_iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            let mut entries = vec![
+                ("name", s("request flow")),
+                ("cat", s("request")),
+                ("ph", s(ph)),
+                ("id", Value::Str(format!("{trace_id:016x}"))),
+                ("ts", Value::Float(ts)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(u64::from(track))),
+            ];
+            if ph == "f" {
+                // Bind the arrowhead to the enclosing slice.
+                entries.push(("bp", s("e")));
+            }
+            events.push(obj(entries));
+        }
     }
 
     for ev in rec.events() {
         events.push(obj(vec![
-            ("name", Value::Str(ev.name.clone())),
+            ("name", Value::Str(ev.name.to_string())),
             ("cat", s("event")),
             ("ph", s("i")),
             ("s", s("g")),
@@ -114,5 +169,45 @@ mod tests {
             assert!(e.get("ts").and_then(Value::as_f64).is_some());
             assert!(e.get("dur").and_then(Value::as_f64).is_some());
         }
+    }
+
+    #[test]
+    fn traced_spans_emit_a_flow_chain_with_ctx_args() {
+        let r = TraceRecorder::new();
+        let root = SpanCtx::root(0xBEEF, 1);
+        r.span_ctx(root, Level::Request, "request", 0.0, 30.0, 40, &[("id", 9.0)]);
+        r.span_ctx(root.child(3), Level::Request, "queue", 0.0, 10.0, 40, &[]);
+        r.span_ctx(root.child(4), Level::Kernel, "exec", 10.0, 20.0, 2, &[]);
+        // An untraced span must not join the flow.
+        r.span(Level::Warp, "w", 0.0, 1.0, 8, &[]);
+        let json = chrome_trace_json(&r);
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        let evs = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        let flows: Vec<&Value> = evs
+            .iter()
+            .filter(|e| {
+                matches!(e.get("ph").and_then(Value::as_str), Some("s" | "t" | "f"))
+            })
+            .collect();
+        assert_eq!(flows.len(), 3, "one flow step per traced span");
+        assert_eq!(flows[0].get("ph").and_then(Value::as_str), Some("s"));
+        assert_eq!(flows[1].get("ph").and_then(Value::as_str), Some("t"));
+        assert_eq!(flows[2].get("ph").and_then(Value::as_str), Some("f"));
+        for f in &flows {
+            assert_eq!(f.get("id").and_then(Value::as_str), Some("000000000000beef"));
+        }
+        // The finish step binds to the enclosing slice and lands on the
+        // kernel track (the causally-last span).
+        assert_eq!(flows[2].get("bp").and_then(Value::as_str), Some("e"));
+        assert_eq!(flows[2].get("tid").and_then(Value::as_u64), Some(2));
+        // ctx args ride on the complete events.
+        let req = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("request"))
+            .expect("request span");
+        let args = req.get("args").expect("args");
+        assert_eq!(args.get("trace_id").and_then(Value::as_str), Some("000000000000beef"));
+        assert_eq!(args.get("span_id").and_then(Value::as_u64), Some(1));
+        assert_eq!(args.get("parent_span_id").and_then(Value::as_u64), Some(0));
     }
 }

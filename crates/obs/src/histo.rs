@@ -1,0 +1,280 @@
+//! Mergeable log2-bucketed latency histograms.
+//!
+//! A [`LogHisto`] summarizes a latency population in 64 power-of-two
+//! microsecond buckets plus an exact running sum/count, so means stay
+//! exact while quantiles come from deterministic bucket upper bounds —
+//! bounded memory (one fixed array) over any stream length, and two
+//! histograms merge by bucket-wise addition. Each bucket remembers the
+//! last observation's trace id and value as an OpenMetrics exemplar, so a
+//! p99 bucket in the Prometheus exposition links back to a concrete
+//! request trace.
+//!
+//! Quantile extraction is deliberately *not* an interpolation: it returns
+//! the upper edge of the bucket containing the rank, which is the same
+//! value on every machine, every run, and every merge order — the
+//! property the regression baselines and the cross-engine bit-identity
+//! tests rely on.
+
+use serde::Serialize;
+
+/// Number of log2 buckets: bucket 0 holds values ≤ 1 µs, bucket `k`
+/// holds values in `[2^(k-1), 2^k)` µs, the last bucket absorbs overflow.
+pub const NUM_BUCKETS: usize = 64;
+
+/// One exemplar: the last observation recorded in a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Exemplar {
+    /// Trace id of the observation (see `ipt_obs::recorder::SpanCtx`).
+    pub trace_id: u64,
+    /// The observed value, microseconds.
+    pub value_us: f64,
+}
+
+/// A mergeable log2-bucketed latency histogram (microsecond domain).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogHisto {
+    counts: Vec<u64>,
+    exemplars: Vec<Option<Exemplar>>,
+    sum_us: f64,
+    count: u64,
+}
+
+impl Default for LogHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHisto {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            exemplars: vec![None; NUM_BUCKETS],
+            sum_us: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Bucket index for `value_us`: 0 for values ≤ 1 µs (and non-finite
+    /// garbage), otherwise `floor(log2(value))+1`, capped at the last
+    /// bucket.
+    #[must_use]
+    pub fn bucket_index(value_us: f64) -> usize {
+        if value_us.is_nan() || value_us <= 1.0 {
+            return 0;
+        }
+        let v = if value_us >= u64::MAX as f64 { u64::MAX } else { value_us as u64 };
+        ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper edge (`le` label) of bucket `idx`: 1 µs for bucket 0, else
+    /// `2^idx` µs.
+    #[must_use]
+    pub fn bucket_le(idx: usize) -> f64 {
+        if idx == 0 {
+            1.0
+        } else {
+            (1u128 << idx.min(NUM_BUCKETS - 1)) as f64
+        }
+    }
+
+    /// Record one observation, optionally tagged with the trace id it came
+    /// from (the bucket's exemplar; last observation wins, which is
+    /// deterministic under the single-threaded DES drivers).
+    pub fn observe(&mut self, value_us: f64, trace_id: Option<u64>) {
+        let idx = Self::bucket_index(value_us);
+        self.counts[idx] += 1;
+        self.count += 1;
+        if value_us.is_finite() {
+            self.sum_us += value_us;
+        }
+        if let Some(t) = trace_id {
+            self.exemplars[idx] = Some(Exemplar { trace_id: t, value_us });
+        }
+    }
+
+    /// Merge `other` into `self` (bucket-wise addition; `other`'s
+    /// exemplars win where present, matching last-observation semantics
+    /// when `other` is the later shard).
+    pub fn merge(&mut self, other: &LogHisto) {
+        for i in 0..NUM_BUCKETS {
+            self.counts[i] += other.counts[i];
+            if other.exemplars[i].is_some() {
+                self.exemplars[i] = other.exemplars[i];
+            }
+        }
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations, microseconds.
+    #[must_use]
+    pub fn sum_us(&self) -> f64 {
+        self.sum_us
+    }
+
+    /// Exact mean, microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum_us / self.count as f64 }
+    }
+
+    /// True when nothing was observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts (length [`NUM_BUCKETS`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The exemplar recorded in bucket `idx`, if any.
+    #[must_use]
+    pub fn exemplar(&self, idx: usize) -> Option<Exemplar> {
+        self.exemplars.get(idx).copied().flatten()
+    }
+
+    /// Index of the bucket containing quantile `q` (0 when empty).
+    #[must_use]
+    pub fn quantile_bucket(&self, q: f64) -> usize {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return i;
+            }
+        }
+        NUM_BUCKETS - 1
+    }
+
+    /// Deterministic quantile estimate: the upper edge of the bucket
+    /// containing rank `ceil(q * count)`. 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        Self::bucket_le(self.quantile_bucket(q))
+    }
+
+    /// p50 (median) upper bound, microseconds.
+    #[must_use]
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// p90 upper bound, microseconds.
+    #[must_use]
+    pub fn p90_us(&self) -> f64 {
+        self.quantile_us(0.90)
+    }
+
+    /// p99 upper bound, microseconds.
+    #[must_use]
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// p99.9 upper bound, microseconds.
+    #[must_use]
+    pub fn p999_us(&self) -> f64 {
+        self.quantile_us(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(LogHisto::bucket_index(0.0), 0);
+        assert_eq!(LogHisto::bucket_index(-3.0), 0);
+        assert_eq!(LogHisto::bucket_index(f64::NAN), 0);
+        assert_eq!(LogHisto::bucket_index(1.0), 0);
+        assert_eq!(LogHisto::bucket_index(1.5), 1);
+        assert_eq!(LogHisto::bucket_index(2.0), 2);
+        assert_eq!(LogHisto::bucket_index(3.9), 2);
+        assert_eq!(LogHisto::bucket_index(4.0), 3);
+        assert_eq!(LogHisto::bucket_index(1000.0), 10);
+        assert_eq!(LogHisto::bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+        assert_eq!(LogHisto::bucket_le(0), 1.0);
+        assert_eq!(LogHisto::bucket_le(1), 2.0);
+        assert_eq!(LogHisto::bucket_le(10), 1024.0);
+        // Every representable value lands in a bucket whose edge bounds it.
+        for v in [0.0, 0.5, 1.0, 7.3, 255.9, 256.0, 1e9, 1e300] {
+            let idx = LogHisto::bucket_index(v);
+            assert!(v <= LogHisto::bucket_le(idx) || idx == NUM_BUCKETS - 1, "{v}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_and_quantiles_are_bucket_edges() {
+        let mut h = LogHisto::new();
+        for v in [10.0, 20.0, 30.0, 1000.0] {
+            h.observe(v, None);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_us() - 265.0).abs() < 1e-12);
+        // p50 rank 2 → 20.0 lives in bucket 5 (16..32) → edge 32.
+        assert_eq!(h.p50_us(), 32.0);
+        // p99 rank 4 → 1000 in bucket 10 → edge 1024.
+        assert_eq!(h.p99_us(), 1024.0);
+        assert_eq!(h.p999_us(), 1024.0);
+        assert_eq!(LogHisto::new().quantile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_keeps_exemplars() {
+        let mut a = LogHisto::new();
+        a.observe(10.0, Some(0xA));
+        let mut b = LogHisto::new();
+        b.observe(12.0, Some(0xB));
+        b.observe(100.0, Some(0xC));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum_us() - 122.0).abs() < 1e-12);
+        // 10 and 12 share bucket 4 (8..16): b's exemplar wins the merge.
+        let e = a.exemplar(4).expect("exemplar");
+        assert_eq!(e.trace_id, 0xB);
+        assert_eq!(a.exemplar(7).expect("exemplar").trace_id, 0xC);
+        // Merging is equivalent to observing the union.
+        let mut u = LogHisto::new();
+        for v in [10.0, 12.0, 100.0] {
+            u.observe(v, None);
+        }
+        assert_eq!(u.buckets(), a.buckets());
+        assert_eq!(u.quantile_us(0.5), a.quantile_us(0.5));
+    }
+
+    #[test]
+    fn memory_is_bounded_over_a_large_stream() {
+        let mut h = LogHisto::new();
+        for i in 0..100_000u64 {
+            h.observe((i % 4096) as f64, Some(i));
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.buckets().len(), NUM_BUCKETS);
+        // Deterministic repeat.
+        let mut g = LogHisto::new();
+        for i in 0..100_000u64 {
+            g.observe((i % 4096) as f64, Some(i));
+        }
+        assert_eq!(g, h);
+    }
+}

@@ -20,21 +20,33 @@
 //! * [`report`] — the versioned [`report::BenchReport`] schema replacing
 //!   ad-hoc `bench_out/*.json`, plus the tolerance-based regression
 //!   comparison behind `repro --check`.
+//! * [`histo`] / [`window`] / [`alert`] / [`telemetry`] — fleet-wide
+//!   request telemetry: mergeable log2 latency histograms with
+//!   OpenMetrics exemplars, DES-time SLO windows, and multi-window
+//!   burn-rate alerting with causal [`SpanCtx`] trace propagation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alert;
 pub mod chrome;
+pub mod histo;
 pub mod prom;
 pub mod recorder;
 pub mod report;
+pub mod telemetry;
+pub mod window;
 
+pub use alert::{Alert, BurnRule, RuleState};
 pub use chrome::chrome_trace_json;
+pub use histo::{Exemplar, LogHisto};
 pub use prom::prometheus_text;
 pub use recorder::{
-    Counter, EventRec, Level, NoopRecorder, Recorder, SpanRec, TraceRecorder,
+    Counter, EventRec, Level, NoopRecorder, Recorder, SpanCtx, SpanRec, TraceRecorder,
 };
+pub use telemetry::{ClassSeries, SloClass, Telemetry, TelemetryConfig};
+pub use window::{Window, WindowRing};
 pub use report::{
     compare_metrics, compare_slo_metrics, current_git_rev, extract_metrics,
     extract_slo_metrics, extract_wall_metrics, BenchReport, Metric, Provenance, Regression,

@@ -1,12 +1,18 @@
 //! Prometheus text-exposition exporter.
 //!
-//! Renders a [`TraceRecorder`]'s counters, gauges, and cycle-length
-//! histograms in the [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
-//! counters as `ipt_<name>_total{scope="..."}`, gauges as
-//! `ipt_<name>{scope="..."}`, and each scope's cycle-length histogram as a
-//! cumulative `ipt_cycle_length_bucket{scope="...",le="..."}` series with
-//! `_sum` / `_count`. Scope labels are escaped per the format rules.
+//! Renders a [`TraceRecorder`]'s counters, gauges, and histograms in the
+//! [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! counters as `ipt_<name>_total{scope="..."}` with `# HELP`/`# TYPE`
+//! headers, gauges as `ipt_<name>{scope="..."}`, each scope's cycle-length
+//! histogram as a cumulative `ipt_cycle_length_bucket{scope="...",le="..."}`
+//! series with `_sum` / `_count`, and each latency histogram (see
+//! [`crate::histo::LogHisto`]) as a cumulative log2-bucket series whose
+//! p99 bucket carries an OpenMetrics exemplar (`# {trace_id="..."} v`)
+//! linking the tail back to a concrete request trace. Scope labels are
+//! escaped and non-finite values render as `+Inf`/`-Inf`/`NaN` per the
+//! format rules.
 
+use crate::histo::LogHisto;
 use crate::recorder::TraceRecorder;
 use std::fmt::Write as _;
 
@@ -24,7 +30,13 @@ fn escape_label(v: &str) -> String {
 }
 
 fn fmt_value(x: f64) -> String {
-    if x.fract() == 0.0 && x.abs() < 1e15 {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
         format!("{x:.0}")
     } else {
         format!("{x}")
@@ -36,12 +48,13 @@ fn fmt_value(x: f64) -> String {
 pub fn prometheus_text(rec: &TraceRecorder) -> String {
     let mut out = String::new();
 
-    // Counters, grouped by metric stem so each gets one TYPE header.
+    // Counters, grouped by metric stem so each gets one HELP/TYPE header.
     let counters = rec.counters();
     let mut last_stem = "";
     for (scope, counter, value) in &counters {
         let stem = counter.name();
         if stem != last_stem {
+            let _ = writeln!(out, "# HELP ipt_{stem}_total {}", counter.help());
             let _ = writeln!(out, "# TYPE ipt_{stem}_total counter");
             last_stem = stem;
         }
@@ -57,6 +70,7 @@ pub fn prometheus_text(rec: &TraceRecorder) -> String {
     let mut last_name = "";
     for (scope, name, value) in &gauges {
         if *name != last_name {
+            let _ = writeln!(out, "# HELP ipt_{name} point-in-time value recorded on the DES clock");
             let _ = writeln!(out, "# TYPE ipt_{name} gauge");
             last_name = name;
         }
@@ -73,6 +87,7 @@ pub fn prometheus_text(rec: &TraceRecorder) -> String {
     // walk suffices.
     let hist = rec.cycle_histogram();
     if !hist.is_empty() {
+        let _ = writeln!(out, "# HELP ipt_cycle_length permutation cycle-length distribution");
         let _ = writeln!(out, "# TYPE ipt_cycle_length histogram");
         let mut i = 0;
         while i < hist.len() {
@@ -97,6 +112,48 @@ pub fn prometheus_text(rec: &TraceRecorder) -> String {
             let _ = writeln!(out, "ipt_cycle_length_sum{{scope=\"{esc}\"}} {sum}");
             let _ = writeln!(out, "ipt_cycle_length_count{{scope=\"{esc}\"}} {cum}");
         }
+    }
+
+    // Latency histograms (log2 µs buckets), grouped by metric name so each
+    // gets one HELP/TYPE header; the p99 bucket carries an OpenMetrics
+    // exemplar linking it to the trace id of its last observation.
+    let mut latency = rec.latency_histograms();
+    latency.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+    let mut last_lat = "";
+    for (scope, name, histo) in &latency {
+        if *name != last_lat {
+            let _ = writeln!(out, "# HELP ipt_{name} log2-bucketed latency, microseconds");
+            let _ = writeln!(out, "# TYPE ipt_{name} histogram");
+            last_lat = name;
+        }
+        let esc = escape_label(scope);
+        let p99_bucket = histo.quantile_bucket(0.99);
+        let buckets = histo.buckets();
+        let last_nonzero = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (idx, &count) in buckets.iter().enumerate().take(last_nonzero + 1) {
+            cum += count;
+            let le = fmt_value(LogHisto::bucket_le(idx));
+            let _ = write!(out, "ipt_{name}_bucket{{scope=\"{esc}\",le=\"{le}\"}} {cum}");
+            if idx == p99_bucket && !histo.is_empty() {
+                if let Some(ex) = histo.exemplar(idx) {
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{:016x}\"}} {}",
+                        ex.trace_id,
+                        fmt_value(ex.value_us)
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "ipt_{name}_bucket{{scope=\"{esc}\",le=\"+Inf\"}} {}",
+            histo.count()
+        );
+        let _ = writeln!(out, "ipt_{name}_sum{{scope=\"{esc}\"}} {}", fmt_value(histo.sum_us()));
+        let _ = writeln!(out, "ipt_{name}_count{{scope=\"{esc}\"}} {}", histo.count());
     }
 
     out
@@ -153,17 +210,106 @@ mod tests {
         r.add("fleet", Counter::ShardFailovers, 2);
         let text = prometheus_text(&r);
         for line in [
+            "# HELP ipt_requests_shed_total requests shed to the host path under overload",
             "# TYPE ipt_requests_shed_total counter",
             "ipt_requests_shed_total{scope=\"fleet\"} 7",
             "# TYPE ipt_plans_degraded_total counter",
             "ipt_plans_degraded_total{scope=\"fleet\"} 3",
             "# TYPE ipt_snapshot_restores_total counter",
             "ipt_snapshot_restores_total{scope=\"fleet\"} 1",
+            "# HELP ipt_shard_failovers_total requests re-routed off an unhealthy affinity shard",
             "# TYPE ipt_shard_failovers_total counter",
             "ipt_shard_failovers_total{scope=\"fleet\"} 2",
         ] {
             assert!(text.lines().any(|l| l == line), "missing {line:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn every_counter_gets_a_help_line_before_its_type_line() {
+        let r = TraceRecorder::new();
+        r.add("k", Counter::ClaimRetries, 1);
+        r.add("fleet", Counter::AlertsRaised, 2);
+        let text = prometheus_text(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# TYPE ") {
+                let metric = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {metric} ")),
+                    "TYPE without preceding HELP for {metric}:\n{text}"
+                );
+            }
+        }
+        assert!(
+            text.lines().any(|l| l == "ipt_alerts_raised_total{scope=\"fleet\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_render_in_prometheus_spelling() {
+        // Satellite fix: Rust's `{}` renders `inf`/`NaN`; the exposition
+        // format requires `+Inf`/`-Inf`/`NaN`.
+        let r = TraceRecorder::new();
+        r.gauge("z", "a_pos", f64::INFINITY);
+        r.gauge("z", "b_neg", f64::NEG_INFINITY);
+        r.gauge("z", "c_nan", f64::NAN);
+        r.gauge("z", "d_plain", 1.5);
+        let text = prometheus_text(&r);
+        for line in [
+            "ipt_a_pos{scope=\"z\"} +Inf",
+            "ipt_b_neg{scope=\"z\"} -Inf",
+            "ipt_c_nan{scope=\"z\"} NaN",
+            "ipt_d_plain{scope=\"z\"} 1.5",
+        ] {
+            assert!(text.lines().any(|l| l == line), "missing {line:?} in:\n{text}");
+        }
+        assert!(!text.contains(" inf"), "bare Rust inf leaked:\n{text}");
+    }
+
+    #[test]
+    fn latency_histogram_renders_with_p99_exemplar_byte_exact() {
+        let r = TraceRecorder::new();
+        // Two fast, one slow: p99 rank 3 → the 100µs observation's bucket
+        // (64..128, le=128) carries the exemplar of its last observation.
+        r.latency("class:batch", "queue_wait_us", 3.0, Some(0xA1));
+        r.latency("class:batch", "queue_wait_us", 5.0, Some(0xB2));
+        r.latency("class:batch", "queue_wait_us", 100.0, Some(0xC3));
+        let text = prometheus_text(&r);
+        let expected = "\
+# HELP ipt_queue_wait_us log2-bucketed latency, microseconds
+# TYPE ipt_queue_wait_us histogram
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"1\"} 0
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"2\"} 0
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"4\"} 1
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"8\"} 2
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"16\"} 2
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"32\"} 2
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"64\"} 2
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"128\"} 3 # {trace_id=\"00000000000000c3\"} 100
+ipt_queue_wait_us_bucket{scope=\"class:batch\",le=\"+Inf\"} 3
+ipt_queue_wait_us_sum{scope=\"class:batch\"} 108
+ipt_queue_wait_us_count{scope=\"class:batch\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn latency_histograms_group_by_metric_name_across_scopes() {
+        let r = TraceRecorder::new();
+        r.latency("shard:0", "e2e_us", 10.0, None);
+        r.latency("shard:1", "e2e_us", 20.0, None);
+        r.latency("shard:0", "service_us", 5.0, None);
+        let text = prometheus_text(&r);
+        assert_eq!(
+            text.matches("# TYPE ipt_e2e_us histogram").count(),
+            1,
+            "one TYPE header per metric name:\n{text}"
+        );
+        assert!(text.contains("ipt_e2e_us_count{scope=\"shard:0\"} 1"), "{text}");
+        assert!(text.contains("ipt_e2e_us_count{scope=\"shard:1\"} 1"), "{text}");
+        assert!(text.contains("# TYPE ipt_service_us histogram"), "{text}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! [`Recorder::enabled`]; with [`NoopRecorder`] (`enabled() == false`,
 //! empty inline bodies) the instrumentation monomorphizes to nothing.
 
+use crate::histo::LogHisto;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -31,6 +32,9 @@ pub enum Level {
     Warp,
     /// One DES command-queue span (transfer or kernel on an engine).
     Queue,
+    /// One serving-layer request phase (admission, routing, queueing,
+    /// execution) — the spine of a request trace.
+    Request,
 }
 
 impl Level {
@@ -43,6 +47,7 @@ impl Level {
             Level::Kernel => "kernel",
             Level::Warp => "warp",
             Level::Queue => "queue",
+            Level::Request => "request",
         }
     }
 
@@ -55,8 +60,40 @@ impl Level {
             Level::Stage => 1,
             Level::Kernel => 2,
             Level::Warp => 8,
+            Level::Request => 40,
             Level::Queue => 100,
         }
+    }
+}
+
+/// Causal trace context, Dapper-style: one request is one `trace_id`;
+/// each phase of its journey (admission, route, queue, exec) is a span
+/// with a `span_id` whose `parent_span_id` links back toward the root.
+/// `0` means "none" — the root span has `parent_span_id == 0`, and
+/// deep device-level spans that inherit a context from the recorder's
+/// ambient stack carry `span_id == 0` (they are leaves: nothing links
+/// below them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SpanCtx {
+    /// The request's trace id (stable across shards, failover, retries).
+    pub trace_id: u64,
+    /// This span's id within the trace (0 for anonymous leaf spans).
+    pub span_id: u64,
+    /// Parent span id (0 for the trace root).
+    pub parent_span_id: u64,
+}
+
+impl SpanCtx {
+    /// The root context of trace `trace_id` with span id `span_id`.
+    #[must_use]
+    pub fn root(trace_id: u64, span_id: u64) -> Self {
+        Self { trace_id, span_id, parent_span_id: 0 }
+    }
+
+    /// A child context of `self` with span id `span_id`.
+    #[must_use]
+    pub fn child(&self, span_id: u64) -> Self {
+        Self { trace_id: self.trace_id, span_id, parent_span_id: self.span_id }
     }
 }
 
@@ -135,6 +172,11 @@ pub enum Counter {
     SnapshotRestores,
     /// Requests re-routed because their affinity shard was unhealthy.
     ShardFailovers,
+    /// Requests that missed their objective (shed, or served past their
+    /// priority class's deadline budget) — the SLO "bad" count.
+    SloViolations,
+    /// Burn-rate alerts fired by the telemetry engine (rising edges only).
+    AlertsRaised,
 }
 
 impl Counter {
@@ -175,6 +217,52 @@ impl Counter {
             Counter::PlansDegraded => "plans_degraded",
             Counter::SnapshotRestores => "snapshot_restores",
             Counter::ShardFailovers => "shard_failovers",
+            Counter::SloViolations => "slo_violations",
+            Counter::AlertsRaised => "alerts_raised",
+        }
+    }
+
+    /// One-line Prometheus `# HELP` text for this counter.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::PositionConflicts => "intra-warp same-word atomic collisions",
+            Counter::LockConflicts => "same-lock different-word local-atomic collisions",
+            Counter::BankConflicts => "same-bank different-word collisions",
+            Counter::ClaimRetries => "failed PTTWAC flag claims (lost cycles refetched)",
+            Counter::LocalAtomics => "local atomic operations, lane granularity",
+            Counter::GlobalAtomics => "global atomic operations, lane granularity",
+            Counter::DramBytes => "DRAM bytes moved by kernels (whole transactions)",
+            Counter::UsefulBytes => "bytes the kernels asked for (4 x active lanes)",
+            Counter::GldTransactions => "global load transactions",
+            Counter::GstTransactions => "global store transactions",
+            Counter::Barriers => "work-group barriers executed",
+            Counter::WarpSteps => "warp scheduling slices executed",
+            Counter::H2dBytes => "host-to-device bytes (uploads)",
+            Counter::D2hBytes => "device-to-host bytes (downloads)",
+            Counter::MemsetBytes => "device-side memset bytes (flag clears)",
+            Counter::FaultsInjected => "injected faults that fired",
+            Counter::StageRetries => "stage-granular recovery retries",
+            Counter::TransferRetries => "DES transfer resubmissions",
+            Counter::SchemeRetries => "whole-scheme recovery retries",
+            Counter::AutotuneConsidered => "autotune candidate tiles considered",
+            Counter::AutotuneRejectedInfeasible => {
+                "autotune candidates rejected as infeasible by measurement"
+            }
+            Counter::AutotunePruned => "autotune candidates pruned before measurement",
+            Counter::DroppedWarpSpans => "warp spans dropped by the per-launch sampling cap",
+            Counter::PlanCacheHits => "serving-layer plan-cache hits (autotune skipped)",
+            Counter::PlanCacheMisses => "serving-layer plan-cache misses (full autotune ran)",
+            Counter::BatchesLaunched => "batched launches issued by the serving layer",
+            Counter::BatchedRequests => "requests coalesced into batches (sum of occupancy)",
+            Counter::QueueWaitUs => "simulated queue-wait microseconds summed over requests",
+            Counter::AdmissionRejections => "requests refused at admission (bounded queue full)",
+            Counter::RequestsShed => "requests shed to the host path under overload",
+            Counter::PlansDegraded => "requests degraded to conservative options under overload",
+            Counter::SnapshotRestores => "plan-cache snapshots restored on warm restart",
+            Counter::ShardFailovers => "requests re-routed off an unhealthy affinity shard",
+            Counter::SloViolations => "requests that missed their SLO (shed or over deadline)",
+            Counter::AlertsRaised => "burn-rate alerts fired (rising edges only)",
         }
     }
 }
@@ -184,16 +272,20 @@ impl Counter {
 pub struct SpanRec {
     /// Hierarchy level.
     pub level: Level,
-    /// Display name.
-    pub name: String,
+    /// Display name. Borrowed for the static names of the request-trace
+    /// hot path, owned for dynamic names (warp/kernel labels).
+    pub name: std::borrow::Cow<'static, str>,
     /// Start, simulated microseconds on the DES clock.
     pub start_us: f64,
     /// Duration, microseconds.
     pub dur_us: f64,
     /// Display track (Chrome `tid`).
     pub track: u32,
-    /// Numeric annotations (occupancy, GB/s, …).
-    pub args: Vec<(String, f64)>,
+    /// Numeric annotations (occupancy, GB/s, …). Keys are static: the
+    /// recording hot path stores them without per-span allocation.
+    pub args: Vec<(&'static str, f64)>,
+    /// Causal trace context, when this span belongs to a request trace.
+    pub ctx: Option<SpanCtx>,
 }
 
 /// One instantaneous event (fault fired, retry, autotune decision…).
@@ -202,8 +294,8 @@ pub struct EventRec {
     /// Timestamp, simulated microseconds (0 when the producer has no
     /// timeline, e.g. post-hoc recovery reports).
     pub ts_us: f64,
-    /// Event name.
-    pub name: String,
+    /// Event name (static: stored without allocation).
+    pub name: &'static str,
     /// Free-form detail.
     pub detail: String,
 }
@@ -223,6 +315,42 @@ pub trait Recorder {
         track: u32,
         args: &[(&'static str, f64)],
     );
+
+    /// Record one completed span carrying an explicit causal trace
+    /// context. The default forwards to [`Recorder::span`] (context
+    /// dropped), so context-unaware recorders keep working unchanged.
+    /// Names are static so the per-request hot path records without
+    /// allocating.
+    #[allow(clippy::too_many_arguments)]
+    fn span_ctx(
+        &self,
+        _ctx: SpanCtx,
+        level: Level,
+        name: &'static str,
+        start_us: f64,
+        dur_us: f64,
+        track: u32,
+        args: &[(&'static str, f64)],
+    ) {
+        self.span(level, name, start_us, dur_us, track, args);
+    }
+
+    /// Push an ambient trace context: until the matching
+    /// [`Recorder::pop_ctx`], plain [`Recorder::span`] emissions from
+    /// deeper layers (stages, kernels, warps) are tagged as anonymous
+    /// children of this context — how kernel-launch spans join a request
+    /// trace without threading ids through every signature. Default: no-op.
+    fn push_ctx(&self, _ctx: SpanCtx) {}
+
+    /// Pop the ambient trace context pushed by [`Recorder::push_ctx`].
+    /// Default: no-op.
+    fn pop_ctx(&self) {}
+
+    /// Record one latency observation (microseconds) into the mergeable
+    /// log2 histogram keyed by `(scope, name)`, optionally tagged with the
+    /// originating trace id as the bucket's exemplar. Bounded aggregate:
+    /// collected even by `counters_only` recorders. Default: no-op.
+    fn latency(&self, _scope: &str, _name: &'static str, _value_us: f64, _trace_id: Option<u64>) {}
 
     /// Add `delta` to the typed counter `counter` under `scope` (a kernel
     /// or stage name).
@@ -268,6 +396,8 @@ struct TraceData {
     gauges: BTreeMap<(String, &'static str), f64>,
     cycle_hist: BTreeMap<(String, usize), u64>,
     events: Vec<EventRec>,
+    latency: BTreeMap<(String, &'static str), LogHisto>,
+    ctx_stack: Vec<SpanCtx>,
 }
 
 /// The collecting recorder behind the exporters. Interior-mutable
@@ -370,6 +500,48 @@ impl TraceRecorder {
             .collect()
     }
 
+    /// Snapshot of one latency histogram (`None` when never observed).
+    #[must_use]
+    pub fn latency_histogram(&self, scope: &str, name: &str) -> Option<LogHisto> {
+        self.lock()
+            .latency
+            .iter()
+            .find(|((s, n), _)| s == scope && *n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// All latency histograms as `(scope, name, histogram)` triples,
+    /// sorted by key.
+    #[must_use]
+    pub fn latency_histograms(&self) -> Vec<(String, &'static str, LogHisto)> {
+        self.lock()
+            .latency
+            .iter()
+            .map(|((s, n), h)| (s.clone(), *n, h.clone()))
+            .collect()
+    }
+
+    /// All spans belonging to trace `trace_id`, in recording order.
+    #[must_use]
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRec> {
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.ctx.is_some_and(|c| c.trace_id == trace_id))
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct trace ids present in the span stream, ascending.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            self.lock().spans.iter().filter_map(|s| s.ctx.map(|c| c.trace_id)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// True when nothing at all was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -379,6 +551,7 @@ impl TraceRecorder {
             && d.gauges.is_empty()
             && d.cycle_hist.is_empty()
             && d.events.is_empty()
+            && d.latency.is_empty()
     }
 }
 
@@ -399,14 +572,69 @@ impl Recorder for TraceRecorder {
         if !self.streams_on {
             return;
         }
-        self.lock().spans.push(SpanRec {
+        let mut d = self.lock();
+        // Deep spans recorded inside a push_ctx window become anonymous
+        // leaf children of the ambient context.
+        let ctx = d.ctx_stack.last().map(|top| top.child(0));
+        d.spans.push(SpanRec {
             level,
-            name: name.to_string(),
+            name: std::borrow::Cow::Owned(name.to_string()),
             start_us,
             dur_us,
             track,
-            args: args.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            args: args.to_vec(),
+            ctx,
         });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn span_ctx(
+        &self,
+        ctx: SpanCtx,
+        level: Level,
+        name: &'static str,
+        start_us: f64,
+        dur_us: f64,
+        track: u32,
+        args: &[(&'static str, f64)],
+    ) {
+        if !self.streams_on {
+            return;
+        }
+        self.lock().spans.push(SpanRec {
+            level,
+            name: std::borrow::Cow::Borrowed(name),
+            start_us,
+            dur_us,
+            track,
+            args: args.to_vec(),
+            ctx: Some(ctx),
+        });
+    }
+
+    fn push_ctx(&self, ctx: SpanCtx) {
+        if !self.streams_on {
+            return;
+        }
+        self.lock().ctx_stack.push(ctx);
+    }
+
+    fn pop_ctx(&self) {
+        if !self.streams_on {
+            return;
+        }
+        self.lock().ctx_stack.pop();
+    }
+
+    fn latency(&self, scope: &str, name: &'static str, value_us: f64, trace_id: Option<u64>) {
+        if !self.aggregates_on {
+            return;
+        }
+        self.lock()
+            .latency
+            .entry((scope.to_string(), name))
+            .or_default()
+            .observe(value_us, trace_id);
     }
 
     fn add(&self, scope: &str, counter: Counter, delta: u64) {
@@ -434,11 +662,7 @@ impl Recorder for TraceRecorder {
         if !self.streams_on {
             return;
         }
-        self.lock().events.push(EventRec {
-            ts_us,
-            name: name.to_string(),
-            detail: detail.to_string(),
-        });
+        self.lock().events.push(EventRec { ts_us, name, detail: detail.to_string() });
     }
 }
 
@@ -497,10 +721,86 @@ mod tests {
         let r = TraceRecorder::disabled();
         assert!(!r.enabled());
         r.span(Level::Warp, "w", 0.0, 1.0, 9, &[]);
+        r.span_ctx(SpanCtx::root(7, 1), Level::Request, "req", 0.0, 1.0, 40, &[]);
         r.add("k", Counter::BankConflicts, 10);
         r.gauge("k", "g", 1.0);
         r.cycles("k", 2, 2);
         r.event(0.0, "e", "d");
+        r.latency("k", "e2e_us", 5.0, Some(7));
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ctx_stack_tags_plain_spans_as_leaf_children() {
+        let r = TraceRecorder::new();
+        let root = SpanCtx::root(0xABCD, 1);
+        r.span_ctx(root, Level::Request, "request", 0.0, 10.0, 40, &[("id", 3.0)]);
+        let exec = root.child(4);
+        r.span_ctx(exec, Level::Kernel, "exec", 2.0, 8.0, 2, &[]);
+        r.push_ctx(exec);
+        // A deep layer that knows nothing about traces...
+        r.span(Level::Warp, "warp 0", 3.0, 1.0, 9, &[]);
+        r.pop_ctx();
+        // ...and one recorded outside the window stays untagged.
+        r.span(Level::Warp, "warp 1", 5.0, 1.0, 9, &[]);
+
+        let trace = r.trace_spans(0xABCD);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].ctx, Some(root));
+        assert_eq!(trace[1].ctx, Some(exec));
+        let leaf = trace[2].ctx.expect("leaf tagged");
+        assert_eq!(leaf.trace_id, 0xABCD);
+        assert_eq!(leaf.span_id, 0);
+        assert_eq!(leaf.parent_span_id, 4);
+        assert_eq!(r.trace_ids(), vec![0xABCD]);
+        assert!(r.spans().iter().any(|s| s.ctx.is_none()));
+        // Every span in the trace is reachable from the root via parents.
+        let ids: Vec<u64> = trace.iter().map(|s| s.ctx.unwrap().span_id).collect();
+        for s in &trace {
+            let p = s.ctx.unwrap().parent_span_id;
+            assert!(p == 0 || ids.contains(&p), "orphan span {}", s.name);
+        }
+    }
+
+    #[test]
+    fn latency_histograms_aggregate_with_exemplars() {
+        let r = TraceRecorder::new();
+        r.latency("class:batch", "queue_wait_us", 100.0, Some(0x1));
+        r.latency("class:batch", "queue_wait_us", 120.0, Some(0x2));
+        r.latency("shard:0", "queue_wait_us", 7.0, None);
+        let h = r.latency_histogram("class:batch", "queue_wait_us").expect("histo");
+        assert_eq!(h.count(), 2);
+        assert!((h.mean_us() - 110.0).abs() < 1e-12);
+        assert_eq!(h.p99_us(), 128.0);
+        // 100 and 120 share bucket 7 (64..128): last exemplar wins.
+        assert_eq!(h.exemplar(7).expect("exemplar").trace_id, 0x2);
+        assert_eq!(r.latency_histograms().len(), 2);
+        assert!(r.latency_histogram("class:batch", "nope").is_none());
+    }
+
+    #[test]
+    fn counters_only_stays_bounded_over_a_100k_stream() {
+        // Satellite: the soak recorder's memory proxy must stay flat no
+        // matter how many spans/events the serving layer would emit.
+        let r = TraceRecorder::counters_only();
+        for i in 0..100_000u64 {
+            r.span(Level::Request, "request", i as f64, 1.0, 40, &[("id", i as f64)]);
+            r.span_ctx(SpanCtx::root(i, 1), Level::Request, "request", i as f64, 1.0, 40, &[]);
+            r.event(i as f64, "request_shed", "overload");
+            r.push_ctx(SpanCtx::root(i, 1));
+            r.pop_ctx();
+            r.add("soak", Counter::BatchedRequests, 1);
+            r.latency("class:batch", "e2e_us", (i % 1024) as f64, Some(i));
+            if i % 25_000 == 0 {
+                assert_eq!(r.spans().len(), 0, "span stream must stay empty");
+                assert_eq!(r.events().len(), 0, "event stream must stay empty");
+            }
+        }
+        assert_eq!(r.spans().len(), 0);
+        assert_eq!(r.events().len(), 0);
+        assert_eq!(r.counter("soak", Counter::BatchedRequests), 100_000);
+        let h = r.latency_histogram("class:batch", "e2e_us").expect("histo");
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.buckets().len(), crate::histo::NUM_BUCKETS);
     }
 }

@@ -75,18 +75,26 @@ impl BenchReport {
 }
 
 /// Best-effort current git revision (short), `"unknown"` when git or the
-/// work tree is unavailable.
+/// work tree is unavailable. Resolved by shelling out to `git rev-parse`
+/// once per process and cached — `BenchReport`s are minted per request
+/// stream in the serving experiments, and the revision cannot change
+/// mid-run.
 #[must_use]
 pub fn current_git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    static GIT_REV: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    GIT_REV
+        .get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short=12", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        })
+        .clone()
 }
 
 /// One comparable metric extracted from a report: a throughput-style
@@ -286,6 +294,14 @@ pub fn compare_metrics(baseline: &[Metric], fresh: &[Metric], tolerance: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn git_rev_is_cached_and_stable() {
+        let a = current_git_rev();
+        let b = current_git_rev();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
 
     fn report_rows(gbps: &[f64]) -> Value {
         Value::Arr(

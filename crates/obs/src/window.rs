@@ -1,0 +1,214 @@
+//! DES-time windowed good/bad aggregation.
+//!
+//! A [`WindowRing`] chops simulated time into fixed-width windows and
+//! counts good/bad outcomes per window in a bounded ring: the newest
+//! `capacity` windows stay queryable for burn-rate math (see
+//! [`crate::alert`]) while older windows are drained into a compact
+//! closed-window series for post-run inspection. All bookkeeping is
+//! driven by the DES clock, so the window series — like every other
+//! telemetry artifact — is byte-identical across runs and engines.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// One fixed-width window of outcome counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Window {
+    /// Window ordinal: window `i` covers `[i*window_s, (i+1)*window_s)`.
+    pub index: u64,
+    /// Requests that met their objective in this window.
+    pub good: u64,
+    /// Requests that missed (shed, rejected, or over deadline).
+    pub bad: u64,
+}
+
+impl Window {
+    /// Total outcomes recorded in this window.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.good + self.bad
+    }
+
+    /// Fraction of bad outcomes (0 when the window is empty).
+    #[must_use]
+    pub fn bad_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 { 0.0 } else { self.bad as f64 / t as f64 }
+    }
+}
+
+/// Bounded ring of fixed DES-time windows with a closed-window archive.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    window_s: f64,
+    capacity: usize,
+    ring: VecDeque<Window>,
+    closed: Vec<Window>,
+}
+
+impl WindowRing {
+    /// A ring of `capacity` live windows, each `window_s` seconds wide.
+    ///
+    /// # Panics
+    /// Panics if `window_s` is not positive or `capacity` is zero.
+    #[must_use]
+    pub fn new(window_s: f64, capacity: usize) -> Self {
+        assert!(window_s > 0.0, "window width must be positive");
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        Self { window_s, capacity, ring: VecDeque::new(), closed: Vec::new() }
+    }
+
+    /// Window width, seconds.
+    #[must_use]
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Window ordinal for DES time `t_s` (clamped at 0 for negative noise).
+    #[must_use]
+    pub fn index_of(&self, t_s: f64) -> u64 {
+        if t_s <= 0.0 { 0 } else { (t_s / self.window_s) as u64 }
+    }
+
+    fn rotate_to(&mut self, index: u64) {
+        let newest = self.ring.back().map(|w| w.index);
+        match newest {
+            None => self.ring.push_back(Window { index, good: 0, bad: 0 }),
+            Some(n) if index > n => {
+                // Gap-fill so burn-rate windows see silence as empty
+                // windows rather than skipping time.
+                for i in (n + 1)..=index {
+                    self.ring.push_back(Window { index: i, good: 0, bad: 0 });
+                    while self.ring.len() > self.capacity {
+                        let old = self.ring.pop_front().expect("nonempty ring");
+                        self.closed.push(old);
+                    }
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Record one outcome at DES time `t_s`. Out-of-order records landing
+    /// before the newest open window are credited to the oldest live
+    /// window still in the ring (deterministic, and a negligible skew at
+    /// the window widths used here).
+    pub fn record(&mut self, t_s: f64, good: bool) {
+        let index = self.index_of(t_s);
+        self.rotate_to(index);
+        let pos = self
+            .ring
+            .iter()
+            .position(|w| w.index == index)
+            .unwrap_or(0);
+        let w = &mut self.ring[pos];
+        if good {
+            w.good += 1;
+        } else {
+            w.bad += 1;
+        }
+    }
+
+    /// Advance the clock to `t_s` without recording an outcome (opens and
+    /// gap-fills windows so idle periods read as empty).
+    pub fn advance(&mut self, t_s: f64) {
+        let index = self.index_of(t_s);
+        self.rotate_to(index);
+    }
+
+    /// Aggregate bad-rate over the most recent `k` live windows
+    /// (including the open one), divided by `error_budget`: the SRE
+    /// burn rate. 0 when no traffic was seen or the budget is degenerate.
+    #[must_use]
+    pub fn burn_rate(&self, k: usize, error_budget: f64) -> f64 {
+        if error_budget <= 0.0 {
+            return 0.0;
+        }
+        let n = self.ring.len();
+        let take = k.min(n);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for w in self.ring.iter().skip(n - take) {
+            good += w.good;
+            bad += w.bad;
+        }
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / error_budget
+    }
+
+    /// Live windows, oldest first.
+    pub fn live(&self) -> impl Iterator<Item = &Window> {
+        self.ring.iter()
+    }
+
+    /// Full window series: closed windows followed by live ones, oldest
+    /// first.
+    #[must_use]
+    pub fn series(&self) -> Vec<Window> {
+        let mut out = self.closed.clone();
+        out.extend(self.ring.iter().copied());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_rotate_and_gap_fill() {
+        let mut r = WindowRing::new(1.0, 4);
+        r.record(0.5, true);
+        r.record(0.9, false);
+        r.record(3.2, true); // skips windows 1 and 2
+        let live: Vec<Window> = r.live().copied().collect();
+        assert_eq!(live.len(), 4);
+        assert_eq!(live[0], Window { index: 0, good: 1, bad: 1 });
+        assert_eq!(live[1], Window { index: 1, good: 0, bad: 0 });
+        assert_eq!(live[2], Window { index: 2, good: 0, bad: 0 });
+        assert_eq!(live[3], Window { index: 3, good: 1, bad: 0 });
+        // One more window evicts window 0 into the closed archive.
+        r.record(4.1, false);
+        assert_eq!(r.live().count(), 4);
+        let series = r.series();
+        assert_eq!(series.len(), 5);
+        assert_eq!(series[0], Window { index: 0, good: 1, bad: 1 });
+        assert_eq!(series[4], Window { index: 4, good: 0, bad: 1 });
+    }
+
+    #[test]
+    fn burn_rate_is_windowed_bad_fraction_over_budget() {
+        let mut r = WindowRing::new(1.0, 8);
+        for i in 0..4 {
+            // Windows 0..3: 10% bad.
+            for j in 0..10 {
+                r.record(i as f64 + 0.05 * j as f64, j != 0);
+            }
+        }
+        // Budget 10% → burn 1.0 over any span of these windows.
+        assert!((r.burn_rate(4, 0.10) - 1.0).abs() < 1e-12);
+        assert!((r.burn_rate(1, 0.10) - 1.0).abs() < 1e-12);
+        // Window 4: all bad → short-window burn spikes to 10×.
+        for j in 0..10 {
+            r.record(4.0 + 0.05 * j as f64, false);
+        }
+        assert!((r.burn_rate(1, 0.10) - 10.0).abs() < 1e-12);
+        // Long window dilutes: 14 bad / 50 total / 0.10 = 2.8.
+        assert!((r.burn_rate(5, 0.10) - 2.8).abs() < 1e-12);
+        // Degenerate budget and empty spans are silent.
+        assert_eq!(r.burn_rate(4, 0.0), 0.0);
+        assert_eq!(WindowRing::new(1.0, 4).burn_rate(4, 0.1), 0.0);
+    }
+
+    #[test]
+    fn advance_opens_empty_windows() {
+        let mut r = WindowRing::new(0.25, 16);
+        r.record(0.1, false);
+        r.advance(1.1); // windows 1..4 open empty
+        assert_eq!(r.live().count(), 5);
+        assert_eq!(r.burn_rate(4, 0.1), 0.0); // bad outcome rotated out of view
+        assert!((r.burn_rate(5, 0.1) - 10.0).abs() < 1e-12);
+    }
+}
