@@ -26,6 +26,13 @@
 //!                 bursts, one injected shard crash + warm restart from a
 //!                 plan-cache snapshot; exits 1 on any correctness failure
 //!                 or a cold cache)
+//!   outofcore     robustness + performance gate (out-of-core streaming
+//!                 transpose: fault-free overlap efficiency ≥ 70% of the
+//!                 bandwidth roofline, plus a 240-run seeded mid-stream
+//!                 fault campaign — transfer chaos, kernel aborts, engine
+//!                 crash at 40% progress — exits 1 on any data loss or a
+//!                 missed efficiency floor; archives the crash-run chunk
+//!                 journal next to the JSON)
 //!   simperf       engineering (parallel vs serial simulation engine:
 //!                 host wall clock per workload, asserted bit-identical;
 //!                 `--min-wall-gain X` fails the run below X× wall gain;
@@ -109,8 +116,8 @@ fn parse_args() -> Args {
                      [--inject-slowdown PCT] [--schedules N] [--seed S] \
                      [--min-wall-gain X] [--max-overhead-pct P]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation serve soak simperf \
-                     telemetry trace races all"
+                     table3 async phi primes multigpu ablation serve soak outofcore \
+                     simperf telemetry trace races all"
                 );
                 std::process::exit(0);
             }
@@ -321,8 +328,8 @@ fn main() {
     let args = parse_args();
     let known = [
         "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "serve", "soak", "simperf",
-        "telemetry", "trace", "races", "all",
+        "async", "phi", "primes", "multigpu", "ablation", "serve", "soak", "outofcore",
+        "simperf", "telemetry", "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -425,6 +432,30 @@ fn main() {
             soak_failed = true;
         }
     }
+    let mut outofcore_failed = false;
+    if run("outofcore") {
+        let (rows, summary, journal_json) = ex::outofcore::run(&args.device, args.scale);
+        println!("{}", ex::outofcore::render(&rows, &summary));
+        sink.emit_scheme("outofcore", "stream", &(&rows, &summary));
+        if let Some(dir) = &args.json_dir {
+            // The crash-run chunk journal is the campaign's recovery
+            // artifact: it shows which chunks were durable at the crash
+            // and where the resume picked up.
+            write_file(dir, "outofcore_journal.json", &journal_json);
+        }
+        if !summary.passed {
+            eprintln!(
+                "[outofcore] FAIL: efficiency {:.3} (floor {:.2}), {} mismatches, \
+                 {} uncommitted, {} errors",
+                summary.overlap_efficiency,
+                summary.efficiency_floor,
+                summary.slo_mismatches,
+                summary.slo_uncommitted,
+                summary.slo_errors
+            );
+            outofcore_failed = true;
+        }
+    }
     // `simperf` is deliberately not part of `all`: its headline numbers
     // are host wall-clock (machine-specific), so it gates in its own CI
     // job with a pinned thread count rather than riding the deterministic
@@ -488,7 +519,13 @@ fn main() {
 
     let failed = args.check && run_check(&args, &sink.reports);
     eprintln!("[repro done in {:.1}s]", t0.elapsed().as_secs_f64());
-    if failed || races_failed || wall_gain_failed || soak_failed || telemetry_failed {
+    if failed
+        || races_failed
+        || wall_gain_failed
+        || soak_failed
+        || outofcore_failed
+        || telemetry_failed
+    {
         std::process::exit(1);
     }
 }

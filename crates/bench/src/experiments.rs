@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod multigpu;
+pub mod outofcore;
 pub mod phi;
 pub mod primes;
 pub mod races;

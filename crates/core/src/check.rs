@@ -29,6 +29,76 @@ pub fn checked_bytes(rows: usize, cols: usize, elem_bytes: usize) -> Option<u64>
     u64::try_from(prod).ok()
 }
 
+/// Typed overflow/size errors for out-of-core chunk planning.
+///
+/// The streaming planner computes per-panel byte totals and chunk counts for
+/// matrices that deliberately exceed device memory; at those scales the
+/// intermediates brush against `u64::MAX` and an `Option` is no longer
+/// enough — callers need to know *which* computation failed and with what
+/// operands to produce an actionable diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeError {
+    /// `rows * cols * elem_bytes` exceeds `u64::MAX`.
+    BytesOverflow {
+        /// Panel row count that overflowed.
+        rows: usize,
+        /// Panel column count that overflowed.
+        cols: usize,
+        /// Element width in bytes.
+        elem_bytes: usize,
+    },
+    /// A zero chunk size makes the chunk count undefined.
+    EmptyChunk,
+    /// A zero-sized dimension where a non-empty panel is required.
+    EmptyPanel {
+        /// Offending row count.
+        rows: usize,
+        /// Offending column count.
+        cols: usize,
+    },
+}
+
+impl core::fmt::Display for SizeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BytesOverflow { rows, cols, elem_bytes } => write!(
+                f,
+                "panel byte count {rows}x{cols}x{elem_bytes} overflows u64"
+            ),
+            Self::EmptyChunk => write!(f, "chunk size must be non-zero"),
+            Self::EmptyPanel { rows, cols } => {
+                write!(f, "panel {rows}x{cols} has no elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+/// Exact byte count of one ASTA panel (`rows * cols * elem_bytes`) with a
+/// typed error instead of a bare `None`.
+///
+/// Unlike [`checked_bytes`] this rejects empty panels: a zero-byte chunk in
+/// a streaming plan is always a planner bug, never a degenerate success.
+pub fn panel_bytes(rows: usize, cols: usize, elem_bytes: usize) -> Result<u64, SizeError> {
+    if rows == 0 || cols == 0 || elem_bytes == 0 {
+        return Err(SizeError::EmptyPanel { rows, cols });
+    }
+    checked_bytes(rows, cols, elem_bytes)
+        .ok_or(SizeError::BytesOverflow { rows, cols, elem_bytes })
+}
+
+/// Number of chunks of `chunk_rows` rows needed to cover `total_rows`
+/// (ceiling division), with a typed error for the undefined zero-chunk case.
+pub fn chunk_count(total_rows: usize, chunk_rows: usize) -> Result<u64, SizeError> {
+    if chunk_rows == 0 {
+        return Err(SizeError::EmptyChunk);
+    }
+    // u128 so the ceiling division cannot wrap even at usize::MAX.
+    let n = (total_rows as u128).div_ceil(chunk_rows as u128);
+    u64::try_from(n).map_err(|_| SizeError::EmptyChunk)
+}
+
 /// `rows * cols * elem_bytes` as `f64` without any intermediate narrowing.
 ///
 /// Bandwidth math wants a float anyway; computing the product in `u128`
@@ -84,5 +154,62 @@ mod tests {
         }
         assert_eq!(checked_words(0, 123), Some(0));
         assert_eq!(checked_bytes(17, 0, 8), Some(0));
+    }
+
+    #[test]
+    fn panel_bytes_at_two_pow_63_boundary() {
+        if usize::BITS < 64 {
+            return;
+        }
+        // 2^63 bytes exactly: representable, one bit below the u64 edge.
+        let r = 1usize << 31;
+        let c = 1usize << 30;
+        assert_eq!(panel_bytes(r, c, 4), Ok(1u64 << 63));
+        // 2^64 bytes: one doubling past the edge — typed error, not a wrap.
+        assert_eq!(
+            panel_bytes(r, c, 8),
+            Err(SizeError::BytesOverflow { rows: r, cols: c, elem_bytes: 8 })
+        );
+        // 2^64 - 8 bytes: the largest 8-byte-element panel that still fits.
+        let r2 = (1usize << 31) - 1;
+        let c2 = 1usize << 30;
+        let expect = (r2 as u128 * c2 as u128 * 8) as u64;
+        assert_eq!(panel_bytes(r2, c2, 8), Ok(expect));
+        assert!(expect > (1u64 << 63), "must exercise the top bit");
+    }
+
+    #[test]
+    fn panel_bytes_rejects_empty_and_matches_checked() {
+        assert_eq!(panel_bytes(0, 7, 4), Err(SizeError::EmptyPanel { rows: 0, cols: 7 }));
+        assert_eq!(panel_bytes(7, 0, 4), Err(SizeError::EmptyPanel { rows: 7, cols: 0 }));
+        assert_eq!(panel_bytes(7, 5, 0), Err(SizeError::EmptyPanel { rows: 7, cols: 5 }));
+        // The u32-wrap shape from the module docs, per chunk: a 65536-row
+        // chunk of a 65537-wide matrix must report the exact 2^32-adjacent
+        // byte count, not a narrowed one.
+        assert_eq!(panel_bytes(R, C, 4), Ok(4 * 4_295_032_832));
+        let naive32 = (R as u32).wrapping_mul(C as u32).wrapping_mul(4);
+        assert_ne!(panel_bytes(R, C, 4), Ok(u64::from(naive32)));
+    }
+
+    #[test]
+    fn chunk_count_is_ceiling_and_total() {
+        assert_eq!(chunk_count(0, 16), Ok(0));
+        assert_eq!(chunk_count(1, 16), Ok(1));
+        assert_eq!(chunk_count(16, 16), Ok(1));
+        assert_eq!(chunk_count(17, 16), Ok(2));
+        assert_eq!(chunk_count(C, R), Ok(2)); // 65_537 rows in 65_536-row chunks
+        assert_eq!(chunk_count(123, 0), Err(SizeError::EmptyChunk));
+        // usize::MAX rows in 1-row chunks: ceiling math must not wrap.
+        if usize::BITS == 64 {
+            assert_eq!(chunk_count(usize::MAX, 1), Ok(u64::MAX));
+            assert_eq!(chunk_count(usize::MAX, 2), Ok(1u64 << 63));
+        }
+    }
+
+    #[test]
+    fn size_error_displays_operands() {
+        let e = SizeError::BytesOverflow { rows: 3, cols: 4, elem_bytes: 8 };
+        assert!(format!("{e}").contains("3x4x8"));
+        assert!(format!("{}", SizeError::EmptyChunk).contains("non-zero"));
     }
 }

@@ -38,6 +38,7 @@ pub mod scheme;
 pub mod layout;
 pub mod matrix;
 pub mod numtheory;
+pub mod outofcore;
 pub mod perm;
 pub mod stages;
 pub mod tiles;

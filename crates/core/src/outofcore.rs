@@ -1,0 +1,242 @@
+//! Out-of-core chunk planning for matrices larger than device memory.
+//!
+//! The paper's schemes (§4-§6) assume the whole `rows × cols` matrix is
+//! resident in device global memory. The streaming executor in `ipt-gpu`
+//! lifts that assumption by cutting the matrix into horizontal **row
+//! bands** — each band is an ASTA panel `chunk_rows × cols` that *does* fit
+//! on the device — and pipelining H2D → transpose kernels → D2H across the
+//! two copy engines. This module is the pure planning half: given a shape
+//! and a device-memory budget it decides the band height and chunk count,
+//! with every byte computation in `u128` via [`crate::check`] so that
+//! out-of-core scales (where `rows·cols·elem` brushes `u64::MAX`) produce
+//! typed errors instead of wrapped sizes.
+//!
+//! Band orientation: a row band of the row-major input is contiguous in
+//! host memory (one `memcpy`-shaped H2D per chunk), and its transpose is a
+//! `cols × chunk_rows` panel that scatters into the output at a fixed
+//! column offset — chunks never overlap in the destination, which is what
+//! makes chunk-granular commit/rollback sound.
+
+use crate::check::{self, SizeError};
+
+/// Why a chunk plan could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// One of `rows`, `cols`, `elem_words` is zero.
+    ZeroDim,
+    /// The device-memory budget is zero words.
+    ZeroBudget,
+    /// A single row (`cols * elem_words` words, times `buffers`) does not
+    /// fit in the budget — streaming by row bands is impossible.
+    RowTooLarge {
+        /// Words one buffered row requires.
+        need: u64,
+        /// Words the budget provides.
+        have: u64,
+    },
+    /// Byte/word arithmetic overflowed even `u64`.
+    Size(SizeError),
+}
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ZeroDim => write!(f, "matrix dimensions must be non-zero"),
+            Self::ZeroBudget => write!(f, "device memory budget must be non-zero"),
+            Self::RowTooLarge { need, have } => write!(
+                f,
+                "one buffered row needs {need} words but the budget is {have}"
+            ),
+            Self::Size(e) => write!(f, "size arithmetic overflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<SizeError> for PlanError {
+    fn from(e: SizeError) -> Self {
+        Self::Size(e)
+    }
+}
+
+/// A fully-resolved streaming plan: the matrix cut into `num_chunks` row
+/// bands of at most `chunk_rows` rows each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Total matrix rows.
+    pub rows: usize,
+    /// Total matrix columns.
+    pub cols: usize,
+    /// Words (u32) per element.
+    pub elem_words: usize,
+    /// Device-memory budget in words the plan was built against.
+    pub budget_words: u64,
+    /// Concurrently-resident chunk buffers the budget is split across
+    /// (2 for double buffering).
+    pub buffers: usize,
+    /// Rows per band (last band may be shorter).
+    pub chunk_rows: usize,
+    /// Number of bands.
+    pub num_chunks: usize,
+}
+
+impl ChunkPlan {
+    /// Half-open row range `(row0, nrows)` of chunk `i`.
+    ///
+    /// # Panics
+    /// If `i >= num_chunks`.
+    #[must_use]
+    pub fn chunk_range(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.num_chunks, "chunk {i} out of {}", self.num_chunks);
+        let row0 = i * self.chunk_rows;
+        let nrows = self.chunk_rows.min(self.rows - row0);
+        (row0, nrows)
+    }
+
+    /// Words in chunk `i` (`nrows * cols * elem_words`).
+    #[must_use]
+    pub fn chunk_words(&self, i: usize) -> usize {
+        let (_, nrows) = self.chunk_range(i);
+        nrows * self.cols * self.elem_words
+    }
+
+    /// Total matrix words; exact because the plan constructor validated the
+    /// product.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        check::checked_words(self.rows, self.cols)
+            .and_then(|w| w.checked_mul(self.elem_words as u64))
+            .expect("validated at plan time")
+    }
+
+    /// True when the matrix genuinely exceeds the budget (more than one
+    /// chunk); a single-chunk plan means the resident path would have
+    /// sufficed.
+    #[must_use]
+    pub fn is_out_of_core(&self) -> bool {
+        self.num_chunks > 1
+    }
+}
+
+/// Build a streaming plan: split the device budget across `buffers`
+/// concurrently-resident chunk buffers and make each band as tall as fits.
+///
+/// `budget_words` is the usable device global memory in u32 words; the
+/// executor double-buffers, so `buffers` is normally 2 (ping-pong) — pass 1
+/// for the serialized single-engine rung of the degradation ladder.
+pub fn plan_chunks(
+    rows: usize,
+    cols: usize,
+    elem_words: usize,
+    budget_words: u64,
+    buffers: usize,
+) -> Result<ChunkPlan, PlanError> {
+    if rows == 0 || cols == 0 || elem_words == 0 || buffers == 0 {
+        return Err(PlanError::ZeroDim);
+    }
+    if budget_words == 0 {
+        return Err(PlanError::ZeroBudget);
+    }
+    // Validate the full-matrix word count up front: everything downstream
+    // (checksums, output allocation) relies on it being representable.
+    let row_words_u128 = (cols as u128) * (elem_words as u128);
+    let total_u128 = (rows as u128) * row_words_u128;
+    if u64::try_from(total_u128).is_err() {
+        return Err(SizeError::BytesOverflow { rows, cols, elem_bytes: elem_words * 4 }.into());
+    }
+    let row_words = row_words_u128 as u64; // ≤ total, so fits
+    let per_buffer = budget_words / (buffers as u64);
+    let chunk_rows_u64 = per_buffer / row_words;
+    if chunk_rows_u64 == 0 {
+        return Err(PlanError::RowTooLarge {
+            need: row_words.saturating_mul(buffers as u64),
+            have: budget_words,
+        });
+    }
+    let chunk_rows = usize::try_from(chunk_rows_u64.min(rows as u64))
+        .expect("bounded by rows which is a usize");
+    let num_chunks = usize::try_from(check::chunk_count(rows, chunk_rows)?)
+        .expect("at most rows chunks");
+    Ok(ChunkPlan {
+        rows,
+        cols,
+        elem_words,
+        budget_words,
+        buffers,
+        chunk_rows,
+        num_chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_all_rows_exactly_once() {
+        // 100 rows, budget for 2 buffers of 24 rows each -> chunk_rows 24,
+        // 5 chunks with a short tail of 4.
+        let p = plan_chunks(100, 8, 1, 8 * 24 * 2, 2).unwrap();
+        assert_eq!(p.chunk_rows, 24);
+        assert_eq!(p.num_chunks, 5);
+        let mut covered = 0usize;
+        for i in 0..p.num_chunks {
+            let (r0, n) = p.chunk_range(i);
+            assert_eq!(r0, covered);
+            covered += n;
+            assert_eq!(p.chunk_words(i), n * 8);
+        }
+        assert_eq!(covered, 100);
+        assert!(p.is_out_of_core());
+    }
+
+    #[test]
+    fn single_chunk_when_matrix_fits() {
+        let p = plan_chunks(16, 8, 1, 1 << 20, 2).unwrap();
+        assert_eq!(p.num_chunks, 1);
+        assert_eq!(p.chunk_rows, 16); // clamped to rows
+        assert!(!p.is_out_of_core());
+    }
+
+    #[test]
+    fn zero_inputs_are_typed_errors() {
+        assert_eq!(plan_chunks(0, 8, 1, 64, 2), Err(PlanError::ZeroDim));
+        assert_eq!(plan_chunks(8, 0, 1, 64, 2), Err(PlanError::ZeroDim));
+        assert_eq!(plan_chunks(8, 8, 0, 64, 2), Err(PlanError::ZeroDim));
+        assert_eq!(plan_chunks(8, 8, 1, 64, 0), Err(PlanError::ZeroDim));
+        assert_eq!(plan_chunks(8, 8, 1, 0, 2), Err(PlanError::ZeroBudget));
+    }
+
+    #[test]
+    fn row_too_large_is_reported() {
+        // One row = 64 words; double buffered needs 128, budget 100.
+        let e = plan_chunks(10, 64, 1, 100, 2).unwrap_err();
+        assert_eq!(e, PlanError::RowTooLarge { need: 128, have: 100 });
+        assert!(format!("{e}").contains("128"));
+    }
+
+    #[test]
+    fn overflow_shapes_are_typed_errors() {
+        if usize::BITS < 64 {
+            return;
+        }
+        // rows·cols·elem_words = 2^64 words: must refuse, not wrap.
+        let e = plan_chunks(1 << 31, 1 << 30, 8, u64::MAX, 2).unwrap_err();
+        assert!(matches!(e, PlanError::Size(SizeError::BytesOverflow { .. })));
+        // The 65536×65537 wrap shape per chunk from check.rs stays exact.
+        let p = plan_chunks(65_536, 65_537, 1, 2 * 65_537 * 1024, 2).unwrap();
+        assert_eq!(p.chunk_rows, 1024);
+        assert_eq!(p.num_chunks, 64);
+        assert_eq!(p.total_words(), 4_295_032_832);
+    }
+
+    #[test]
+    fn single_buffer_plan_gets_taller_chunks() {
+        let double = plan_chunks(96, 8, 1, 8 * 32, 2).unwrap();
+        let single = plan_chunks(96, 8, 1, 8 * 32, 1).unwrap();
+        assert_eq!(double.chunk_rows, 16);
+        assert_eq!(single.chunk_rows, 32);
+        assert!(single.num_chunks < double.num_chunks);
+    }
+}

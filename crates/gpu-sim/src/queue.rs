@@ -266,6 +266,17 @@ pub enum QueueError {
         /// Timeline label of the failed command.
         label: Arc<str>,
     },
+    /// An engine died mid-schedule: the first command that would still be
+    /// running on (or start after) the crash instant cannot complete, and
+    /// neither can anything behind it. Spans that finished strictly before
+    /// the crash are trustworthy — out-of-core streaming uses that boundary
+    /// to decide which chunks were durably committed before the crash.
+    EngineCrash {
+        /// The engine that died (0 = H2D copy, 1 = D2H copy, 2 = compute).
+        engine: usize,
+        /// Simulated crash instant, seconds.
+        at_s: f64,
+    },
 }
 
 impl std::fmt::Display for QueueError {
@@ -280,6 +291,9 @@ impl std::fmt::Display for QueueError {
                 "transient {} failure at command ({queue}, {index}): {label}",
                 if *h2d { "H2D" } else { "D2H" }
             ),
+            QueueError::EngineCrash { engine, at_s } => {
+                write!(f, "engine {engine} crashed at t={:.6}s", at_s)
+            }
         }
     }
 }
@@ -313,6 +327,40 @@ pub fn try_simulate_queues_dep(
     dev: &DeviceSpec,
     queues: &[Vec<QCmd>],
     fault: Option<&dyn FaultSource>,
+) -> Result<Timeline, QueueError> {
+    try_simulate_queues_crash(dev, queues, fault, None)
+}
+
+/// A scheduled mid-stream engine death for [`try_simulate_queues_crash`]:
+/// `engine` stops executing at `at_s` (seconds on the DES clock, including
+/// setup). Any command on that engine whose completion would land after
+/// `at_s` fails the schedule with [`QueueError::EngineCrash`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineCrash {
+    /// The engine that dies (0 = H2D copy, 1 = D2H copy, 2 = compute).
+    pub engine: usize,
+    /// Crash instant on the DES clock, seconds.
+    pub at_s: f64,
+}
+
+/// [`try_simulate_queues_dep`] with an optional mid-stream engine crash.
+///
+/// The DES schedules greedily as usual; the moment it would complete a
+/// command on the crashed engine past the crash instant, the whole schedule
+/// errors out with [`QueueError::EngineCrash`]. Everything scheduled up to
+/// that point was finished strictly before the crash and may be treated as
+/// durable by a journaling caller (the out-of-core streaming executor
+/// resumes from its last committed chunk rather than re-running the whole
+/// schedule).
+///
+/// # Errors
+/// The [`try_simulate_queues_dep`] errors, plus [`QueueError::EngineCrash`]
+/// when the crash preempts a command.
+pub fn try_simulate_queues_crash(
+    dev: &DeviceSpec,
+    queues: &[Vec<QCmd>],
+    fault: Option<&dyn FaultSource>,
+    crash: Option<EngineCrash>,
 ) -> Result<Timeline, QueueError> {
     let setup_s = dev.queue_create_overhead_s * queues.len() as f64;
     let mut engine_free = [setup_s; 3];
@@ -372,6 +420,11 @@ pub fn try_simulate_queues_dep(
         }
         let engine = cmd.engine(dev);
         let end = start + cmd.duration(dev);
+        if let Some(c) = crash {
+            if engine == c.engine && end > c.at_s {
+                return Err(QueueError::EngineCrash { engine: c.engine, at_s: c.at_s });
+            }
+        }
         spans.push(Span { queue: q, index: i, engine, start_s: start, end_s: end, label: cmd.label() });
         engine_free[engine] = end;
         queue_ready[q] = end;
@@ -693,6 +746,42 @@ mod tests {
             .collect();
         let asy = simulate_queues(&dev, &chunks);
         assert!(asy.total_s < sync.total_s, "async {} < sync {}", asy.total_s, sync.total_s);
+    }
+
+    #[test]
+    fn engine_crash_preempts_inflight_command() {
+        let dev = DeviceSpec::tesla_k20();
+        let queues: Vec<Vec<QCmd>> = vec![vec![
+            QCmd::plain(Cmd::H2D { bytes: 10e6 }),
+            QCmd::plain(kernel(0.004)),
+            QCmd::plain(Cmd::D2H { bytes: 10e6 }),
+        ]];
+        let healthy = try_simulate_queues_crash(&dev, &queues, None, None).unwrap();
+        // Crash the D2H engine just before the final copy completes.
+        let crash = EngineCrash { engine: 1, at_s: healthy.total_s - 1e-6 };
+        let err = try_simulate_queues_crash(&dev, &queues, None, Some(crash)).unwrap_err();
+        assert_eq!(err, QueueError::EngineCrash { engine: 1, at_s: crash.at_s });
+        // A crash after the makespan never fires.
+        let late = EngineCrash { engine: 1, at_s: healthy.total_s + 1.0 };
+        let tl = try_simulate_queues_crash(&dev, &queues, None, Some(late)).unwrap();
+        assert_eq!(tl.spans.len(), 3);
+        // A crash on an unused engine never fires either.
+        let other = EngineCrash { engine: 1, at_s: 0.0 };
+        let compute_only: Vec<Vec<QCmd>> = vec![vec![QCmd::plain(kernel(0.01))]];
+        assert!(try_simulate_queues_crash(&dev, &compute_only, None, Some(other)).is_ok());
+    }
+
+    #[test]
+    fn crash_none_matches_plain_dep_simulation() {
+        let dev = DeviceSpec::tesla_k20();
+        let queues: Vec<Vec<QCmd>> = vec![
+            vec![QCmd::plain(Cmd::H2D { bytes: 5e6 }), QCmd::plain(kernel(0.002))],
+            vec![QCmd::after(kernel(0.003), 0, 1), QCmd::plain(Cmd::D2H { bytes: 5e6 })],
+        ];
+        let a = try_simulate_queues_dep(&dev, &queues, None).unwrap();
+        let b = try_simulate_queues_crash(&dev, &queues, None, None).unwrap();
+        assert_eq!(a.total_s, b.total_s);
+        assert_eq!(a.spans.len(), b.spans.len());
     }
 
     #[test]

@@ -345,19 +345,26 @@ pub fn three_stage_plan(
 
 /// Run the DES timeline, resubmitting on injected transfer failures
 /// (bounded by the policy's retry budget, each resubmission charging
-/// backoff into the report).
-fn simulate_with_transfer_retry(
+/// backoff into the report). Each observed fault is routed through the
+/// recorder as a typed `transfer_fault` event plus a
+/// [`Counter::TransferFaultsInjected`] increment — silent under
+/// [`ipt_obs::NoopRecorder`], countable in Prometheus otherwise.
+///
+/// [`Counter::TransferFaultsInjected`]: ipt_obs::Counter::TransferFaultsInjected
+fn simulate_with_transfer_retry<R: Recorder>(
     dev: &DeviceSpec,
     queues: &[Vec<QCmd>],
     sim: &Sim,
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
+    rec: &R,
 ) -> Result<Timeline, TransposeError> {
     let mut attempt = 0usize;
     loop {
         match try_simulate_queues_dep(dev, queues, sim.fault_source()) {
             Ok(tl) => return Ok(tl),
             Err(e @ QueueError::TransferFault { .. }) => {
+                record_transfer_fault(rec, "host", &e);
                 if attempt >= policy.max_stage_retries {
                     return Err(TransposeError::RecoveryExhausted {
                         attempts: attempt + 1,
@@ -370,6 +377,16 @@ fn simulate_with_transfer_retry(
             }
             Err(e) => return Err(e.into()),
         }
+    }
+}
+
+/// Route one observed transient transfer fault through the recorder: a
+/// typed event carrying the DES error's message plus the
+/// `TransferFaultsInjected` counter under `scope`.
+pub(crate) fn record_transfer_fault<R: Recorder>(rec: &R, scope: &str, err: &QueueError) {
+    rec.add(scope, ipt_obs::Counter::TransferFaultsInjected, 1);
+    if rec.enabled() {
+        rec.event(0.0, "transfer_fault", &err.to_string());
     }
 }
 
@@ -390,6 +407,35 @@ pub fn run_host_sync_recovering(
     opts: &GpuOptions,
     policy: &RecoveryPolicy,
     fault: Option<FaultPlan>,
+) -> Result<(HostReport, RecoveryReport), TransposeError> {
+    run_host_sync_recovering_rec(
+        dev,
+        rows,
+        cols,
+        plan,
+        opts,
+        policy,
+        fault,
+        &ipt_obs::NoopRecorder,
+    )
+}
+
+/// [`run_host_sync_recovering`] with observability: injected transfer
+/// faults are routed through `rec` as typed events plus the
+/// `TransferFaultsInjected` counter.
+///
+/// # Errors
+/// Same as [`run_host_sync_recovering`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_host_sync_recovering_rec<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    plan: &StagePlan,
+    opts: &GpuOptions,
+    policy: &RecoveryPolicy,
+    fault: Option<FaultPlan>,
+    rec: &R,
 ) -> Result<(HostReport, RecoveryReport), TransposeError> {
     // 2× data room keeps the out-of-place fallback reachable.
     let mut sim =
@@ -416,7 +462,7 @@ pub fn run_host_sync_recovering(
         }));
     }
     q.push(QCmd::plain(Cmd::D2H { bytes }));
-    let timeline = simulate_with_transfer_retry(dev, &[q], &sim, policy, &mut report)?;
+    let timeline = simulate_with_transfer_retry(dev, &[q], &sim, policy, &mut report, rec)?;
     report.faults = sim.fault_records();
     Ok((
         HostReport {

@@ -47,6 +47,7 @@ pub mod pttwac010;
 pub mod pttwac100;
 pub mod recover;
 pub mod serve;
+pub mod stream;
 
 pub use autotune::{
     exhaustive_search, exhaustive_search_rec, measure_tile, pruned_search, pruned_search_rec,
@@ -60,7 +61,7 @@ pub use explore::{
 };
 pub use host::{
     run_host_async, run_host_async_recovering, run_host_oop, run_host_sync,
-    run_host_sync_recovering, HostReport,
+    run_host_sync_recovering, run_host_sync_recovering_rec, HostReport,
 };
 pub use multi::{run_multi_gpu, LinkTopology, MultiReport};
 pub use oop::OopTranspose;
@@ -81,6 +82,10 @@ pub use serve::{
     build_plan, CachedPlan, DegradeLevel, PlanCache, PlanKey, PreparedRound, PriorityClass,
     RoundReport, ServeConfig, ServeRequest, ServedResult, Server, SnapshotError,
     SNAPSHOT_VERSION,
+};
+pub use stream::{
+    stream_transpose, stream_transpose_rec, ChunkJournal, ChunkRecord, ChunkState, StreamChaos,
+    StreamConfig, StreamPath, StreamReport,
 };
 pub use pipt::PiptKernel;
 pub use pttwac010::Pttwac010;

@@ -110,6 +110,16 @@ pub enum TransposeError {
         /// observed per-request service time times the backlog depth).
         retry_after_s: f64,
     },
+    /// The out-of-core chunk journal refused an illegal state transition —
+    /// most importantly a second commit of an already-committed chunk,
+    /// which would silently duplicate a transfer into the output. The
+    /// journal makes that a loud, typed failure instead.
+    Journal {
+        /// Chunk index the transition was attempted on.
+        chunk: usize,
+        /// What was illegal about it.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for TransposeError {
@@ -138,6 +148,9 @@ impl std::fmt::Display for TransposeError {
                      after {:.1} us",
                     retry_after_s * 1e6
                 )
+            }
+            TransposeError::Journal { chunk, what } => {
+                write!(f, "chunk journal violation at chunk {chunk}: {what}")
             }
         }
     }

@@ -408,6 +408,13 @@ pub struct ServeConfig {
     /// every N-th profile-eligible request, as a continuous bit-exactness
     /// sample. `0` never resamples.
     pub full_exec_every: usize,
+    /// Payloads larger than this many resident words never batch: they
+    /// route to the out-of-core streaming executor
+    /// ([`crate::stream::stream_transpose_rec`]) with this value as the
+    /// device-memory budget, before the degradation ladder ever sees
+    /// them. `None` (default) disables the rung and oversized requests
+    /// take the ordinary batched path.
+    pub stream_over_words: Option<usize>,
 }
 
 impl ServeConfig {
@@ -429,6 +436,7 @@ impl ServeConfig {
             shed_at: 1.0,
             profile_replay: false,
             full_exec_every: 0,
+            stream_over_words: None,
         }
     }
 }
@@ -902,6 +910,29 @@ impl Server {
         type Group = (PlanKey, Vec<(ServeRequest, f64, DegradeLevel)>);
         let mut groups: Vec<Group> = Vec::new();
         for (pos, p) in drained.into_iter().enumerate() {
+            // Oversized payloads route to the streaming executor before the
+            // ladder classifies them: they can never reside on the device
+            // whole, so neither batching nor shedding applies.
+            if let Some(budget) = self.cfg.stream_over_words {
+                if p.req.data.len() > budget {
+                    rec.add("serve", Counter::OversizedRouted, 1);
+                    rec.event(
+                        round_start * 1e6,
+                        "oversized_routed",
+                        &format!(
+                            "req {} ({}x{}, {} words) exceeds {budget} resident words: \
+                             streaming out-of-core",
+                            p.req.id,
+                            p.req.rows,
+                            p.req.cols,
+                            p.req.data.len()
+                        ),
+                    );
+                    results.push(self.stream_oversized(&p.req, budget, rec)?);
+                    result_arrivals_s.push(p.arrival_s);
+                    continue;
+                }
+            }
             let level = if pos >= shed_start {
                 DegradeLevel::HostShed
             } else if pos >= degrade_start {
@@ -1337,6 +1368,49 @@ impl Server {
         }
     }
 
+    /// Execute one oversized request through the out-of-core streaming
+    /// executor with `budget` words of simulated device memory. The
+    /// streamed timeline's total becomes the result's `service_s`; the
+    /// chunk journal guarantees the result is exact or the round errors —
+    /// never a torn payload.
+    fn stream_oversized<R: Recorder>(
+        &self,
+        req: &ServeRequest,
+        budget: usize,
+        rec: &R,
+    ) -> Result<ServedResult, TransposeError> {
+        let cfg = crate::stream::StreamConfig {
+            budget_words: budget as u64,
+            opts: self.cfg.opts,
+            policy: self.cfg.policy,
+            heuristic: self.cfg.heuristic,
+        };
+        let (data, report) = crate::stream::stream_transpose_rec(
+            &self.dev,
+            &req.data,
+            req.rows,
+            req.cols,
+            req.elem_bytes / 4,
+            &cfg,
+            &crate::stream::StreamChaos::None,
+            rec,
+        )?;
+        let decision = decide_scheme(req.rows, req.cols, &self.cfg.heuristic);
+        Ok(ServedResult {
+            id: req.id,
+            data,
+            scheme: decision.scheme,
+            cache_hit: false,
+            device: 0,
+            priority: req.priority,
+            degrade: DegradeLevel::Tuned,
+            recovery: RecoveryReport::new(RecoveryPath::Primary),
+            queue_wait_s: 0.0,
+            service_s: report.total_s,
+            engine: "stream",
+        })
+    }
+
     /// Shed one request to the host path: exact result, no device launch,
     /// no queue wait — the degradation ladder's last rung before
     /// rejection.
@@ -1636,6 +1710,35 @@ mod tests {
         assert_eq!((tuned, conservative, shed), (4, 2, 2));
         assert_eq!(rec.counter("serve", Counter::PlansDegraded), 2);
         assert_eq!(rec.counter("serve", Counter::RequestsShed), 2);
+    }
+
+    #[test]
+    fn oversized_requests_route_to_streaming_executor() {
+        let dev = DeviceSpec::tesla_k20();
+        let mut cfg = ServeConfig::new(&dev);
+        // Anything above 2000 resident words streams; the big request's
+        // 96x40 payload (3840 words) forces multiple chunks.
+        cfg.stream_over_words = Some(2000);
+        let mut srv = Server::new(dev, cfg);
+        let rec = TraceRecorder::new();
+        let big = req(1, 96, 40, 4);
+        let small = req(2, 24, 10, 4);
+        srv.submit(big.clone(), &rec).unwrap();
+        srv.submit(small.clone(), &rec).unwrap();
+        let round = srv.process_round(&rec).unwrap();
+        assert_eq!(round.results.len(), 2);
+        for res in &round.results {
+            let original = if res.id == 1 { &big } else { &small };
+            check_round_trip(res, original);
+            if res.id == 1 {
+                assert_eq!(res.engine, "stream", "oversized payload must stream");
+                assert!(res.service_s > 0.0, "streamed service time comes from the DES");
+                assert_eq!(res.degrade, DegradeLevel::Tuned, "streaming is not degradation");
+            } else {
+                assert_ne!(res.engine, "stream", "small payloads take the batched path");
+            }
+        }
+        assert_eq!(rec.counter("serve", Counter::OversizedRouted), 1);
     }
 
     #[test]

@@ -177,6 +177,24 @@ pub enum Counter {
     SloViolations,
     /// Burn-rate alerts fired by the telemetry engine (rising edges only).
     AlertsRaised,
+    /// Transient transfer faults injected by a fault source and observed by
+    /// a retrying consumer (the DES resubmission paths).
+    TransferFaultsInjected,
+    /// Out-of-core streaming chunks durably committed (journal reached
+    /// `Committed`).
+    StreamChunksCommitted,
+    /// Out-of-core chunk-granular retries (transfer or kernel redo of one
+    /// chunk after a fault).
+    StreamChunkRetries,
+    /// Out-of-core resumes after a mid-stream engine crash (journal replay
+    /// from the last committed chunk).
+    StreamCrashResumes,
+    /// Out-of-core degradation-ladder steps taken (overlapped → serialized
+    /// → host-chunk).
+    StreamDegradations,
+    /// Oversized requests routed to the streaming path instead of being
+    /// rejected at admission.
+    OversizedRouted,
 }
 
 impl Counter {
@@ -219,6 +237,12 @@ impl Counter {
             Counter::ShardFailovers => "shard_failovers",
             Counter::SloViolations => "slo_violations",
             Counter::AlertsRaised => "alerts_raised",
+            Counter::TransferFaultsInjected => "transfer_faults_injected",
+            Counter::StreamChunksCommitted => "stream_chunks_committed",
+            Counter::StreamChunkRetries => "stream_chunk_retries",
+            Counter::StreamCrashResumes => "stream_crash_resumes",
+            Counter::StreamDegradations => "stream_degradations",
+            Counter::OversizedRouted => "oversized_routed",
         }
     }
 
@@ -263,6 +287,14 @@ impl Counter {
             Counter::ShardFailovers => "requests re-routed off an unhealthy affinity shard",
             Counter::SloViolations => "requests that missed their SLO (shed or over deadline)",
             Counter::AlertsRaised => "burn-rate alerts fired (rising edges only)",
+            Counter::TransferFaultsInjected => {
+                "transient transfer faults injected and observed by a retrying consumer"
+            }
+            Counter::StreamChunksCommitted => "out-of-core streaming chunks durably committed",
+            Counter::StreamChunkRetries => "out-of-core chunk-granular retries after faults",
+            Counter::StreamCrashResumes => "out-of-core resumes after a mid-stream engine crash",
+            Counter::StreamDegradations => "out-of-core degradation-ladder steps taken",
+            Counter::OversizedRouted => "oversized requests routed to the streaming path",
         }
     }
 }
