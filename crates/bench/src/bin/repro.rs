@@ -10,7 +10,13 @@
 //!   sweep100      §7.2      (warp-based vs Sung 100!, 3 GPUs)
 //!   fig7          Figure 7  (100! throughput heat map)
 //!   table2        Table 2   (3-stage vs 4-stage ± fusion)
-//!   dominance     §7.3      (throughput vs tile size)
+//!   tilesize      §7.3      (throughput vs tile size)
+//!   dominance     scheme gate (C2R decomposition vs coprime / staged /
+//!                 single-stage per shape, incl. shapes where coprime
+//!                 cannot launch; plus planner probes over
+//!                 7919×104729-class prime shapes — exits 1 if C2R loses
+//!                 a contested shape or any probe falls back to coprime
+//!                 cycle-following or the single-stage pass)
 //!   fig8          Figure 8  (tile scatter + pruning heuristic)
 //!   table3        Table 3 / Figure 9 (CPU vs GPU assessment)
 //!   async         §7.6      (Q command queues)
@@ -115,8 +121,8 @@ fn parse_args() -> Args {
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
                      [--inject-slowdown PCT] [--schedules N] [--seed S] \
                      [--min-wall-gain X] [--max-overhead-pct P]\n\
-                     experiments: fig6 sweep010 sweep100 fig7 table2 dominance fig8 \
-                     table3 async phi primes multigpu ablation serve soak outofcore \
+                     experiments: fig6 sweep010 sweep100 fig7 table2 tilesize dominance \
+                     fig8 table3 async phi primes multigpu ablation serve soak outofcore \
                      simperf telemetry trace races all"
                 );
                 std::process::exit(0);
@@ -327,9 +333,9 @@ fn run_check(args: &Args, reports: &[BenchReport]) -> bool {
 fn main() {
     let args = parse_args();
     let known = [
-        "fig6", "sweep010", "sweep100", "fig7", "table2", "dominance", "fig8", "table3",
-        "async", "phi", "primes", "multigpu", "ablation", "serve", "soak", "outofcore",
-        "simperf", "telemetry", "trace", "races", "all",
+        "fig6", "sweep010", "sweep100", "fig7", "table2", "tilesize", "dominance", "fig8",
+        "table3", "async", "phi", "primes", "multigpu", "ablation", "serve", "soak",
+        "outofcore", "simperf", "telemetry", "trace", "races", "all",
     ];
     if !known.contains(&args.experiment.as_str()) {
         eprintln!("unknown experiment {:?}; one of {known:?}", args.experiment);
@@ -373,10 +379,28 @@ fn main() {
         println!("{}", ex::table2::render(&rows));
         sink.emit("table2", &rows);
     }
+    if run("tilesize") {
+        let rows = ex::tilesize::run(&args.device, args.scale);
+        println!("{}", ex::tilesize::render_for(&rows, args.device.name));
+        sink.emit("tilesize", &rows);
+    }
+    let mut dominance_failed = false;
     if run("dominance") {
-        let rows = ex::dominance::run(&args.device, args.scale);
-        println!("{}", ex::dominance::render_for(&rows, args.device.name));
-        sink.emit("dominance", &rows);
+        let (rows, probes, summary) = ex::dominance::run(&args.device, args.scale);
+        println!("{}", ex::dominance::render(&rows, &probes, &summary));
+        sink.emit("dominance", &(&rows, &probes, &summary));
+        if !summary.passed {
+            eprintln!(
+                "[dominance] FAIL: C2R won {}/{} contested shapes (worst ratio x{:.2}); \
+                 {} coprime + {} single-stage planner fallback(s)",
+                summary.c2r_wins,
+                summary.contested,
+                summary.min_speedup_vs_coprime,
+                summary.probe_coprime,
+                summary.probe_single_stage
+            );
+            dominance_failed = true;
+        }
     }
     if run("fig8") {
         let report = ex::fig8::run(args.scale);
@@ -525,6 +549,7 @@ fn main() {
         || soak_failed
         || outofcore_failed
         || telemetry_failed
+        || dominance_failed
     {
         std::process::exit(1);
     }

@@ -23,6 +23,7 @@ pub mod sweep100;
 pub mod table2;
 pub mod table3;
 pub mod telemetry;
+pub mod tilesize;
 pub mod trace;
 
 /// Render a uniform text table: header + rows of equal arity.

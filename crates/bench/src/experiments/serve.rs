@@ -359,7 +359,9 @@ mod tests {
         // Every scheme class appears and carries sane accounting.
         let schemes: std::collections::HashSet<&str> =
             rows.iter().map(|r| r.scheme).collect();
-        for s in ["staged", "square-tiled", "identity", "coprime"] {
+        // Prime shapes route to the C2R decomposition now, not coprime
+        // cycle-following.
+        for s in ["staged", "square-tiled", "identity", "c2r"] {
             assert!(schemes.contains(s), "mix must exercise {s}: {schemes:?}");
         }
         for r in &rows {

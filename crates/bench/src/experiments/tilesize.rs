@@ -1,0 +1,83 @@
+//! **§7.3 tile-size dominance** — the 100!-family's throughput is dominated
+//! by the super-element size, which is why the 3-stage algorithm (bigger
+//! tiles) wins.
+//!
+//! Paper, Tesla K20: 12.5 / 24.5 / 47.6 / 69 GB/s for tile sizes
+//! 8 / 16 / 32 / 64 on average; best tiles (m,n) = (20,16) for the 4-stage
+//! and (32,72) for the 3-stage algorithm on 7200×1800.
+//!
+//! (Formerly registered as `dominance`; that name now belongs to the
+//! C2R-vs-rivals scheme sweep in [`super::dominance`].)
+
+use crate::common::run_100;
+use crate::workloads::Scale;
+use gpu_sim::DeviceSpec;
+use ipt_gpu::opts::{GpuOptions, Variant100};
+use serde::Serialize;
+
+/// One super-element-size point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Super-element size (words).
+    pub super_size: usize,
+    /// Mean throughput over the shape set (GB/s).
+    pub gbps: f64,
+    /// Paper's average for this size.
+    pub paper_gbps: f64,
+}
+
+/// The paper's quoted averages.
+pub const PAPER: [(usize, f64); 4] = [(8, 12.5), (16, 24.5), (32, 47.6), (64, 69.0)];
+
+/// Run the tile-size measurement: average `100!` throughput across a set of
+/// grid shapes for each super-element size.
+#[must_use]
+pub fn run(dev: &DeviceSpec, scale: Scale) -> Vec<Row> {
+    let shapes: &[(usize, usize)] = match scale {
+        Scale::Full => &[(64, 100), (128, 50), (100, 64), (200, 25)],
+        Scale::Reduced => &[(64, 50), (100, 32)],
+    };
+    let wg = GpuOptions::tuned_for(dev).wg_size_100;
+    PAPER
+        .iter()
+        .map(|&(s, paper)| {
+            let mut acc = 0.0;
+            for &(r, c) in shapes {
+                let (stats, bytes) = run_100(dev, r, c, s, Variant100::Auto, wg);
+                acc += stats.throughput_gbps(bytes);
+            }
+            Row { super_size: s, gbps: acc / shapes.len() as f64, paper_gbps: paper }
+        })
+        .collect()
+}
+
+/// Render the text report.
+#[must_use]
+pub fn render_for(rows: &[Row], device: &str) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.super_size.to_string(),
+                format!("{:.1}", r.gbps),
+                format!("{:.1}", r.paper_gbps),
+            ]
+        })
+        .collect();
+    let mut out = super::text_table(
+        &format!("S7.3: 100!-family throughput vs tile (super-element) size, {device}"),
+        &["tile", "GB/s", "paper GB/s (K20)"],
+        &table,
+    );
+    let monotone = rows.windows(2).all(|w| w[1].gbps > w[0].gbps);
+    out.push_str(&format!(
+        "\nmonotone increase with tile size: {monotone}  [paper: yes — this is why the 3-stage algorithm's larger tiles win]\n"
+    ));
+    out
+}
+
+/// Render with the default device label.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    render_for(rows, "Tesla K20")
+}

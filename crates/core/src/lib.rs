@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod c2r;
 pub mod check;
 pub mod coprime;
 pub mod elementary;
@@ -51,3 +52,7 @@ pub use scheme::{decide_scheme, FallbackReason, PlanDecision, Scheme};
 pub use stages::{StagePlan, TileConfig};
 pub use tiles::TileHeuristic;
 pub use coprime::{transpose_coprime_par, transpose_coprime_seq, transpose_matrix_coprime};
+pub use c2r::{
+    transpose_c2r_par, transpose_c2r_par_elems, transpose_c2r_seq, transpose_c2r_seq_elems,
+    transpose_matrix_c2r, C2rGeometry,
+};

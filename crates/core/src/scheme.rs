@@ -15,9 +15,15 @@
 //!   [`crate::full::plan_auto`] silently fell back to the single-stage pass
 //!   with no record of why. The decision now carries a typed
 //!   [`FallbackReason`] and prefers the deterministic alternatives first:
-//!   the coprime two-phase decomposition when `gcd = 1`, the always-legal
-//!   `(c, c)` gcd sub-tile when `1 < c² ≤` [`GCD_TILE_MAX_LEN`], and only
-//!   then the conservative single-stage pass.
+//!   the C2R three-pass decomposition when `gcd = 1` (strictly faster than
+//!   the old coprime cycle-following route — see the `dominance`
+//!   experiment), the always-legal `(c, c)` gcd sub-tile when
+//!   `1 < c² ≤` [`GCD_TILE_MAX_LEN`] (staged degradation), and the C2R
+//!   decomposition again — never the single-stage whole-matrix chase — when
+//!   the gcd tile is oversized. [`Scheme::Coprime`] and
+//!   [`Scheme::SingleStage`] remain addressable as explicit rival schemes
+//!   (benchmarks, snapshots), but [`decide_scheme`] no longer routes any
+//!   infeasible-tile shape to them.
 
 use crate::numtheory::gcd;
 use crate::stages::{StagePlan, TileConfig};
@@ -42,8 +48,16 @@ pub enum Scheme {
     /// Staged algorithm with the always-legal `(c, c)` tile, `c = gcd`.
     GcdTiled,
     /// Coprime dimensions: the two-phase row-scramble/column-shuffle
-    /// decomposition (after Catanzaro et al.).
+    /// decomposition (after Catanzaro et al.). Kept as an explicit rival
+    /// scheme; the planner now prefers [`Scheme::C2R`], which generalizes
+    /// it to every shape.
     Coprime,
+    /// The full C2R/R2C decomposition (Catanzaro, Keller & Garland, PPoPP
+    /// 2014): column rotate → row shuffle → column shuffle. Total over all
+    /// shapes, no claim flags, no atomics, perfect load balance — the
+    /// planner's choice for every infeasible-tile shape that the gcd tile
+    /// cannot cover.
+    C2R,
     /// Conservative whole-matrix cycle-following pass.
     SingleStage,
 }
@@ -58,6 +72,7 @@ impl Scheme {
             Self::Staged => "staged",
             Self::GcdTiled => "gcd-tiled",
             Self::Coprime => "coprime",
+            Self::C2R => "c2r",
             Self::SingleStage => "single-stage",
         }
     }
@@ -72,6 +87,7 @@ impl Scheme {
             "staged" => Some(Self::Staged),
             "gcd-tiled" => Some(Self::GcdTiled),
             "coprime" => Some(Self::Coprime),
+            "c2r" => Some(Self::C2R),
             "single-stage" => Some(Self::SingleStage),
             _ => None,
         }
@@ -142,12 +158,13 @@ pub struct PlanDecision {
 impl PlanDecision {
     /// The staged plan realising this decision, or `None` for schemes that
     /// execute outside the staged machinery ([`Scheme::Identity`],
-    /// [`Scheme::Coprime`]). Never panics: a square or tiled scheme whose
-    /// tile is unavailable degrades to the single-stage plan.
+    /// [`Scheme::Coprime`], [`Scheme::C2R`]). Never panics: a square or
+    /// tiled scheme whose tile is unavailable degrades to the single-stage
+    /// plan.
     #[must_use]
     pub fn staged_plan(&self, rows: usize, cols: usize) -> Option<StagePlan> {
         match self.scheme {
-            Scheme::Identity | Scheme::Coprime => None,
+            Scheme::Identity | Scheme::Coprime | Scheme::C2R => None,
             Scheme::Staged | Scheme::GcdTiled | Scheme::SquareTiled => match self.tile {
                 Some(t) => Some(
                     StagePlan::three_stage(rows, cols, t)
@@ -227,20 +244,24 @@ pub fn decide_scheme(rows: usize, cols: usize, heuristic: &TileHeuristic) -> Pla
             tile: Some(tile),
         };
     }
-    // No heuristic tile: deterministic fallback chain with a recorded reason.
+    // No heuristic tile: deterministic fallback chain with a recorded
+    // reason. Coprime shapes (gcd = 1) take the C2R decomposition — never
+    // the old coprime cycle-following route (its c = 1 slice, but with the
+    // slower unbatched kernels). Non-coprime shapes degrade through the
+    // staged machinery first: the (c, c) gcd tile keeps the tuned staged
+    // kernels in play. Only when that tile is oversized does the shape go
+    // to C2R — the single-stage whole-matrix chase is no longer reachable
+    // from this branch.
     let reason = FallbackReason::NoFeasibleTile { rows, cols };
     let c = gcd(rows as u64, cols as u64) as usize;
-    if c == 1 {
-        return PlanDecision { scheme: Scheme::Coprime, reason, tile: None };
-    }
-    if c * c <= GCD_TILE_MAX_LEN {
+    if c > 1 && c * c <= GCD_TILE_MAX_LEN {
         return PlanDecision {
             scheme: Scheme::GcdTiled,
             reason,
             tile: Some(TileConfig::new(c, c)),
         };
     }
-    PlanDecision { scheme: Scheme::SingleStage, reason, tile: None }
+    PlanDecision { scheme: Scheme::C2R, reason, tile: None }
 }
 
 /// Transpose a square `n × n` matrix in place by pairwise swaps, blocked for
@@ -314,15 +335,50 @@ mod tests {
     }
 
     #[test]
-    fn paper_class_prime_shape_gets_typed_coprime_fallback() {
+    fn paper_class_prime_shape_gets_typed_c2r_fallback() {
         let h = TileHeuristic::default();
         // The exact shape from the issue: both dims prime, no feasible tile.
         let d = decide_scheme(7919, 104_729, &h);
-        assert_eq!(d.scheme, Scheme::Coprime);
+        assert_eq!(d.scheme, Scheme::C2R);
         assert_eq!(d.reason, FallbackReason::NoFeasibleTile { rows: 7919, cols: 104_729 });
         assert!(d.reason.is_fallback());
         assert!(d.reason.describe().contains("7919x104729"));
-        assert!(d.staged_plan(7919, 104_729).is_none(), "coprime executes outside staging");
+        assert!(d.staged_plan(7919, 104_729).is_none(), "C2R executes outside staging");
+    }
+
+    #[test]
+    fn no_infeasible_tile_shape_resolves_to_coprime_or_single_stage() {
+        // Regression for the prime-shape slow path: sweep shapes on both
+        // sides of the gcd split and assert the NoFeasibleTile branch never
+        // lands on the coprime cycle-following route or the single-stage
+        // chase anymore.
+        let h = TileHeuristic::default();
+        for (r, c) in [
+            (7919usize, 104_729usize), // gcd 1, both prime
+            (127, 61),                 // gcd 1, small primes
+            (1009, 4096),              // gcd 1, prime × power of two
+            (61 * 67, 61 * 71),        // gcd 61 → staged degradation
+        ] {
+            let d = decide_scheme(r, c, &h);
+            if !matches!(d.reason, FallbackReason::NoFeasibleTile { .. }) {
+                continue; // heuristic found a tile; nothing to regress
+            }
+            assert_ne!(d.scheme, Scheme::Coprime, "{r}x{c} took the slow coprime path");
+            assert_ne!(d.scheme, Scheme::SingleStage, "{r}x{c} took the single-stage chase");
+        }
+    }
+
+    #[test]
+    fn non_coprime_infeasible_shapes_stay_staged() {
+        // Satellite regression: the gcd > 1 side of the split must take the
+        // staged-degradation path (gcd tile), not a non-staged scheme.
+        let h = TileHeuristic::default();
+        let (r, c) = (61 * 67, 61 * 71);
+        let d = decide_scheme(r, c, &h);
+        assert!(matches!(d.reason, FallbackReason::NoFeasibleTile { .. }));
+        assert_eq!(d.scheme, Scheme::GcdTiled);
+        assert_eq!(d.tile, Some(TileConfig::new(61, 61)));
+        assert_eq!(d.staged_plan(r, c).unwrap().name, "3-stage");
     }
 
     #[test]
@@ -341,13 +397,15 @@ mod tests {
     }
 
     #[test]
-    fn oversized_gcd_falls_back_to_single_stage() {
-        // Starve the heuristic so select() fails, with gcd 1024 → c² > 262144.
+    fn oversized_gcd_falls_back_to_c2r() {
+        // Starve the heuristic so select() fails, with gcd 1024 → c² > 262144:
+        // the gcd tile is oversized, and the shape goes to the total C2R
+        // decomposition instead of the old single-stage chase.
         let h = TileHeuristic { shared_capacity_words: 1, ..Default::default() };
         let d = decide_scheme(1024 * 3, 1024 * 5, &h);
-        assert_eq!(d.scheme, Scheme::SingleStage);
+        assert_eq!(d.scheme, Scheme::C2R);
         assert!(matches!(d.reason, FallbackReason::NoFeasibleTile { .. }));
-        assert_eq!(d.staged_plan(1024 * 3, 1024 * 5).unwrap().name, "single-stage");
+        assert!(d.staged_plan(1024 * 3, 1024 * 5).is_none());
     }
 
     #[test]
@@ -378,6 +436,18 @@ mod tests {
         assert_eq!(Scheme::Staged.name(), "staged");
         assert_eq!(Scheme::GcdTiled.name(), "gcd-tiled");
         assert_eq!(Scheme::Coprime.name(), "coprime");
+        assert_eq!(Scheme::C2R.name(), "c2r");
         assert_eq!(Scheme::SingleStage.name(), "single-stage");
+        for s in [
+            Scheme::Identity,
+            Scheme::SquareTiled,
+            Scheme::Staged,
+            Scheme::GcdTiled,
+            Scheme::Coprime,
+            Scheme::C2R,
+            Scheme::SingleStage,
+        ] {
+            assert_eq!(Scheme::by_name(s.name()), Some(s), "{} round-trips", s.name());
+        }
     }
 }

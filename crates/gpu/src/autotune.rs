@@ -241,6 +241,80 @@ pub fn choose_tile_rec<R: Recorder>(
     }
 }
 
+/// Measure the C2R pipeline throughput at one work-group size on a fresh
+/// simulator. `None` when the device cannot launch it (wg over the device
+/// limit, or scratch for a long-line shape does not fit).
+fn measure_c2r_wg(dev: &DeviceSpec, rows: usize, cols: usize, wg: usize) -> Option<f64> {
+    if wg > dev.max_threads_per_wg {
+        return None;
+    }
+    let scratch = crate::c2r::c2r_scratch_words(dev, rows, cols, wg);
+    let mut sim = Sim::new(dev.clone(), rows * cols + scratch + 8);
+    let data = sim.alloc(rows * cols);
+    sim.upload_u32(data, Matrix::iota(rows, cols).as_slice());
+    let stats = crate::c2r::transpose_c2r_on_device(&mut sim, data, rows, cols, wg).ok()?;
+    Some(stats.throughput_gbps(ipt_core::check::bytes_f64(rows, cols, 4)))
+}
+
+/// Autotune the work-group size for a [`Scheme::C2R`] plan: sweep the
+/// candidate sizes the device admits, measure the full pipeline on each,
+/// and return the fastest together with the search's [`TuneLog`] (the
+/// winner is recorded as a degenerate `(wg, 1)` tile choice so the same
+/// serialisable log covers both search families). Deterministic and
+/// total — when nothing measures (every candidate infeasible), returns the
+/// largest admissible candidate so the recovery chain still has a sane
+/// launch configuration to fail over from.
+///
+/// [`Scheme::C2R`]: ipt_core::Scheme::C2R
+#[must_use]
+pub fn choose_c2r_wg_rec<R: Recorder>(
+    dev: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    rec: &R,
+) -> (usize, TuneLog) {
+    let candidates: Vec<usize> =
+        [64usize, 128, 256].into_iter().filter(|&w| w <= dev.max_threads_per_wg).collect();
+    let fallback = candidates.last().copied().unwrap_or(dev.max_threads_per_wg.max(1));
+    let mut log = TuneLog::default();
+    let scope = "autotune:c2r-wg";
+    let mut best: Option<(usize, f64)> = None;
+    for wg in candidates {
+        log.considered += 1;
+        match measure_c2r_wg(dev, rows, cols, wg) {
+            Some(gbps) => {
+                log.measured += 1;
+                if rec.enabled() {
+                    rec.gauge(&format!("{scope}:{wg}"), "gbps", gbps);
+                }
+                if best.is_none_or(|(_, b)| gbps > b) {
+                    best = Some((wg, gbps));
+                }
+            }
+            None => {
+                log.rejected_infeasible += 1;
+                if rec.enabled() {
+                    rec.event(0.0, "autotune_infeasible", &format!("{scope}: wg {wg}"));
+                }
+            }
+        }
+    }
+    rec.add(scope, Counter::AutotuneConsidered, log.considered as u64);
+    rec.add(scope, Counter::AutotuneRejectedInfeasible, log.rejected_infeasible as u64);
+    match best {
+        Some((wg, gbps)) => {
+            log.chosen = Some(TileChoice { m: wg, n: 1, gbps });
+            rec.gauge(scope, "chosen_gbps", gbps);
+            rec.event(0.0, "autotune_chosen", &format!("{scope}: wg {wg} at {gbps:.3} GB/s"));
+            (wg, log)
+        }
+        None => {
+            rec.event(0.0, "autotune_fallback", &format!("{scope}: nothing measured, wg {fallback}"));
+            (fallback, log)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +324,17 @@ mod tests {
     // structure.
     const ROWS: usize = 720;
     const COLS: usize = 180;
+
+    #[test]
+    fn c2r_wg_sweep_is_deterministic_and_respects_device_limits() {
+        let dev = DeviceSpec::hd7750(); // admits wg ≤ 256
+        let (wg, log) = choose_c2r_wg_rec(&dev, 127, 61, &NoopRecorder);
+        assert!(wg <= dev.max_threads_per_wg);
+        assert!(log.measured >= 1, "at least one candidate must measure");
+        assert_eq!(log.chosen.map(|c| c.m), Some(wg), "log records the winner");
+        let (again, _) = choose_c2r_wg_rec(&dev, 127, 61, &NoopRecorder);
+        assert_eq!(wg, again, "sweep is deterministic");
+    }
 
     #[test]
     fn exhaustive_finds_points() {

@@ -34,6 +34,7 @@
 
 pub mod autotune;
 pub mod bs;
+pub mod c2r;
 pub mod coprime;
 pub mod explore;
 pub mod fleet;
@@ -50,10 +51,11 @@ pub mod serve;
 pub mod stream;
 
 pub use autotune::{
-    exhaustive_search, exhaustive_search_rec, measure_tile, pruned_search, pruned_search_rec,
-    TileChoice, TilePoint, TuneLog,
+    choose_c2r_wg_rec, exhaustive_search, exhaustive_search_rec, measure_tile, pruned_search,
+    pruned_search_rec, TileChoice, TilePoint, TuneLog,
 };
 pub use bs::BsKernel;
+pub use c2r::{c2r_scratch_words, pass_layout, transpose_c2r_on_device, C2rLinePass, C2rPassKind};
 pub use coprime::{transpose_coprime_on_device, CoprimeColShuffle, CoprimeRowScramble};
 pub use explore::{
     explore_case, pct_sweep, run_race_case, tiny_device, BrokenPttwac010, RaceTarget,

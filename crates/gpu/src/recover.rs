@@ -931,6 +931,79 @@ pub fn transpose_scheme_with_recovery_rec<R: Recorder>(
             Ok((PipelineStats::default(), report))
         }
 
+        // C2R/R2C decomposition: total over every shape (no coprimality
+        // guard to go stale), so the chain is device kernels → out-of-place
+        // retry → host tail, same shape as the coprime arm it supersedes.
+        Scheme::C2R => {
+            let mut report = RecoveryReport::new(RecoveryPath::Primary);
+            let original = host_data.clone();
+            if elem_words == 1 {
+                let data = sim.try_alloc(words).ok_or(TransposeError::DeviceOom {
+                    need: words,
+                    free: sim.free_words(),
+                })?;
+                sim.upload_u32(data, &original);
+                let attempt =
+                    crate::c2r::transpose_c2r_on_device(sim, data, rows, cols, opts.wg_size)
+                        .map_err(TransposeError::from)
+                        .and_then(|stats| {
+                            let result = sim.download_u32(data);
+                            verify_exact(&original, &result, rows, cols)?;
+                            Ok((stats, result))
+                        });
+                match attempt {
+                    Ok((stats, result)) => {
+                        report.faults = sim.fault_records();
+                        *host_data = result;
+                        return Ok((stats, report));
+                    }
+                    Err(e) => {
+                        if !policy.allow_fallback {
+                            return Err(e);
+                        }
+                        report.primary_error = Some(e.to_string());
+                    }
+                }
+                // Out-of-place fallback, if a second copy fits.
+                sim.upload_u32(data, &original);
+                report.path = RecoveryPath::OutOfPlace;
+                if let Some(dst) = sim.try_alloc(words) {
+                    let oop = crate::oop::OopTranspose { src: data, dst, rows, cols };
+                    if let Ok(stats) = sim.launch(&oop) {
+                        let result = sim.download_u32(dst);
+                        if verify_exact(&original, &result, rows, cols).is_ok() {
+                            sim.upload_u32(data, &result);
+                            report.faults = sim.fault_records();
+                            *host_data = result;
+                            return Ok((
+                                PipelineStats { stages: vec![stats], overhead_s: 0.0 },
+                                report,
+                            ));
+                        }
+                    }
+                }
+            } else {
+                if !policy.allow_fallback {
+                    return Err(TransposeError::InvalidConfig {
+                        what: format!(
+                            "c2r device kernels are word-granular; {elem_words}-word elements \
+                             need the host fallback, which the policy disallows"
+                        ),
+                    });
+                }
+                report.primary_error = Some(
+                    "c2r device kernels are word-granular; wide elements served by the host \
+                     path"
+                        .into(),
+                );
+            }
+            // Host tail — cannot fail.
+            report.path = RecoveryPath::HostSequential;
+            report.faults = sim.fault_records();
+            *host_data = host_transpose_elems(&original, rows, cols, elem_words);
+            Ok((PipelineStats::default(), report))
+        }
+
         // Staged family: square-tiled, heuristic staged, gcd-tiled and the
         // conservative single-stage all execute as (possibly degenerate)
         // stage plans under the standard validated-recovery chain.
@@ -1218,10 +1291,70 @@ mod tests {
     }
 
     #[test]
-    fn scheme_recovery_coprime_runs_on_device() {
+    fn scheme_recovery_c2r_runs_on_device() {
+        // The planner routes prime shapes to the C2R decomposition now.
         let (r, c) = (127, 61);
         let d = decide(r, c);
-        assert_eq!(d.scheme, ipt_core::Scheme::Coprime);
+        assert_eq!(d.scheme, ipt_core::Scheme::C2R);
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * r * c + 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(r, c).into_vec();
+        let want = Matrix::iota(r, c).transposed().into_vec();
+        let (stats, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            r,
+            c,
+            1,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, want);
+        assert_eq!(report.path, RecoveryPath::Primary);
+        assert_eq!(stats.stages.len(), 2, "gcd = 1: row shuffle + column shuffle");
+    }
+
+    #[test]
+    fn scheme_recovery_c2r_handles_nontrivial_gcd_on_device() {
+        // 122×183 has gcd 61, so the rotate pass is live: three stages.
+        let (r, c) = (122, 183);
+        let d = ipt_core::PlanDecision {
+            scheme: ipt_core::Scheme::C2R,
+            reason: ipt_core::FallbackReason::NoFeasibleTile { rows: r, cols: c },
+            tile: None,
+        };
+        let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * r * c + 64);
+        let opts = GpuOptions::tuned_for(sim.device());
+        let mut data = Matrix::iota(r, c).into_vec();
+        let want = Matrix::iota(r, c).transposed().into_vec();
+        let (stats, report) = transpose_scheme_with_recovery(
+            &mut sim,
+            &mut data,
+            r,
+            c,
+            1,
+            &d,
+            &opts,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(data, want);
+        assert_eq!(report.path, RecoveryPath::Primary);
+        assert_eq!(stats.stages.len(), 3, "gcd > 1: rotate + row shuffle + column shuffle");
+    }
+
+    #[test]
+    fn scheme_recovery_explicit_coprime_still_runs() {
+        // The planner no longer emits Coprime, but a hand-picked decision
+        // stays a valid executable scheme.
+        let (r, c) = (127, 61);
+        let d = ipt_core::PlanDecision {
+            scheme: ipt_core::Scheme::Coprime,
+            reason: ipt_core::FallbackReason::NoFeasibleTile { rows: r, cols: c },
+            tile: None,
+        };
         let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * r * c + 64);
         let opts = GpuOptions::tuned_for(sim.device());
         let mut data = Matrix::iota(r, c).into_vec();
@@ -1243,7 +1376,7 @@ mod tests {
     }
 
     #[test]
-    fn scheme_recovery_coprime_wide_elements_use_verified_host_path() {
+    fn scheme_recovery_c2r_wide_elements_use_verified_host_path() {
         let (r, c) = (127, 61);
         let d = decide(r, c);
         let mut sim = Sim::new(DeviceSpec::tesla_k20(), 2 * 2 * r * c + 64);

@@ -122,8 +122,12 @@ pub struct CachedPlan {
     /// that need no tuning (identity, coprime) and for snapshot-restored
     /// plans (the snapshot archives the decision, not the search).
     pub tune: TuneLog,
-    /// The executable plan, `None` for identity / coprime schemes.
+    /// The executable plan, `None` for identity / coprime / c2r schemes.
     pub plan: Option<StagePlan>,
+    /// Tuned work-group size — `Some` only for [`Scheme::C2R`] plans,
+    /// where the wg sweep replaces the tile search; execution overrides
+    /// [`GpuOptions::wg_size`] with it.
+    pub wg_size: Option<usize>,
 }
 
 /// Concurrent memoization of [`CachedPlan`]s with hit/miss accounting.
@@ -230,15 +234,21 @@ pub fn build_plan<R: Recorder>(
 ) -> CachedPlan {
     let mut decision = decide_scheme(rows, cols, heuristic);
     let mut tune = TuneLog::default();
+    let mut wg_size = None;
     if decision.scheme == Scheme::Staged {
         let (tile, log) = choose_tile_rec(dev, rows, cols, heuristic, opts, rec);
         tune = log;
         if tile.is_some() {
             decision.tile = tile;
         }
+    } else if decision.scheme == Scheme::C2R {
+        // C2R has no tile to tune; its knob is the work-group size.
+        let (wg, log) = crate::autotune::choose_c2r_wg_rec(dev, rows, cols, rec);
+        tune = log;
+        wg_size = Some(wg);
     }
     let plan = decision.staged_plan(rows, cols);
-    CachedPlan { decision, tune, plan }
+    CachedPlan { decision, tune, plan, wg_size }
 }
 
 /// Per-request service class. The class's SLO budget becomes an absolute
@@ -496,8 +506,11 @@ impl PreparedRound {
 }
 
 /// Plan-cache snapshot format version. Bump on breaking layout changes;
-/// [`Server::restore_snapshot`] refuses other versions.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// [`Server::restore_snapshot`] refuses other versions. v2 added the
+/// `c2r` scheme and its per-entry `wg_size` — v1 snapshots predate the
+/// scheme and are refused as stale rather than restored into plans that
+/// would silently miss the tuned launch configuration.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot was rejected. A rejected snapshot is discarded and the
 /// server stays cold — never poisoned.
@@ -554,6 +567,7 @@ struct SnapshotEntry {
     reason: &'static str,
     tile_m: Option<usize>,
     tile_n: Option<usize>,
+    wg_size: Option<usize>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -767,6 +781,7 @@ impl Server {
                 reason: reason_name(&plan.decision.reason),
                 tile_m: plan.decision.tile.map(|t| t.m),
                 tile_n: plan.decision.tile.map(|t| t.n),
+                wg_size: plan.wg_size,
             })
             .collect();
         entries.sort_by(|a, b| {
@@ -852,10 +867,17 @@ impl Server {
                 (None, None) => None,
                 _ => return Err(malformed(&format!("entry {i}: inconsistent tile"))),
             };
+            let wg_size = e
+                .get("wg_size")
+                .and_then(serde::Value::as_u64)
+                .and_then(|v| usize::try_from(v).ok());
+            if wg_size == Some(0) {
+                return Err(malformed(&format!("entry {i}: zero wg_size")));
+            }
             let decision = PlanDecision { scheme, reason, tile };
             let plan = decision.staged_plan(rows, cols);
             let key = PlanKey { rows, cols, elem_bytes, device: self.dev.name, scheme };
-            restored.push((key, CachedPlan { decision, tune: TuneLog::default(), plan }));
+            restored.push((key, CachedPlan { decision, tune: TuneLog::default(), plan, wg_size }));
         }
         let n = restored.len();
         for (key, plan) in restored {
@@ -1279,8 +1301,16 @@ impl Server {
     ) -> Result<(ServedResult, Option<gpu_sim::PipelineStats>), TransposeError> {
         let elem_words = req.elem_bytes / 4;
         let flag_words = plan.plan.as_ref().map_or(0, plan_flag_words);
+        // C2R long-line shapes stage through global scratch; budget for it
+        // so the device path is not spuriously OOMed into the host tail.
+        let scratch_words = if plan.decision.scheme == Scheme::C2R && elem_words == 1 {
+            let wg = plan.wg_size.unwrap_or(self.cfg.opts.wg_size);
+            crate::c2r::c2r_scratch_words(&self.dev, req.rows, req.cols, wg)
+        } else {
+            0
+        };
         // 2× data for the out-of-place recovery fallback, plus flag slack.
-        let capacity = 2 * req.data.len() + elem_words * flag_words + 256;
+        let capacity = 2 * req.data.len() + elem_words * flag_words + scratch_words + 256;
         let mut sim = Sim::new(self.dev.clone(), capacity);
         // Cache-hit batches re-execute a plan that already ran once, so the
         // wall-clock win of the pooled engine is pure profit; the launch
@@ -1297,6 +1327,17 @@ impl Server {
             &conservative
         } else {
             &self.cfg.opts
+        };
+        // A tuned C2R work-group size overrides the session default (but
+        // not a conservative-degrade baseline, which deliberately resets
+        // every knob).
+        let tuned;
+        let opts = match plan.wg_size {
+            Some(wg) if level != DegradeLevel::Conservative => {
+                tuned = GpuOptions { wg_size: wg, ..*opts };
+                &tuned
+            }
+            _ => opts,
         };
         let mut data = req.data.clone();
         // Kernel-launch spans emitted inside the recovery chain tag
@@ -1769,6 +1810,16 @@ mod tests {
             restored.submit(req(100 + i as u64, *r, *c, 4), &rec).unwrap();
             cold.submit(req(100 + i as u64, *r, *c, 4), &rec).unwrap();
         }
+        // The prime shape restores as a c2r plan with its tuned wg intact.
+        let c2r: Vec<_> = restored
+            .cache()
+            .entries()
+            .into_iter()
+            .filter(|(k, _)| k.scheme == Scheme::C2R)
+            .collect();
+        assert_eq!(c2r.len(), 1, "127×61 must cache as c2r");
+        assert!(c2r[0].1.wg_size.is_some(), "tuned wg size survives the snapshot");
+
         let warm_round = restored.process_round(&rec).unwrap();
         let cold_round = cold.process_round(&rec).unwrap();
         assert!(
@@ -1780,6 +1831,28 @@ mod tests {
             assert_eq!(w.data, c.data, "restored plans serve bit-identically");
             assert_eq!(w.scheme, c.scheme);
         }
+    }
+
+    #[test]
+    fn pre_c2r_snapshot_is_stale_not_misrestored() {
+        // A v1 snapshot predates the c2r scheme (and the per-entry wg
+        // size). Even when every entry parses cleanly, it must be refused
+        // as StaleVersion — never deserialized into plans that silently
+        // miss the tuned launch configuration.
+        let dev = DeviceSpec::tesla_k20();
+        let rec = TraceRecorder::new();
+        let mut srv = Server::new(dev.clone(), ServeConfig::new(&dev));
+        let v1 = format!(
+            "{{\"snapshot_version\": 1, \"device\": \"{}\", \"entries\": \
+             [{{\"rows\": 127, \"cols\": 61, \"elem_bytes\": 4, \"scheme\": \"coprime\", \
+             \"reason\": \"no-feasible-tile\", \"tile_m\": null, \"tile_n\": null}}]}}",
+            dev.name
+        );
+        assert!(matches!(
+            srv.restore_snapshot(&v1, &rec).unwrap_err(),
+            SnapshotError::StaleVersion { found: Some(1) }
+        ));
+        assert_eq!(srv.cache().len(), 0, "stale snapshots restore nothing");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use gpu_sim::{DeviceSpec, EngineMode, KernelStats, Sim};
 use ipt_core::InstancedTranspose;
 use ipt_gpu::bs::BsKernel;
+use ipt_gpu::c2r::{C2rLinePass, C2rPassKind};
 use ipt_gpu::coprime::{CoprimeColShuffle, CoprimeRowScramble};
 use ipt_gpu::oop::OopTranspose;
 use ipt_gpu::opts::{FlagLayout, Variant100};
@@ -26,14 +27,26 @@ enum Fam {
     P010,
     CoprimeRow,
     CoprimeCol,
+    C2rRotate,
+    C2rRows,
+    C2rCols,
     Oop,
     /// Cross-work-group: must *fall back* to serial under a parallel
     /// request, so both runs take the identical code path.
     P100,
 }
 
-const FAMS: [Fam; 6] =
-    [Fam::Bs, Fam::P010, Fam::CoprimeRow, Fam::CoprimeCol, Fam::Oop, Fam::P100];
+const FAMS: [Fam; 9] = [
+    Fam::Bs,
+    Fam::P010,
+    Fam::CoprimeRow,
+    Fam::CoprimeCol,
+    Fam::C2rRotate,
+    Fam::C2rRows,
+    Fam::C2rCols,
+    Fam::Oop,
+    Fam::P100,
+];
 
 fn gcd(a: usize, b: usize) -> usize {
     if b == 0 { a } else { gcd(b, a % b) }
@@ -93,6 +106,18 @@ fn run_under(fam: Fam, rows: usize, cols: usize, instances: usize, engine: Engin
         Fam::CoprimeCol => {
             let k = CoprimeColShuffle { data, rows, cols, wg_size: 64 };
             sim.launch_rec(&k, &rec, 0.0).expect("coprime-col launch")
+        }
+        Fam::C2rRotate | Fam::C2rRows | Fam::C2rCols => {
+            // C2R passes are WgLocal whatever the gcd, so the parallel
+            // engine must cover them natively — no shape nudging needed.
+            let geom = ipt_core::C2rGeometry::new(rows, cols);
+            let kind = match fam {
+                Fam::C2rRotate => C2rPassKind::Rotate,
+                Fam::C2rRows => C2rPassKind::RowShuffle,
+                _ => C2rPassKind::ColShuffle,
+            };
+            let k = C2rLinePass::new(data, geom, kind, 64, &DeviceSpec::tesla_k20(), None);
+            sim.launch_rec(&k, &rec, 0.0).expect("c2r launch")
         }
         Fam::Oop => {
             let dst = sim.alloc(op.total_len());

@@ -110,4 +110,86 @@ proptest! {
         ipt_gpu::coprime::transpose_coprime_on_device(&sim, buf, rows, cols, 128).unwrap();
         prop_assert_eq!(sim.download_u32(buf), m.transposed().into_vec());
     }
+
+    /// The C2R device pipeline needs no coprimality assumption: it is
+    /// total over every shape, and bit-identical to the host sequential
+    /// reference.
+    #[test]
+    fn c2r_device_any_shape(
+        rows in 1usize..80, cols in 1usize..80,
+        wg in prop::sample::select(vec![64usize, 128, 256]),
+    ) {
+        let dev = DeviceSpec::tesla_k20();
+        let scratch = ipt_gpu::c2r_scratch_words(&dev, rows, cols, wg);
+        let mut sim = Sim::new(dev, rows * cols + scratch + 8);
+        let buf = sim.alloc(rows * cols);
+        let m = Matrix::iota(rows, cols);
+        sim.upload_u32(buf, m.as_slice());
+        ipt_gpu::transpose_c2r_on_device(&mut sim, buf, rows, cols, wg).unwrap();
+        // Host sequential reference on the same payload.
+        let mut host = m.as_slice().to_vec();
+        ipt_core::transpose_c2r_seq(&mut host, rows, cols);
+        prop_assert_eq!(&host, &m.transposed().into_vec(), "host reference");
+        prop_assert_eq!(sim.download_u32(buf), host, "device ≡ host");
+    }
+
+    /// Host parallel ≡ host sequential ≡ naive reference for C2R across
+    /// arbitrary shapes and 1–2-word elements (the recovery chain serves
+    /// wide elements through the host path).
+    #[test]
+    fn c2r_host_paths_agree_for_wide_elements(
+        rows in 1usize..48, cols in 1usize..48, elem_words in 1usize..3,
+    ) {
+        let n = rows * cols * elem_words;
+        let payload: Vec<u32> = (0..n as u32).map(|x| x.wrapping_mul(2_654_435_761)).collect();
+        let mut want = vec![0u32; n];
+        for r in 0..rows {
+            for c in 0..cols {
+                for w in 0..elem_words {
+                    want[(c * rows + r) * elem_words + w] =
+                        payload[(r * cols + c) * elem_words + w];
+                }
+            }
+        }
+        let mut seq = payload.clone();
+        ipt_core::c2r::transpose_c2r_seq_elems(&mut seq, rows, cols, elem_words);
+        prop_assert_eq!(&seq, &want, "sequential");
+        let mut par = payload.clone();
+        ipt_core::c2r::transpose_c2r_par_elems(&mut par, rows, cols, elem_words);
+        prop_assert_eq!(&par, &want, "parallel ≡ reference");
+    }
+
+    /// The scheme-level recovery chain on a C2R decision is exact for both
+    /// element widths: word elements run the device kernels, wide elements
+    /// the verified host path.
+    #[test]
+    fn c2r_recovery_chain_any_shape_and_width(
+        rows in 1usize..40, cols in 1usize..40, elem_words in 1usize..3,
+    ) {
+        use ipt_core::{FallbackReason, PlanDecision, Scheme};
+        let d = PlanDecision {
+            scheme: Scheme::C2R,
+            reason: FallbackReason::NoFeasibleTile { rows, cols },
+            tile: None,
+        };
+        let n = rows * cols * elem_words;
+        let dev = DeviceSpec::tesla_k20();
+        let mut sim = Sim::new(dev.clone(), 2 * n + 64);
+        let opts = GpuOptions::tuned_for(&dev);
+        let mut data: Vec<u32> = (0..n as u32).collect();
+        let original = data.clone();
+        let (_, report) = ipt_gpu::recover::transpose_scheme_with_recovery(
+            &mut sim, &mut data, rows, cols, elem_words, &d, &opts,
+            &ipt_gpu::RecoveryPolicy::default(),
+        ).unwrap();
+        prop_assert_eq!(
+            &data,
+            &ipt_gpu::host_transpose_elems(&original, rows, cols, elem_words)
+        );
+        if elem_words == 1 {
+            prop_assert_eq!(report.path, ipt_gpu::RecoveryPath::Primary);
+        } else {
+            prop_assert_eq!(report.path, ipt_gpu::RecoveryPath::HostSequential);
+        }
+    }
 }

@@ -159,13 +159,27 @@ fn multi_gpu_blocks_agree_with_single_device() {
 
 #[test]
 fn repro_experiment_smoke() {
-    // The dominance experiment end-to-end: monotone throughput in tile size
+    // The tile-size experiment end-to-end: monotone throughput in tile size
     // (the §7.3 shape) via the public harness API.
-    use ipt_bench::experiments::dominance;
+    use ipt_bench::experiments::tilesize;
     use ipt_bench::workloads::Scale;
-    let rows = dominance::run(&DeviceSpec::tesla_k20(), Scale::Reduced);
+    let rows = tilesize::run(&DeviceSpec::tesla_k20(), Scale::Reduced);
     assert_eq!(rows.len(), 4);
     for w in rows.windows(2) {
         assert!(w[1].gbps > w[0].gbps, "§7.3 monotonicity");
     }
+}
+
+#[test]
+fn dominance_gate_smoke() {
+    // The C2R dominance sweep end-to-end: the prime-shape gate must hold
+    // (C2R beats coprime on every contested shape, and no planner probe —
+    // including the 7919×104729 paper-class shapes — resolves to coprime
+    // cycle-following or the single-stage pass).
+    use ipt_bench::experiments::dominance;
+    use ipt_bench::workloads::Scale;
+    let (rows, probes, summary) = dominance::run(&DeviceSpec::tesla_k20(), Scale::Reduced);
+    assert!(!rows.is_empty());
+    assert!(probes.iter().any(|p| p.rows == 7919 && p.cols == 104_729));
+    assert!(summary.passed, "dominance gate failed: {summary:?}");
 }
