@@ -40,8 +40,11 @@
 //!                 missed efficiency floor; archives the crash-run chunk
 //!                 journal next to the JSON)
 //!   simperf       engineering (parallel vs serial simulation engine:
-//!                 host wall clock per workload, asserted bit-identical;
-//!                 `--min-wall-gain X` fails the run below X× wall gain;
+//!                 host wall clock per workload — WG-local kernels, the
+//!                 three `100!` variants, and the 3-stage pipeline —
+//!                 asserted bit-identical; `--min-wall-gain X` fails the
+//!                 run below X× aggregate gain, `--min-staged-wall-gain X`
+//!                 below X× on the 3-stage pipeline row;
 //!                 pin RAYON_NUM_THREADS for reproducible thread counts)
 //!   telemetry     observability gate (the 100k soak twice: counters-only
 //!                 vs full tracing; aggregates must be bit-identical and
@@ -92,6 +95,7 @@ struct Args {
     schedules: usize,
     seed: u64,
     min_wall_gain: f64,
+    min_staged_wall_gain: f64,
     max_overhead_pct: f64,
 }
 
@@ -110,6 +114,7 @@ fn parse_args() -> Args {
     let mut schedules = 64usize;
     let mut seed = 0xA11CE_u64;
     let mut min_wall_gain = 0.0f64;
+    let mut min_staged_wall_gain = 0.0f64;
     let mut max_overhead_pct = ex::telemetry::DEFAULT_MAX_OVERHEAD_PCT;
     let mut i = 0;
     while i < argv.len() {
@@ -120,7 +125,8 @@ fn parse_args() -> Args {
                      [--json DIR] [--single-stage] [--slow]\n\
                      \x20      [--check] [--baseline DIR] [--tolerance T] \
                      [--inject-slowdown PCT] [--schedules N] [--seed S] \
-                     [--min-wall-gain X] [--max-overhead-pct P]\n\
+                     [--min-wall-gain X] [--min-staged-wall-gain X] \
+                     [--max-overhead-pct P]\n\
                      experiments: fig6 sweep010 sweep100 fig7 table2 tilesize dominance \
                      fig8 table3 async phi primes multigpu ablation serve soak outofcore \
                      simperf telemetry trace races all"
@@ -170,6 +176,13 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--min-staged-wall-gain" => {
+                i += 1;
+                min_staged_wall_gain = argv[i].parse().unwrap_or_else(|_| {
+                    eprintln!("--min-staged-wall-gain wants a factor, got {:?}", argv[i]);
+                    std::process::exit(2);
+                });
+            }
             "--max-overhead-pct" => {
                 i += 1;
                 max_overhead_pct = argv[i].parse().unwrap_or_else(|_| {
@@ -210,6 +223,7 @@ fn parse_args() -> Args {
         schedules,
         seed,
         min_wall_gain,
+        min_staged_wall_gain,
         max_overhead_pct,
     }
 }
@@ -494,6 +508,19 @@ fn main() {
                 "[simperf] FAIL: wall gain {:.2}x below required {:.2}x \
                  ({} threads on {} cores)",
                 summary.wall_gain_x, args.min_wall_gain, summary.threads, summary.host_cores
+            );
+            wall_gain_failed = true;
+        }
+        if args.min_staged_wall_gain > 0.0
+            && summary.wall_gain_staged_x < args.min_staged_wall_gain
+        {
+            eprintln!(
+                "[simperf] FAIL: 3-stage pipeline wall gain {:.2}x below required {:.2}x \
+                 ({} threads on {} cores)",
+                summary.wall_gain_staged_x,
+                args.min_staged_wall_gain,
+                summary.threads,
+                summary.host_cores
             );
             wall_gain_failed = true;
         }

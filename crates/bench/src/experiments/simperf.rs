@@ -1,6 +1,7 @@
 //! **Engineering** — wall-clock of the simulation engine itself: the
-//! pooled parallel engine vs the serial round-robin engine on
-//! work-group-local kernels.
+//! pooled parallel engine vs the serial round-robin engine, on both
+//! work-group-local kernels and the cross-WG-claims `100!` family
+//! (all three variants) plus the full 3-stage pipeline.
 //!
 //! Every workload is launched with both engines from identical initial
 //! state; the experiment *asserts* the two runs are bit-identical (memory
@@ -16,11 +17,13 @@
 
 use crate::workloads::Scale;
 use gpu_sim::{DeviceSpec, EngineMode, KernelStats, Sim};
-use ipt_core::InstancedTranspose;
+use ipt_core::{InstancedTranspose, StagePlan, TileConfig};
 use ipt_gpu::bs::BsKernel;
 use ipt_gpu::coprime::{CoprimeColShuffle, CoprimeRowScramble};
-use ipt_gpu::opts::FlagLayout;
+use ipt_gpu::opts::{FlagLayout, GpuOptions, Variant100};
+use ipt_gpu::pipeline::{plan_flag_words, run_plan};
 use ipt_gpu::pttwac010::Pttwac010;
+use ipt_gpu::pttwac100::Pttwac100;
 use serde::Serialize;
 
 /// Timed launches per (workload, engine); the minimum wall time is
@@ -60,6 +63,9 @@ pub struct Summary {
     pub wall_parallel_ms: f64,
     /// Aggregate host wall gain: total serial over total parallel.
     pub wall_gain_x: f64,
+    /// Host wall gain of the 3-stage pipeline workload alone (0.0 when
+    /// the workload set carries no staged row — e.g. unit tests).
+    pub wall_gain_staged_x: f64,
     /// Every workload's parallel run was bit-identical to serial
     /// (memory + stats); the run aborts otherwise, so this is always
     /// `true` in an archived report — kept explicit for honesty.
@@ -75,7 +81,11 @@ type Launch = Box<dyn Fn(&mut Sim) -> KernelStats>;
 /// fresh-sim-per-repeat contract.
 pub struct Workload {
     name: String,
+    /// Payload words — the buffer the identity assertion compares.
     words: usize,
+    /// Extra capacity beyond the payload (e.g. global flag words) that
+    /// the launcher allocates but the comparison ignores.
+    extra_words: usize,
     launch: Launch,
 }
 
@@ -85,6 +95,7 @@ fn bs_workload(instances: usize, rows: usize, cols: usize) -> Workload {
     Workload {
         name: format!("BS {instances}x{rows}x{cols}"),
         words,
+        extra_words: 0,
         launch: Box::new(move |sim| {
             let data = sim.alloc(words);
             sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
@@ -100,6 +111,7 @@ fn p010_workload(instances: usize, rows: usize, cols: usize) -> Workload {
     Workload {
         name: format!("010! {instances}x{rows}x{cols}"),
         words,
+        extra_words: 0,
         launch: Box::new(move |sim| {
             let data = sim.alloc(words);
             sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
@@ -122,6 +134,7 @@ fn coprime_workload(rows: usize, cols: usize) -> Workload {
     Workload {
         name: format!("coprime {rows}x{cols}"),
         words,
+        extra_words: 0,
         launch: Box::new(move |sim| {
             let data = sim.alloc(words);
             sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
@@ -138,17 +151,121 @@ fn coprime_workload(rows: usize, cols: usize) -> Workload {
     }
 }
 
+/// A `100!` workload — the cross-WG-claims kernel that rides the
+/// parallel engine via the control-replay scheme (one row per variant).
+fn p100_workload(
+    instances: usize,
+    rows: usize,
+    cols: usize,
+    super_size: usize,
+    variant: Variant100,
+) -> Workload {
+    let op = InstancedTranspose::new(instances, rows, cols, super_size);
+    let words = op.total_len();
+    let flag_words = Pttwac100::flag_words(instances * rows * cols);
+    let label = match variant {
+        Variant100::SungWorkGroup => "sung",
+        Variant100::WarpLocalTile => "local",
+        Variant100::WarpRegTile => "reg",
+        Variant100::Auto => "auto",
+    };
+    Workload {
+        name: format!("100! {label} {instances}x{rows}x{cols}s{super_size}"),
+        words,
+        extra_words: flag_words,
+        launch: Box::new(move |sim| {
+            let data = sim.alloc(words);
+            sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
+            let flags = sim.alloc(flag_words);
+            sim.upload_u32(flags, &vec![0u32; flag_words]);
+            let k = Pttwac100 {
+                data,
+                flags,
+                instances,
+                rows,
+                cols,
+                super_size,
+                variant,
+                wg_size: 256,
+                fuse_tile: None,
+                backoff: None,
+            };
+            sim.launch(&k).expect("100 launch")
+        }),
+    }
+}
+
+/// The paper's full 3-stage pipeline (`100! → 0010! → 0100!`) as one
+/// workload: stages 1 and 3 are cross-WG-claims kernels, stage 2 is
+/// work-group-local, so the whole plan exercises both parallel paths.
+/// Per-stage stats are folded into one report for the identity check.
+fn staged_workload(rows: usize, cols: usize) -> Workload {
+    let tile = TileConfig::new(48, 36);
+    let plan = StagePlan::three_stage(rows, cols, tile).expect("tile divides staged shape");
+    let words = rows * cols;
+    let flag_words = plan_flag_words(&plan);
+    Workload {
+        name: format!("3-stage {rows}x{cols}"),
+        words,
+        extra_words: flag_words,
+        launch: Box::new(move |sim| {
+            let data = sim.alloc(words);
+            sim.upload_u32(data, &(0..words as u32).collect::<Vec<_>>());
+            let flags = sim.alloc(flag_words);
+            sim.upload_u32(flags, &vec![0u32; flag_words]);
+            let opts = GpuOptions::tuned_for(sim.device());
+            let pipe = run_plan(sim, data, flags, &plan, &opts).expect("staged plan launches");
+            // Fold the per-stage reports into one (sums of time and
+            // counters, max of the longest chain); the memory image is
+            // what the identity assertion compares.
+            let mut folded = pipe.stages[0].clone();
+            folded.name = format!("3-stage {rows}x{cols}");
+            for s in &pipe.stages[1..] {
+                // Widest stage describes the launch shape (a degenerate
+                // stage may have been skipped with zero work-groups).
+                folded.num_wgs = folded.num_wgs.max(s.num_wgs);
+                folded.wg_size = folded.wg_size.max(s.wg_size);
+                folded.time_s += s.time_s;
+                folded.dram_bytes += s.dram_bytes;
+                folded.useful_bytes += s.useful_bytes;
+                folded.gld_transactions += s.gld_transactions;
+                folded.gst_transactions += s.gst_transactions;
+                folded.local_accesses += s.local_accesses;
+                folded.local_atomics += s.local_atomics;
+                folded.global_atomics += s.global_atomics;
+                folded.position_conflicts += s.position_conflicts;
+                folded.lock_conflicts += s.lock_conflicts;
+                folded.bank_conflicts += s.bank_conflicts;
+                folded.claim_retries += s.claim_retries;
+                folded.barriers += s.barriers;
+                folded.warp_steps += s.warp_steps;
+                folded.total_chain_cycles += s.total_chain_cycles;
+                folded.max_chain_cycles = folded.max_chain_cycles.max(s.max_chain_cycles);
+            }
+            folded
+        }),
+    }
+}
+
 fn workloads(scale: Scale) -> Vec<Workload> {
     match scale {
         Scale::Full => vec![
             bs_workload(2048, 32, 32),
             p010_workload(1024, 32, 32),
             coprime_workload(997, 1024),
+            p100_workload(1, 128, 96, 64, Variant100::SungWorkGroup),
+            p100_workload(1, 128, 96, 64, Variant100::WarpLocalTile),
+            p100_workload(1, 128, 96, 64, Variant100::WarpRegTile),
+            staged_workload(1440, 360),
         ],
         Scale::Reduced => vec![
             bs_workload(512, 32, 32),
             p010_workload(256, 32, 32),
             coprime_workload(251, 256),
+            p100_workload(1, 64, 48, 32, Variant100::SungWorkGroup),
+            p100_workload(1, 64, 48, 32, Variant100::WarpLocalTile),
+            p100_workload(1, 64, 48, 32, Variant100::WarpRegTile),
+            staged_workload(720, 180),
         ],
     }
 }
@@ -165,7 +282,7 @@ fn time_engine(
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..repeats.max(1) {
-        let mut sim = Sim::new(dev.clone(), w.words + 64);
+        let mut sim = Sim::new(dev.clone(), w.words + w.extra_words + 64);
         sim.set_engine_mode(engine);
         let t0 = std::time::Instant::now();
         let stats = (w.launch)(&mut sim);
@@ -218,6 +335,10 @@ pub fn run_sized(dev: &DeviceSpec, workloads: &[Workload], repeats: usize) -> (V
         wall_serial_ms: total_serial * 1e3,
         wall_parallel_ms: total_parallel * 1e3,
         wall_gain_x: if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 },
+        wall_gain_staged_x: rows
+            .iter()
+            .find(|r| r.workload.starts_with("3-stage"))
+            .map_or(0.0, |r| r.wall_gain_x),
         bit_identical: true,
     };
     (rows, summary)
@@ -246,14 +367,15 @@ pub fn render(rows: &[Row], summary: &Summary) -> String {
     );
     out.push_str(&format!(
         "\n{} worker threads on {} host cores (best of {} runs): \
-         {:.1} ms serial vs {:.1} ms parallel = {:.2}x wall gain; \
-         results bit-identical: {}\n",
+         {:.1} ms serial vs {:.1} ms parallel = {:.2}x wall gain \
+         ({:.2}x on the 3-stage pipeline); results bit-identical: {}\n",
         summary.threads,
         summary.host_cores,
         summary.repeats,
         summary.wall_serial_ms,
         summary.wall_parallel_ms,
         summary.wall_gain_x,
+        summary.wall_gain_staged_x,
         summary.bit_identical,
     ));
     out
@@ -273,19 +395,28 @@ mod tests {
             bs_workload(8, 8, 8),
             p010_workload(4, 6, 5),
             coprime_workload(9, 8),
+            p100_workload(1, 6, 4, 3, Variant100::SungWorkGroup),
+            p100_workload(1, 6, 4, 3, Variant100::WarpLocalTile),
+            p100_workload(1, 6, 4, 4, Variant100::WarpRegTile),
+            staged_workload(96, 72),
         ];
         let (rows, summary) = run_sized(&dev, &tiny, 1);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 7);
         for r in &rows {
             assert!(r.gbps > 0.0, "{}: simulated throughput must be positive", r.workload);
             assert!(r.wall_serial_ms > 0.0 && r.wall_parallel_ms > 0.0);
-            assert!(r.num_wgs > 0);
+            assert!(r.num_wgs > 0, "{}: zero work-groups", r.workload);
         }
         assert!(summary.bit_identical);
         assert!(summary.threads >= 1);
         assert!(summary.wall_gain_x > 0.0);
+        assert!(
+            summary.wall_gain_staged_x > 0.0,
+            "the staged row must feed the staged summary gain"
+        );
         let text = render(&rows, &summary);
         assert!(text.contains("bit-identical: true"), "{text}");
+        assert!(text.contains("3-stage pipeline"), "{text}");
     }
 
     #[test]
@@ -303,6 +434,10 @@ mod tests {
         assert!(
             wall_paths.contains(&"1/wall_gain_x".to_string()),
             "summary wall gain must be wall-gated: {wall_paths:?}"
+        );
+        assert!(
+            wall_paths.contains(&"1/wall_gain_staged_x".to_string()),
+            "staged wall gain must be wall-gated too: {wall_paths:?}"
         );
     }
 }

@@ -27,9 +27,16 @@
 //! execute their work-groups concurrently on a scoped host-thread pool and
 //! merge per-WG results in canonical order, producing memory images, stats,
 //! timings, and traces *bit-identical* to the serial round-robin path (see
-//! DESIGN.md §12 for the determinism argument). [`Coordination::CrossWg`]
-//! kernels and any launch under a custom scheduler, fault source, or
-//! watchdog always stay on the serial engine. An optional
+//! DESIGN.md §12 for the determinism argument). Kernels that declare
+//! [`Coordination::CrossWgClaims`] — cross-WG state limited to commutative
+//! claim flags with schedule-dependence confined to claim outcomes — run
+//! through a two-phase scheme: a cost-free serial **control replay** first
+//! resolves every claim in canonical round-robin order, then the pooled
+//! engine re-executes the work-groups concurrently against the recorded
+//! outcome scripts, again bit-identical to serial (DESIGN.md §17).
+//! [`Coordination::CrossWg`] kernels and any launch under a custom
+//! scheduler, fault source, or watchdog always stay on the serial engine.
+//! An optional
 //! [`Watchdog`](crate::sched::Watchdog) bounds per-warp and total slices,
 //! converting livelocks and lost-wakeup hangs into
 //! [`LaunchError::Stalled`].
@@ -84,11 +91,33 @@ pub enum Coordination {
     /// grid-stride over disjoint rows, local-memory-only flags). Eligible
     /// for concurrent execution with bit-identical results.
     WgLocal,
-    /// Work-groups coordinate through global memory (e.g. the `100!`
-    /// kernel's global `atom_or` cycle claims). Always simulated serially so
-    /// the cross-WG interleaving stays the canonical round-robin schedule.
+    /// Work-groups coordinate through global memory in an arbitrary way.
+    /// Always simulated serially so the cross-WG interleaving stays the
+    /// canonical round-robin schedule.
     #[default]
     CrossWg,
+    /// Deterministically mergeable cross-WG state: the only global words
+    /// work-groups share are **claim-flag words** touched exclusively
+    /// through [`WarpCtx::claim_check`] / [`WarpCtx::claim_acquire`]
+    /// (monotone, commutative, idempotent `atom_or` bits), and the kernel
+    /// upholds the replay contract:
+    ///
+    /// * every data position is written at most once per launch, only by
+    ///   the unique winner of that position's claim;
+    /// * every functional data read observes the pre-launch memory image
+    ///   (claim flags guard chain starts, so a loser never reads a word a
+    ///   winner rewrote);
+    /// * control flow depends on global memory *only* through the boolean
+    ///   outcomes of the claim ops;
+    /// * [`Kernel::control_step`] is implemented as a cost-free twin of
+    ///   [`Kernel::step`] taking the identical control path.
+    ///
+    /// Under [`EngineMode::Parallel`] such a kernel runs in two phases: a
+    /// serial control replay resolves every claim in canonical round-robin
+    /// order and records per-warp outcome scripts, then work-groups execute
+    /// concurrently with outcomes (and functional data reads) replayed from
+    /// the oracle — bit-identical to the serial engine (DESIGN.md §17).
+    CrossWgClaims,
 }
 
 /// How the host executes one launch's work-groups.
@@ -97,10 +126,12 @@ pub enum EngineMode {
     /// The historic engine: one host thread, round-robin interleaving.
     #[default]
     Serial,
-    /// Run independent ([`Coordination::WgLocal`]) work-groups concurrently
-    /// on a scoped host-thread pool; results are bit-identical to
-    /// [`EngineMode::Serial`]. Ineligible launches (CrossWg kernels, custom
-    /// scheduler, fault source, or watchdog) silently fall back to serial.
+    /// Run eligible work-groups concurrently on a scoped host-thread pool —
+    /// [`Coordination::WgLocal`] kernels directly, and
+    /// [`Coordination::CrossWgClaims`] kernels via the two-phase control
+    /// replay; results are bit-identical to [`EngineMode::Serial`].
+    /// Ineligible launches (plain CrossWg kernels, custom scheduler, fault
+    /// source, or watchdog) silently fall back to serial.
     Parallel {
         /// Worker threads; `0` = auto (`RAYON_NUM_THREADS`, else the
         /// machine's available parallelism).
@@ -138,12 +169,20 @@ impl EngineMode {
 /// Worker-thread count when [`EngineMode::Parallel`] is asked to auto-size:
 /// `RAYON_NUM_THREADS` (the conventional pin, honoured so CI wall-clock
 /// tolerances are reproducible), else the machine's available parallelism.
+/// Resolved once per process: `resolved_threads()` sits on the launch path,
+/// and both the env lookup and `available_parallelism()` are syscalls — the
+/// pin must be set before the first parallel launch to take effect.
 fn auto_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    })
 }
 
 /// A simulated kernel.
@@ -175,6 +214,17 @@ pub trait Kernel: Sync {
     fn init(&self, wg_id: usize, warp_id: usize) -> Self::State;
     /// Advance the warp one scheduling slice.
     fn step(&self, state: &mut Self::State, ctx: &mut WarpCtx<'_>) -> Step;
+    /// Cost-free control twin of [`Kernel::step`] for
+    /// [`Coordination::CrossWgClaims`] kernels: must make the *same*
+    /// control-flow decisions and the same claim-op sequence as `step`, but
+    /// performs no data movement, no local-memory traffic, and no cost
+    /// accounting. Driven by the serial control-replay phase of the parallel
+    /// engine; the claim ops on [`ControlCtx`] resolve against live memory
+    /// and record each boolean outcome for the concurrent replay phase.
+    fn control_step(&self, state: &mut Self::State, ctx: &mut ControlCtx<'_>) -> Step {
+        let _ = (state, ctx);
+        unimplemented!("control_step is required for Coordination::CrossWgClaims kernels")
+    }
 }
 
 /// Why a launch failed.
@@ -273,6 +323,91 @@ impl Counters {
     }
 }
 
+/// Per-warp claim-outcome oracle handed into a replayed scheduling slice:
+/// the warp's scripted claim outcomes from the serial control-replay phase,
+/// its cursor into that script, and the pre-launch memory image functional
+/// data reads must observe.
+struct ClaimReplay<'a> {
+    script: &'a [bool],
+    cursor: &'a mut usize,
+    snapshot: &'a [u32],
+}
+
+/// The serial control-replay phase's record of one launch: everything the
+/// concurrent replay phase needs to reproduce the serial engine bit-exactly.
+struct MergeableOracle {
+    /// Exact global round count of the serial engine.
+    rounds: u64,
+    /// Exact swap-remove retirement order of the serial engine (wg ids).
+    retire_order: Vec<usize>,
+    /// Claim-op outcomes per warp, indexed `wg_id × warps_per_wg + warp_id`.
+    scripts: Vec<Vec<bool>>,
+    /// Total scheduling slices the serial engine executes — the replay must
+    /// land on exactly this count or the twin diverged (checked, loudly).
+    total_steps: u64,
+}
+
+/// Oracle plus the pre-launch global-memory image (taken before the control
+/// replay mutates the claim-flag words).
+struct MergeablePlan {
+    oracle: MergeableOracle,
+    snapshot: Vec<u32>,
+}
+
+/// One work-group's slice of a [`MergeablePlan`] handed to the isolated
+/// runner.
+struct WgReplay<'a> {
+    snapshot: &'a [u32],
+    /// This WG's outcome scripts, indexed by warp.
+    scripts: &'a [Vec<bool>],
+}
+
+/// Context handed to [`Kernel::control_step`] during the serial
+/// control-replay phase: launch geometry plus the claim ops, which resolve
+/// against live memory (canonical round-robin order, exactly like the serial
+/// engine) and append each boolean outcome to the warp's script.
+pub struct ControlCtx<'a> {
+    /// Work-group id.
+    pub wg_id: usize,
+    /// Warp index within the work-group.
+    pub warp_id: usize,
+    /// Active lanes in this warp (= SIMD width except a ragged tail warp).
+    pub lanes: usize,
+    /// Work-items per work-group (for grid-stride loops).
+    pub wg_size: usize,
+    /// Number of work-groups in the launch.
+    pub num_wgs: usize,
+    dev: &'a DeviceSpec,
+    global: &'a GlobalMem,
+    script: &'a mut Vec<bool>,
+}
+
+impl ControlCtx<'_> {
+    /// The device being simulated.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        self.dev
+    }
+
+    /// Control twin of [`WarpCtx::claim_check`]: is flag `bit` set? Resolves
+    /// against live memory and records the outcome.
+    pub fn claim_check(&mut self, buf: Buffer, bit: usize) -> bool {
+        let set = (self.global.read(buf.addr(bit / 32)) >> (bit % 32)) & 1 == 1;
+        self.script.push(set);
+        set
+    }
+
+    /// Control twin of [`WarpCtx::claim_acquire`]: `atom_or` flag `bit`, did
+    /// this warp win it? Resolves against live memory and records the
+    /// outcome.
+    pub fn claim_acquire(&mut self, buf: Buffer, bit: usize) -> bool {
+        let old = self.global.atomic_or(buf.addr(bit / 32), 1u32 << (bit % 32));
+        let won = (old >> (bit % 32)) & 1 == 0;
+        self.script.push(won);
+        won
+    }
+}
+
 /// Per-warp-instruction context handed to [`Kernel::step`]: functional
 /// memory access plus cost accounting for one warp.
 pub struct WarpCtx<'a> {
@@ -292,6 +427,7 @@ pub struct WarpCtx<'a> {
     counters: &'a mut Counters,
     chain_cycles: &'a mut f64,
     fault: Option<&'a dyn FaultSource>,
+    replay: Option<ClaimReplay<'a>>,
 }
 
 /// Scratch for distinct-count computations (≤ 64 entries, stack only).
@@ -345,6 +481,53 @@ impl WarpCtx<'_> {
         self.counters.claim_retries += 1;
     }
 
+    /// Is claim flag `bit` (a bit index into `buf`'s packed flag words)
+    /// already set? Costs exactly a one-lane [`WarpCtx::global_read`] of the
+    /// flag word. [`Coordination::CrossWgClaims`] kernels **must** route
+    /// every flag probe through this op: under the concurrent replay engine
+    /// the outcome comes from the control-replay script (the flag word's
+    /// live value is schedule-dependent there), while the cost accounting
+    /// stays identical.
+    pub fn claim_check(&mut self, buf: Buffer, bit: usize) -> bool {
+        let addrs = LaneAddrs::from_fn(1, |_| Some(bit / 32));
+        let old = self.global_read(buf, &addrs);
+        if self.replay.is_some() {
+            return self.next_scripted();
+        }
+        (old.get(0) >> (bit % 32)) & 1 == 1
+    }
+
+    /// `atom_or` claim flag `bit` in `buf`; `true` iff this warp set it
+    /// first (won the claim). Costs exactly a one-lane
+    /// [`WarpCtx::global_atomic_or`]. Under the concurrent replay engine the
+    /// `atom_or` is still applied — it is commutative and idempotent, so the
+    /// racing replay threads converge on the serial flag image — but the
+    /// *outcome* comes from the control-replay script.
+    pub fn claim_acquire(&mut self, buf: Buffer, bit: usize) -> bool {
+        let claim = LaneWrites::from_fn(1, |_| Some((bit / 32, 1u32 << (bit % 32))));
+        let old = self.global_atomic_or(buf, &claim);
+        if self.replay.is_some() {
+            return self.next_scripted();
+        }
+        (old.get(0) >> (bit % 32)) & 1 == 0
+    }
+
+    /// Pop the next scripted claim outcome. A script overrun means the
+    /// kernel's `control_step` twin diverged from `step` — a contract bug
+    /// that must never be absorbed silently.
+    fn next_scripted(&mut self) -> bool {
+        let wg = self.wg_id;
+        let warp = self.warp_id;
+        let r = self.replay.as_mut().expect("scripted claim outside replay");
+        let i = *r.cursor;
+        *r.cursor += 1;
+        assert!(
+            i < r.script.len(),
+            "claim-outcome script overrun in wg {wg} warp {warp}: control_step diverged from step"
+        );
+        r.script[i]
+    }
+
     /// Account the cost of an *intra-step* work-group barrier without
     /// yielding to the scheduler. Used by kernels that model a cooperative
     /// multi-warp operation inside one scheduling slice (e.g. the Sung
@@ -384,7 +567,12 @@ impl WarpCtx<'_> {
                 self.counters.useful_bytes += (abs.active() * 4) as f64;
                 total_t += t;
             }
-            out.push(abs.map(|a| a.map_or(0, |addr| self.global.read(addr))));
+            out.push(match &self.replay {
+                // Replayed slice: functional data reads observe the
+                // pre-launch image (see the note in `global_read`).
+                Some(r) => abs.map(|a| a.map_or(0, |addr| r.snapshot[addr])),
+                None => abs.map(|a| a.map_or(0, |addr| self.global.read(addr))),
+            });
         }
         if total_t > 0 {
             let rounds = (total_t as f64 / self.dev.mlp_transactions).ceil();
@@ -447,6 +635,16 @@ impl WarpCtx<'_> {
             self.counters.dram_bytes += (t * self.dev.transaction_bytes) as f64;
             self.counters.useful_bytes += (abs.active() * 4) as f64;
             *self.chain_cycles += self.dev.lat_global + (t as f64 - 1.0) * self.dev.lat_replay;
+        }
+        // Replayed slice: functional data reads observe the pre-launch
+        // image — the CrossWgClaims contract guarantees that is exactly
+        // what the serial engine's read would have returned (every data
+        // position is written at most once, by the claim winner, and
+        // chain-start reads are flag-guarded; flag words are only probed
+        // through the claim ops, never read functionally here).
+        if let Some(r) = &self.replay {
+            let snap = r.snapshot;
+            return abs.map(|a| a.map_or(0, |addr| snap[addr]));
         }
         // Fully coalesced warps (every lane active, consecutive addresses —
         // the common case for tile row streaming) load as one slice
@@ -814,8 +1012,9 @@ pub struct LaunchConfig<'a> {
     /// [`LaunchError::Stalled`].
     pub watchdog: Option<Watchdog>,
     /// Host execution engine. [`EngineMode::Parallel`] only takes effect for
-    /// [`Coordination::WgLocal`] kernels launched with no custom scheduler,
-    /// fault source, or watchdog; everything else falls back to serial.
+    /// [`Coordination::WgLocal`] and [`Coordination::CrossWgClaims`] kernels
+    /// launched with no custom scheduler, fault source, or watchdog;
+    /// everything else falls back to serial.
     pub engine: EngineMode,
 }
 
@@ -861,29 +1060,58 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
     let warps_per_wg = dev.warps_per_wg(grid.wg_size);
     let resident_cap = (occ.wgs_per_sm * dev.num_sms).max(1);
 
-    // Parallel work-group engine: only for kernels that declare their
-    // work-groups independent, and only for plain launches (any scheduler,
-    // fault source, or watchdog pins the launch to the serial engine so the
-    // cross-WG interleaving those features observe stays canonical).
+    // Parallel work-group engine: only for kernels whose coordination class
+    // admits deterministic merging, and only for plain launches (any
+    // scheduler, fault source, or watchdog pins the launch to the serial
+    // engine so the cross-WG interleaving those features observe stays
+    // canonical).
     if matches!(cfg.engine, EngineMode::Parallel { .. })
-        && kernel.coordination() == Coordination::WgLocal
         && cfg.sched.is_none()
         && fault.is_none()
         && watchdog.is_none()
     {
         let threads = cfg.engine.resolved_threads();
-        return Ok(launch_parallel(
-            dev,
-            global,
-            kernel,
-            grid,
-            occ,
-            warps_per_wg,
-            resident_cap,
-            threads,
-            rec,
-            t0_s,
-        ));
+        match kernel.coordination() {
+            // Independent work-groups: run them concurrently as-is.
+            Coordination::WgLocal => {
+                return Ok(launch_parallel(
+                    dev,
+                    global,
+                    kernel,
+                    grid,
+                    occ,
+                    warps_per_wg,
+                    resident_cap,
+                    threads,
+                    rec,
+                    t0_s,
+                    None,
+                ));
+            }
+            // Claim-coordinated work-groups: snapshot the pre-launch image,
+            // resolve every claim serially (cost-free control replay), then
+            // run the work-groups concurrently against the outcome scripts.
+            Coordination::CrossWgClaims => {
+                let snapshot = global.snapshot_words();
+                let oracle = control_replay(dev, global, kernel, grid, warps_per_wg, resident_cap);
+                let plan = MergeablePlan { oracle, snapshot };
+                return Ok(launch_parallel(
+                    dev,
+                    global,
+                    kernel,
+                    grid,
+                    occ,
+                    warps_per_wg,
+                    resident_cap,
+                    threads,
+                    rec,
+                    t0_s,
+                    Some(&plan),
+                ));
+            }
+            // Arbitrary cross-WG coordination: serial engine below.
+            Coordination::CrossWg => {}
+        }
     }
 
     let mut counters = Counters::default();
@@ -954,7 +1182,7 @@ pub fn launch_configured<K: Kernel, R: Recorder>(
                 }
             }
             let touch_before = counters.local_atomics + counters.global_atomics + counters.barriers;
-            let step = exec_slice(dev, global, kernel, grid, fault, wg, w, counters);
+            let step = exec_slice(dev, global, kernel, grid, fault, wg, w, counters, None);
             let touched = step == Step::Barrier
                 || counters.local_atomics + counters.global_atomics + counters.barriers
                     != touch_before;
@@ -1098,6 +1326,7 @@ fn exec_slice<K: Kernel>(
     wg: &mut WgRt<K::State>,
     w: usize,
     counters: &mut Counters,
+    replay: Option<ClaimReplay<'_>>,
 ) -> Step {
     let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
     let warp = &mut wg.warps[w];
@@ -1113,6 +1342,7 @@ fn exec_slice<K: Kernel>(
         counters,
         chain_cycles: &mut warp.chain_cycles,
         fault,
+        replay,
     };
     let step = kernel.step(&mut warp.state, &mut ctx);
     match step {
@@ -1161,6 +1391,104 @@ fn reset_wg<K: Kernel>(
     }));
 }
 
+/// The serial **control replay** (phase one of the two-phase
+/// [`Coordination::CrossWgClaims`] engine): replicate the serial fast path's
+/// loop skeleton exactly — residency-capped admission, each live warp once
+/// per round in canonical (work-group slot, warp index) order, per-WG
+/// barrier release, swap-remove retirement — but drive
+/// [`Kernel::control_step`] instead of [`Kernel::step`]: no data movement,
+/// no local memory, no cost accounting. The claim ops resolve against live
+/// memory in this canonical order, so the recorded per-warp outcome scripts
+/// are exactly the outcomes the serial engine would have produced; the
+/// claim-flag ORs it applies are re-applied idempotently by the replay
+/// phase, so no memory restore is needed.
+fn control_replay<K: Kernel>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    grid: Grid,
+    warps_per_wg: usize,
+    resident_cap: usize,
+) -> MergeableOracle {
+    struct CtrlWarp<S> {
+        state: S,
+        status: WarpStatus,
+    }
+    struct CtrlWg<S> {
+        wg_id: usize,
+        warps: Vec<CtrlWarp<S>>,
+    }
+    let num_wgs = grid.num_wgs;
+    let mut scripts: Vec<Vec<bool>> = Vec::new();
+    scripts.resize_with(num_wgs * warps_per_wg, Vec::new);
+    let make_wg = |wg_id: usize| CtrlWg {
+        wg_id,
+        warps: (0..warps_per_wg)
+            .map(|w| CtrlWarp { state: kernel.init(wg_id, w), status: WarpStatus::Running })
+            .collect(),
+    };
+    let mut next_wg = 0usize;
+    let mut active: Vec<CtrlWg<K::State>> = Vec::with_capacity(resident_cap.min(num_wgs));
+    while next_wg < num_wgs && active.len() < resident_cap {
+        active.push(make_wg(next_wg));
+        next_wg += 1;
+    }
+    let mut rounds = 0u64;
+    let mut total_steps = 0u64;
+    let mut retire_order: Vec<usize> = Vec::with_capacity(num_wgs);
+    while !active.is_empty() {
+        rounds += 1;
+        for wg in active.iter_mut() {
+            for w in 0..wg.warps.len() {
+                if wg.warps[w].status != WarpStatus::Running {
+                    continue;
+                }
+                total_steps += 1;
+                let lanes = (grid.wg_size - w * dev.simd_width).min(dev.simd_width);
+                let mut ctx = ControlCtx {
+                    wg_id: wg.wg_id,
+                    warp_id: w,
+                    lanes,
+                    wg_size: grid.wg_size,
+                    num_wgs,
+                    dev,
+                    global,
+                    script: &mut scripts[wg.wg_id * warps_per_wg + w],
+                };
+                match kernel.control_step(&mut wg.warps[w].state, &mut ctx) {
+                    Step::Continue => {}
+                    Step::Barrier => wg.warps[w].status = WarpStatus::AtBarrier,
+                    Step::Done => wg.warps[w].status = WarpStatus::Done,
+                }
+            }
+            // Cost-free barrier release, same condition as `release_wg`.
+            if wg.warps.iter().all(|w| w.status != WarpStatus::Running) {
+                for w in wg.warps.iter_mut() {
+                    if w.status == WarpStatus::AtBarrier {
+                        w.status = WarpStatus::Running;
+                    }
+                }
+            }
+        }
+        // Retire finished WGs, admit pending ones — swap-remove plus
+        // push-to-back, the exact serial retirement order.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].warps.iter().all(|w| w.status == WarpStatus::Done) {
+                let retired = active.swap_remove(i);
+                retire_order.push(retired.wg_id);
+                if next_wg < num_wgs {
+                    active.push(make_wg(next_wg));
+                    next_wg += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    MergeableOracle { rounds, retire_order, scripts, total_steps }
+}
+
 /// What one isolated work-group run reports back to the merge step.
 struct WgOut {
     /// Scheduling rounds this WG needed from admission to retirement (≥ 1).
@@ -1180,6 +1508,13 @@ struct WgOut {
 /// and releases its barriers per round, and nothing a *different* WG does in
 /// between can be observed (no shared global words, private local memory,
 /// and the global `warp_steps` count is invisible to kernels).
+///
+/// With `replay` (a [`Coordination::CrossWgClaims`] launch) the same
+/// argument holds because the only cross-WG observables — claim outcomes
+/// and functional data reads — are replayed from the oracle script and the
+/// pre-launch snapshot; per-warp cursors are checked against the script
+/// lengths on retirement, so a `control_step`/`step` divergence fails loud.
+#[allow(clippy::too_many_arguments)]
 fn run_wg_isolated<K: Kernel>(
     dev: &DeviceSpec,
     global: &GlobalMem,
@@ -1188,21 +1523,40 @@ fn run_wg_isolated<K: Kernel>(
     warps_per_wg: usize,
     wg_id: usize,
     scratch: &mut WgRt<K::State>,
+    replay: Option<&WgReplay<'_>>,
 ) -> WgOut {
     reset_wg(kernel, dev, warps_per_wg, scratch, wg_id);
     let mut counters = Counters::default();
+    let mut cursors = vec![0usize; if replay.is_some() { warps_per_wg } else { 0 }];
     let mut rounds = 0u64;
     while scratch.warps.iter().any(|w| w.status != WarpStatus::Done) {
         rounds += 1;
+        // Index loop: `cursors[w]` is borrowed mutably per-iteration next
+        // to `scratch.warps[w]`, which an iterator chain cannot express.
+        #[allow(clippy::needless_range_loop)]
         for w in 0..warps_per_wg {
             if scratch.warps[w].status != WarpStatus::Running {
                 continue;
             }
             counters.warp_steps += 1;
             scratch.warps[w].steps += 1;
-            exec_slice(dev, global, kernel, grid, None, scratch, w, &mut counters);
+            let rep = replay.map(|r| ClaimReplay {
+                script: &r.scripts[w],
+                cursor: &mut cursors[w],
+                snapshot: r.snapshot,
+            });
+            exec_slice(dev, global, kernel, grid, None, scratch, w, &mut counters, rep);
         }
         release_wg(dev, scratch, &mut counters);
+    }
+    if let Some(r) = replay {
+        for (w, &cur) in cursors.iter().enumerate() {
+            assert_eq!(
+                cur,
+                r.scripts[w].len(),
+                "claim script underrun in wg {wg_id} warp {w}: control_step diverged from step"
+            );
+        }
     }
     WgOut {
         rounds,
@@ -1211,88 +1565,10 @@ fn run_wg_isolated<K: Kernel>(
     }
 }
 
-/// The parallel work-group engine: run every work-group in isolation on a
-/// scoped host-thread pool, then deterministically reconstruct exactly what
-/// the serial round-robin engine would have produced:
-///
-/// * **Memory image** — WgLocal work-groups write disjoint global words, so
-///   execution order cannot change the final image.
-/// * **Counters** — merged from per-WG subtotals in canonical wg order; all
-///   f64 counter increments are integer-valued (see [`Counters::merge`]), so
-///   the regrouped sums are bit-exact.
-/// * **Round count and retirement order** — replayed over residency *slots*:
-///   each WG occupies a slot for its isolated round count `R_g` (its
-///   per-round behaviour depends only on itself), reproducing the serial
-///   engine's `rounds`, its swap-remove retire order (which orders
-///   `total_chain_cycles` accumulation and warp-span sampling), and its
-///   sequential admissions.
-#[allow(clippy::too_many_arguments)]
-fn launch_parallel<K: Kernel, R: Recorder>(
-    dev: &DeviceSpec,
-    global: &GlobalMem,
-    kernel: &K,
-    grid: Grid,
-    occ: Occupancy,
-    warps_per_wg: usize,
-    resident_cap: usize,
-    threads: usize,
-    rec: &R,
-    t0_s: f64,
-) -> KernelStats {
-    let num_wgs = grid.num_wgs;
-    let empty_scratch = || WgRt::<K::State> { wg_id: 0, warps: Vec::new(), local: LocalMem::new(0) };
-    let mut outs: Vec<Option<WgOut>> = Vec::new();
-    outs.resize_with(num_wgs, || None);
-    if threads <= 1 || num_wgs == 1 {
-        let mut scratch = empty_scratch();
-        for (g, slot) in outs.iter_mut().enumerate() {
-            *slot = Some(run_wg_isolated(dev, global, kernel, grid, warps_per_wg, g, &mut scratch));
-        }
-    } else {
-        // Engage atomic RMWs for the duration of multi-threaded stepping.
-        global.set_parallel(true);
-        let chunk = num_wgs.div_ceil(threads * 8).max(1);
-        let mut work: Vec<(usize, &mut [Option<WgOut>])> = Vec::new();
-        for (ci, slice) in outs.chunks_mut(chunk).enumerate() {
-            work.push((ci * chunk, slice));
-        }
-        work.reverse(); // workers pop from the back → grid order first
-        let work = Mutex::new(work);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
-                    let mut scratch = empty_scratch();
-                    loop {
-                        let item = work.lock().expect("sim worker poisoned").pop();
-                        let Some((start, slice)) = item else { break };
-                        for (off, slot) in slice.iter_mut().enumerate() {
-                            *slot = Some(run_wg_isolated(
-                                dev,
-                                global,
-                                kernel,
-                                grid,
-                                warps_per_wg,
-                                start + off,
-                                &mut scratch,
-                            ));
-                        }
-                    }
-                });
-            }
-        });
-        global.set_parallel(false);
-    }
-    let outs: Vec<WgOut> = outs.into_iter().map(|o| o.expect("every WG ran")).collect();
-
-    // Canonical-order counter merge.
-    let mut counters = Counters::default();
-    for o in &outs {
-        debug_assert!(o.rounds >= 1);
-        counters.merge(&o.counters);
-    }
-
-    // Slot replay: reconstruct the serial engine's global round count and
-    // swap-remove retirement order without re-executing anything.
+/// Slot replay for [`Coordination::WgLocal`] launches: reconstruct the
+/// serial engine's global round count and swap-remove retirement order from
+/// the per-WG isolated round counts without re-executing anything.
+fn slot_replay(outs: &[WgOut], resident_cap: usize, num_wgs: usize) -> (u64, Vec<usize>) {
     let initial = resident_cap.min(num_wgs);
     let mut slots: Vec<usize> = (0..initial).collect();
     let mut remaining: Vec<u64> = slots.iter().map(|&g| outs[g].rounds).collect();
@@ -1320,6 +1596,127 @@ fn launch_parallel<K: Kernel, R: Recorder>(
             }
         }
     }
+    (rounds, retire_order)
+}
+
+/// The parallel work-group engine: run every work-group in isolation on a
+/// scoped host-thread pool, then deterministically reconstruct exactly what
+/// the serial round-robin engine would have produced:
+///
+/// * **Memory image** — WgLocal work-groups write disjoint global words, so
+///   execution order cannot change the final image. CrossWgClaims
+///   work-groups write each data position at most once (claim winners are
+///   fixed by the oracle) and their flag-word `atom_or`s are commutative
+///   and idempotent, so again order cannot change the image.
+/// * **Counters** — merged from per-WG subtotals in canonical wg order; all
+///   f64 counter increments are integer-valued (see [`Counters::merge`]), so
+///   the regrouped sums are bit-exact.
+/// * **Round count and retirement order** — for WgLocal, replayed over
+///   residency *slots*: each WG occupies a slot for its isolated round
+///   count `R_g` (its per-round behaviour depends only on itself),
+///   reproducing the serial engine's `rounds`, its swap-remove retire order
+///   (which orders `total_chain_cycles` accumulation and warp-span
+///   sampling), and its sequential admissions. For CrossWgClaims both come
+///   straight from the control replay, which ran the serial skeleton.
+#[allow(clippy::too_many_arguments)]
+fn launch_parallel<K: Kernel, R: Recorder>(
+    dev: &DeviceSpec,
+    global: &GlobalMem,
+    kernel: &K,
+    grid: Grid,
+    occ: Occupancy,
+    warps_per_wg: usize,
+    resident_cap: usize,
+    threads: usize,
+    rec: &R,
+    t0_s: f64,
+    mergeable: Option<&MergeablePlan>,
+) -> KernelStats {
+    let num_wgs = grid.num_wgs;
+    let empty_scratch = || WgRt::<K::State> { wg_id: 0, warps: Vec::new(), local: LocalMem::new(0) };
+    let wg_replay = |g: usize| {
+        mergeable.map(|p| WgReplay {
+            snapshot: &p.snapshot,
+            scripts: &p.oracle.scripts[g * warps_per_wg..(g + 1) * warps_per_wg],
+        })
+    };
+    let mut outs: Vec<Option<WgOut>> = Vec::new();
+    outs.resize_with(num_wgs, || None);
+    if threads <= 1 || num_wgs == 1 {
+        let mut scratch = empty_scratch();
+        for (g, slot) in outs.iter_mut().enumerate() {
+            *slot = Some(run_wg_isolated(
+                dev,
+                global,
+                kernel,
+                grid,
+                warps_per_wg,
+                g,
+                &mut scratch,
+                wg_replay(g).as_ref(),
+            ));
+        }
+    } else {
+        // Engage atomic RMWs for the duration of multi-threaded stepping
+        // (CrossWgClaims replays genuinely race on the flag words — the
+        // re-applied `fetch_or`s are what keeps the final flag image
+        // identical to serial).
+        global.set_parallel(true);
+        let chunk = num_wgs.div_ceil(threads * 8).max(1);
+        let mut work: Vec<(usize, &mut [Option<WgOut>])> = Vec::new();
+        for (ci, slice) in outs.chunks_mut(chunk).enumerate() {
+            work.push((ci * chunk, slice));
+        }
+        work.reverse(); // workers pop from the back → grid order first
+        let work = Mutex::new(work);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut scratch = empty_scratch();
+                    loop {
+                        let item = work.lock().expect("sim worker poisoned").pop();
+                        let Some((start, slice)) = item else { break };
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(run_wg_isolated(
+                                dev,
+                                global,
+                                kernel,
+                                grid,
+                                warps_per_wg,
+                                start + off,
+                                &mut scratch,
+                                wg_replay(start + off).as_ref(),
+                            ));
+                        }
+                    }
+                });
+            }
+        });
+        global.set_parallel(false);
+    }
+    let outs: Vec<WgOut> = outs.into_iter().map(|o| o.expect("every WG ran")).collect();
+
+    // Canonical-order counter merge.
+    let mut counters = Counters::default();
+    for o in &outs {
+        debug_assert!(o.rounds >= 1);
+        counters.merge(&o.counters);
+    }
+
+    let (rounds, retire_order) = match mergeable {
+        // The control replay ran the exact serial loop skeleton, so its
+        // round count and retirement order are the serial engine's; the
+        // total-step cross-check catches any control/step divergence that
+        // happened to keep every per-warp script length intact.
+        Some(p) => {
+            assert_eq!(
+                counters.warp_steps, p.oracle.total_steps,
+                "replayed warp steps diverged from the control replay"
+            );
+            (p.oracle.rounds, p.oracle.retire_order.clone())
+        }
+        None => slot_replay(&outs, resident_cap, num_wgs),
+    };
 
     // Chain totals and span sampling in exact serial retirement order, so
     // even non-integer chain cycles accumulate bit-identically.

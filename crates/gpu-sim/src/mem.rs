@@ -70,8 +70,11 @@ impl GlobalMem {
     ///
     /// The parallel engine sets this for the duration of a multi-threaded
     /// launch and clears it before returning. Relaxed ordering everywhere is
-    /// sufficient: `WgLocal` kernels never race on a word by contract, and
-    /// `std::thread::scope`'s join edge publishes all worker writes.
+    /// sufficient: `WgLocal` kernels never race on a word by contract,
+    /// `CrossWgClaims` replays race only on claim-flag words through the
+    /// commutative `fetch_or` below (outcomes come from the replay script,
+    /// never from the racy return value), and `std::thread::scope`'s join
+    /// edge publishes all worker writes.
     pub fn set_parallel(&self, on: bool) {
         self.parallel.store(on, Ordering::Release);
     }
@@ -126,6 +129,16 @@ impl GlobalMem {
         for c in &self.words[base..base + len] {
             c.store(v, Ordering::Relaxed);
         }
+    }
+
+    /// Copy the entire memory image into a plain word vector — the
+    /// pre-launch snapshot the parallel engine's claim-replay phase serves
+    /// functional data reads from. Serial-mode only (the caller takes it
+    /// before engaging the worker pool), so relaxed loads see every prior
+    /// write.
+    #[must_use]
+    pub fn snapshot_words(&self) -> Vec<u32> {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
     }
 
     /// Atomic OR; returns the previous value (the GPU `atom_or` primitive

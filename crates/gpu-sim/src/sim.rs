@@ -154,9 +154,10 @@ impl Sim {
     }
 
     /// Select the host execution engine for subsequent launches. Parallel
-    /// mode only engages for [`crate::exec::Coordination::WgLocal`] kernels
-    /// launched round-robin with no fault source or watchdog; everything
-    /// else falls back to serial, and results are bit-identical either way.
+    /// mode only engages for [`crate::exec::Coordination::WgLocal`] and
+    /// [`crate::exec::Coordination::CrossWgClaims`] kernels launched
+    /// round-robin with no fault source or watchdog; everything else falls
+    /// back to serial, and results are bit-identical either way.
     pub fn set_engine_mode(&mut self, mode: EngineMode) {
         self.engine = mode;
     }

@@ -29,7 +29,7 @@
 //! whole-matrix single-stage transposition (the ≈1.5 GB/s baseline of §4.1).
 
 use crate::opts::{ClaimBackoff, Variant100};
-use gpu_sim::{Buffer, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
+use gpu_sim::{Buffer, ControlCtx, Coordination, Grid, Kernel, LaneAddrs, LaneWrites, Step, WarpCtx};
 use ipt_core::TransposePerm;
 
 /// PTTWAC 100!-family kernel.
@@ -148,11 +148,16 @@ impl Kernel for Pttwac100 {
         }
     }
 
-    // Chains are claimed through `atom_or` flags in *global* memory: any
-    // work-group may race any other for a cycle head, so execution must keep
-    // the serial cross-work-group interleaving.
+    // Chains are claimed through `atom_or` flags in *global* memory — but
+    // that is the *only* cross-work-group state: every super-element is
+    // moved exactly once (by its unique claim winner), chain-start reads
+    // are flag-guarded, and control flow depends on global memory only
+    // through the claim outcomes. That is precisely the
+    // deterministically-mergeable contract, so the parallel engine may run
+    // this kernel through the two-phase control replay (`control_step`
+    // below is the cost-free twin).
     fn coordination(&self) -> Coordination {
-        Coordination::CrossWg
+        Coordination::CrossWgClaims
     }
 
     fn regs_per_thread(&self) -> usize {
@@ -229,12 +234,12 @@ impl Kernel for Pttwac100 {
             let Some(start) = next_nonfixed_start(st, &perm, spi, self.total_supers()) else {
                 return if st.exhausted { Step::Done } else { Step::Continue };
             };
-            // Check the start's flag (plain global read of the flag word).
-            let (fw, fb) = (start / 32, (start % 32) as u32);
-            let addr = LaneAddrs::from_fn(1, |_| Some(fw));
-            let old = ctx.global_read(self.flags, &addr);
+            // Check the start's flag (one-lane global read of the flag
+            // word, routed through the claim op so the parallel engine can
+            // replay the outcome).
+            let taken = ctx.claim_check(self.flags, start);
             ctx.alu(4.0);
-            if (old.get(0) >> fb) & 1 == 1 {
+            if taken {
                 ctx.note_claim_retry();
                 return Step::Continue; // already moved by another chain
             }
@@ -249,11 +254,9 @@ impl Kernel for Pttwac100 {
         let inst = st.pos / spi;
         let within = st.pos % spi;
         let next = inst * spi + perm.dest(within);
-        let (fw, fb) = (next / 32, (next % 32) as u32);
-        let claim = LaneWrites::from_fn(1, |_| Some((fw, 1u32 << fb)));
-        let old = ctx.global_atomic_or(self.flags, &claim);
+        let won = ctx.claim_acquire(self.flags, next);
         ctx.alu(8.0); // Eq.(1) and flag addressing
-        if (old.get(0) >> fb) & 1 == 1 {
+        if !won {
             ctx.note_claim_retry();
             st.active = false; // chain owned elsewhere; grab a new start
             if let Some(b) = self.backoff {
@@ -268,6 +271,55 @@ impl Kernel for Pttwac100 {
         read_super(self, ctx, next, &mut backup, multi_warp_wg);
         write_super(self, ctx, next, &st.carried, multi_warp_wg);
         st.backup = std::mem::replace(&mut st.carried, backup);
+        st.pos = next;
+        Step::Continue
+    }
+
+    // Cost-free control twin of `step`: the identical claim-op sequence and
+    // state transitions, with all data movement, local staging, and cost
+    // accounting elided. Any edit to `step`'s control flow must be mirrored
+    // here — the engine cross-checks per-warp claim counts and the total
+    // step count, so a divergence fails loudly, not silently.
+    fn control_step(&self, st: &mut P100State, ctx: &mut ControlCtx<'_>) -> Step {
+        if st.assist_only {
+            return Step::Done;
+        }
+        if st.stride == 0 {
+            let warps_per_wg = ctx.wg_size.div_ceil(ctx.device().simd_width);
+            st.next_start = ctx.wg_id * warps_per_wg + ctx.warp_id;
+            st.stride = ctx.num_wgs * warps_per_wg;
+        }
+        let spi = self.supers_per_instance();
+        let perm = TransposePerm::new(self.rows, self.cols);
+
+        if !st.active {
+            if st.cooldown > 0 {
+                st.cooldown -= 1;
+                return Step::Continue;
+            }
+            let Some(start) = next_nonfixed_start(st, &perm, spi, self.total_supers()) else {
+                return if st.exhausted { Step::Done } else { Step::Continue };
+            };
+            if ctx.claim_check(self.flags, start) {
+                return Step::Continue;
+            }
+            st.pos = start;
+            st.active = true;
+            return Step::Continue;
+        }
+
+        let inst = st.pos / spi;
+        let within = st.pos % spi;
+        let next = inst * spi + perm.dest(within);
+        if !ctx.claim_acquire(self.flags, next) {
+            st.active = false;
+            if let Some(b) = self.backoff {
+                st.losses = st.losses.saturating_add(1);
+                st.cooldown = b.cooldown(next, st.losses);
+            }
+            return Step::Continue;
+        }
+        st.losses = 0;
         st.pos = next;
         Step::Continue
     }

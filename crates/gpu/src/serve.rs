@@ -1313,8 +1313,10 @@ impl Server {
         let capacity = 2 * req.data.len() + elem_words * flag_words + scratch_words + 256;
         let mut sim = Sim::new(self.dev.clone(), capacity);
         // Cache-hit batches re-execute a plan that already ran once, so the
-        // wall-clock win of the pooled engine is pure profit; the launch
-        // gate still falls back to serial for cross-work-group kernels.
+        // wall-clock win of the pooled engine is pure profit. WG-local and
+        // cross-WG-claims kernels (the whole 100! family) genuinely ride
+        // the pool, bit-identically to serial; only generic cross-WG
+        // launches (and custom scheduler/fault/watchdog runs) pin serial.
         if cache_hit {
             sim.set_engine_mode(EngineMode::parallel_auto());
         }

@@ -8,7 +8,7 @@
 
 use std::collections::HashSet;
 
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceSpec, EngineMode};
 use ipt_gpu::fleet::{Fleet, FleetConfig};
 use ipt_gpu::serve::{trace_id, DegradeLevel, PriorityClass, ServeRequest, ROOT_SPAN};
 use ipt_obs::{prometheus_text, TraceRecorder};
@@ -180,20 +180,17 @@ fn quantiles_and_alerts_are_byte_identical_across_runs_and_engines() {
     assert_eq!(prom_a, prom_b, "repeated runs must export identical telemetry");
     assert_eq!(alerts_a, alerts_b, "repeated runs must fire identical alerts");
 
-    // Across engines: pin the parallel DES engine to one worker, then
-    // two. Cache-hit batches take the parallel engine path, so the pin is
-    // exercised; bit-identity of the simulation makes the telemetry
-    // byte-identical too.
-    let saved = std::env::var("RAYON_NUM_THREADS").ok();
-    std::env::set_var("RAYON_NUM_THREADS", "1");
-    let serial = observable_telemetry();
-    std::env::set_var("RAYON_NUM_THREADS", "2");
-    let parallel = observable_telemetry();
-    match saved {
-        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-        None => std::env::remove_var("RAYON_NUM_THREADS"),
-    }
-    assert_eq!(serial.0, parallel.0, "engine choice must not change exported telemetry");
-    assert_eq!(serial.1, parallel.1, "engine choice must not change the alert stream");
-    assert_eq!(prom_a, serial.0, "pinned runs match the unpinned baseline");
+    // Across engines: cache-hit batches inside the scenario run under
+    // `EngineMode::parallel_auto()`, whose worker count is resolved
+    // *once per process* (cached in a `OnceLock`), so re-pointing
+    // RAYON_NUM_THREADS mid-test is deliberately inert — a pin-and-rerun
+    // here would assert nothing. Thread-count unobservability is enforced
+    // at the engine layer (`proptest_engine_equiv`: serial ≡ parallel
+    // bit-identity and `thread_count_is_unobservable`); byte-identical
+    // telemetry across engines then follows from the byte-identical
+    // simulation plus the deterministic exporters re-checked above.
+    assert!(
+        EngineMode::parallel_auto().resolved_threads() >= 1,
+        "parallel_auto must resolve to a usable worker count"
+    );
 }
